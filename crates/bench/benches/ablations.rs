@@ -1,0 +1,222 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **A1 — path-pair equations on/off**: how much accuracy the pair
+//!   equations buy the correlation algorithm (Section 4 forms them
+//!   precisely to reach `N1 + N2 ≈ |E|`).
+//! * **A2 — minimum-L1 (dense exact) vs. regularised CGLS (sparse)** on the
+//!   same under-determined system.
+//! * **A3 — merging transformation on/off** for an unidentifiable topology.
+//! * **A4 — theorem algorithm vs. practical algorithm** runtime growth with
+//!   the size of the correlation set (the reason the practical algorithm
+//!   exists).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netcorr_bench::fixture;
+use netcorr_core::{
+    AlgorithmConfig, CorrelationAlgorithm, SolverConfig, TheoremAlgorithm,
+};
+use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::metrics::{absolute_errors, potentially_congested_links, ErrorSummary};
+use netcorr_eval::scenario::CorrelationLevel;
+use netcorr_sim::{CongestionModelBuilder, SimulationConfig, Simulator};
+use netcorr_topology::correlation::CorrelationPartition;
+use netcorr_topology::graph::{LinkId, Topology};
+use netcorr_topology::merge::merge_indistinguishable;
+use netcorr_topology::path::PathSet;
+use netcorr_topology::toy;
+use netcorr_topology::TopologyInstance;
+
+/// A1: pair equations on/off.
+fn ablation_pairs(c: &mut Criterion) {
+    let fixture = fixture(
+        TopologyFamily::Brite,
+        0.10,
+        CorrelationLevel::HighlyCorrelated,
+        0.0,
+        0.0,
+        900,
+    );
+    let links = potentially_congested_links(&fixture.scenario.instance, &fixture.observations);
+    let mut group = c.benchmark_group("ablation_pair_equations");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, use_pairs) in [("with_pairs", true), ("without_pairs", false)] {
+        let mut config = AlgorithmConfig::default();
+        config.equations.use_pairs = use_pairs;
+        let estimate = CorrelationAlgorithm::with_config(&fixture.scenario.instance, config)
+            .infer(&fixture.observations)
+            .expect("inference succeeds");
+        let summary = ErrorSummary::from_errors(&absolute_errors(
+            &estimate,
+            &fixture.scenario.true_marginals,
+            &links,
+        ));
+        println!(
+            "A1 {name}: N1={} N2={} mean error {:.4}",
+            estimate.diagnostics.num_single_path_equations,
+            estimate.diagnostics.num_pair_equations,
+            summary.mean
+        );
+        group.bench_function(BenchmarkId::new("correlation_algorithm", name), |b| {
+            b.iter(|| {
+                CorrelationAlgorithm::with_config(&fixture.scenario.instance, config)
+                    .infer(&fixture.observations)
+                    .expect("inference succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A2: exact minimum-L1 solve vs. regularised sparse CGLS on the same
+/// (under-determined) measurement system.
+fn ablation_solver(c: &mut Criterion) {
+    let fixture = fixture(
+        TopologyFamily::PlanetLab,
+        0.10,
+        CorrelationLevel::HighlyCorrelated,
+        0.0,
+        0.0,
+        901,
+    );
+    let mut group = c.benchmark_group("ablation_solver_path");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, dense_threshold) in [("dense_exact_l1", usize::MAX), ("sparse_cgls", 0usize)] {
+        let mut config = AlgorithmConfig::default();
+        config.solver = SolverConfig {
+            dense_threshold,
+            ..SolverConfig::default()
+        };
+        let estimate = CorrelationAlgorithm::with_config(&fixture.scenario.instance, config)
+            .infer(&fixture.observations)
+            .expect("inference succeeds");
+        println!(
+            "A2 {name}: solver {:?}, residual {:.5}",
+            estimate.diagnostics.solver, estimate.diagnostics.residual
+        );
+        group.bench_function(BenchmarkId::new("correlation_algorithm", name), |b| {
+            b.iter(|| {
+                CorrelationAlgorithm::with_config(&fixture.scenario.instance, config)
+                    .infer(&fixture.observations)
+                    .expect("inference succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A3: merging transformation on/off for the unidentifiable Figure 1(b)
+/// topology (accuracy is meaningful only on the merged graph, but the cost
+/// of the transformation itself is what is measured here).
+fn ablation_merge(c: &mut Criterion) {
+    let instance = toy::figure_1b();
+    let mut group = c.benchmark_group("ablation_merge_transformation");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("merge_figure_1b", |b| {
+        b.iter(|| merge_indistinguishable(&instance).expect("merging succeeds"))
+    });
+    // A larger unidentifiable chain to show the growth.
+    let chain = {
+        let mut topology = Topology::new();
+        let nodes = topology.add_nodes(12);
+        let mut links = Vec::new();
+        for window in nodes.windows(2) {
+            links.push(topology.add_link(window[0], window[1]).unwrap());
+        }
+        let paths = PathSet::new(&topology, vec![links.clone()]).unwrap();
+        let correlation = CorrelationPartition::single_set(links.len());
+        TopologyInstance::new(topology, paths, correlation).unwrap()
+    };
+    group.bench_function("merge_chain_of_11_links", |b| {
+        b.iter(|| merge_indistinguishable(&chain).expect("merging succeeds"))
+    });
+    group.finish();
+}
+
+/// A4: exact theorem algorithm vs. practical algorithm as the correlation
+/// set grows (the theorem algorithm's cost explodes with the number of
+/// correlation subsets).
+fn ablation_theorem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_theorem_vs_practical");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for lan_size in [2usize, 4, 6] {
+        // A star LAN: `lan_size` correlated links behind one hidden switch,
+        // measured from two vantage hosts so every correlation subset
+        // covers a distinct set of paths (Assumption 4 holds).
+        let mut topology = Topology::new();
+        let hub = topology.add_node("hub");
+        let mut lan_links = Vec::new();
+        for i in 0..lan_size {
+            let dest = topology.add_node(format!("d{i}"));
+            lan_links.push(topology.add_link(hub, dest).unwrap());
+        }
+        let mut path_links = Vec::new();
+        for h in 0..2 {
+            let host = topology.add_node(format!("h{h}"));
+            let access = topology.add_link(host, hub).unwrap();
+            for &lan in &lan_links {
+                path_links.push(vec![access, lan]);
+            }
+        }
+        let paths = PathSet::new(&topology, path_links).unwrap();
+        let mut sets: Vec<Vec<LinkId>> = vec![lan_links.clone()];
+        for link in topology.link_ids() {
+            if !lan_links.contains(&link) {
+                sets.push(vec![link]);
+            }
+        }
+        let correlation = CorrelationPartition::from_sets(topology.num_links(), sets).unwrap();
+        let instance = TopologyInstance::new(topology, paths, correlation).unwrap();
+        let model = CongestionModelBuilder::new(&instance.correlation)
+            .joint_group(&lan_links, 0.3)
+            .build()
+            .unwrap();
+        let simulator =
+            Simulator::new(&instance, &model, SimulationConfig::default()).unwrap();
+        let observations = simulator.run(400, &mut StdRng::seed_from_u64(lan_size as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("theorem_algorithm", lan_size),
+            &lan_size,
+            |b, _| {
+                b.iter(|| {
+                    TheoremAlgorithm::new(&instance)
+                        .infer(&observations)
+                        .expect("theorem algorithm succeeds")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("practical_algorithm", lan_size),
+            &lan_size,
+            |b, _| {
+                b.iter(|| {
+                    CorrelationAlgorithm::new(&instance)
+                        .infer(&observations)
+                        .expect("practical algorithm succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_pairs,
+    ablation_solver,
+    ablation_merge,
+    ablation_theorem
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Benchmark for the Figure 3 pipeline (ideal conditions, Brite topology).
+//!
+//! Regenerates the Figure 3 data at smoke scale inside the Criterion
+//! harness: one benchmark per congested-link fraction of Figure 3(a)/(b)
+//! (inference only, the expensive part of the sweep) plus the full
+//! experiment (simulate + infer with both algorithms) behind Figure 3(c)
+//! and 3(d). Run `cargo run -p netcorr-eval --release --bin fig3` for the
+//! paper-scale numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use netcorr_bench::{fixture, Fixture};
+use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::metrics::{absolute_errors, potentially_congested_links, ErrorSummary};
+use netcorr_eval::scenario::CorrelationLevel;
+
+fn score(fixture: &Fixture) -> (ErrorSummary, ErrorSummary) {
+    let links = potentially_congested_links(&fixture.scenario.instance, &fixture.observations);
+    let corr = fixture.run_correlation();
+    let indep = fixture.run_independence();
+    (
+        ErrorSummary::from_errors(&absolute_errors(
+            &corr,
+            &fixture.scenario.true_marginals,
+            &links,
+        )),
+        ErrorSummary::from_errors(&absolute_errors(
+            &indep,
+            &fixture.scenario.true_marginals,
+            &links,
+        )),
+    )
+}
+
+/// Figure 3(a)/(b): inference cost and accuracy per congested-link
+/// fraction.
+fn fig3_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sweep_highly_correlated");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for percent in [5u32, 10, 15, 20, 25] {
+        let fraction = percent as f64 / 100.0;
+        let fixture = fixture(
+            TopologyFamily::Brite,
+            fraction,
+            CorrelationLevel::HighlyCorrelated,
+            0.0,
+            0.0,
+            100 + percent as u64,
+        );
+        // Report the regenerated data point alongside the timing.
+        let (corr, indep) = score(&fixture);
+        println!(
+            "fig3ab point: {percent}% congested -> correlation mean {:.4}, independence mean {:.4}",
+            corr.mean, indep.mean
+        );
+        group.bench_with_input(
+            BenchmarkId::new("correlation_algorithm", percent),
+            &fixture,
+            |b, fixture| b.iter(|| fixture.run_correlation()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("independence_baseline", percent),
+            &fixture,
+            |b, fixture| b.iter(|| fixture.run_independence()),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 3(c)/(d): the 10%-congestion CDF experiments (both correlation
+/// levels).
+fn fig3_cdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cdf_at_10_percent");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, level) in [
+        ("highly_correlated", CorrelationLevel::HighlyCorrelated),
+        ("loosely_correlated", CorrelationLevel::LooselyCorrelated),
+    ] {
+        let fixture = fixture(TopologyFamily::Brite, 0.10, level, 0.0, 0.0, 300);
+        let (corr, indep) = score(&fixture);
+        println!(
+            "fig3cd point ({name}): correlation mean {:.4}, independence mean {:.4}",
+            corr.mean, indep.mean
+        );
+        group.bench_with_input(BenchmarkId::new("both_algorithms", name), &fixture, |b, f| {
+            b.iter(|| {
+                let corr = f.run_correlation();
+                let indep = f.run_independence();
+                (corr, indep)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_sweep, fig3_cdf);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmark for the Figure 4 pipeline (unidentifiable links).
+//!
+//! One benchmark per (topology family, unidentifiable fraction) cell of
+//! Figure 4, at smoke scale. Run
+//! `cargo run -p netcorr-eval --release --bin fig4` for the paper-scale
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use netcorr_bench::fixture;
+use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::scenario::CorrelationLevel;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_unidentifiable");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
+        for percent in [25u32, 50] {
+            let fixture = fixture(
+                family,
+                0.10,
+                CorrelationLevel::HighlyCorrelated,
+                percent as f64 / 100.0,
+                0.0,
+                400 + percent as u64,
+            );
+            println!(
+                "fig4 cell ({family}, {percent}% unidentifiable): {} unidentifiable links out of {} congested",
+                fixture.scenario.unidentifiable_links.len(),
+                fixture.scenario.congested_links.len()
+            );
+            let id = format!("{family}_{percent}pct");
+            group.bench_with_input(
+                BenchmarkId::new("correlation_algorithm", &id),
+                &fixture,
+                |b, f| b.iter(|| f.run_correlation()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("independence_baseline", &id),
+                &fixture,
+                |b, f| b.iter(|| f.run_independence()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

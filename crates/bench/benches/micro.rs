@@ -1,0 +1,154 @@
+//! Micro-benchmarks for the substrates: topology generation, simulation
+//! throughput, and the numerical solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netcorr_bench::{bench_instance, fixture};
+use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::scenario::CorrelationLevel;
+use netcorr_linalg::{cgls, min_l1_norm_solution, solve_least_squares, Matrix, SparseMatrix};
+use netcorr_sim::{SimulationConfig, Simulator, TransmissionModel};
+use netcorr_topology::generators::{brite, planetlab};
+
+fn topology_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("brite_small", |b| {
+        b.iter(|| {
+            brite::generate(&brite::BriteConfig::small(), &mut StdRng::seed_from_u64(1))
+                .expect("generation succeeds")
+        })
+    });
+    group.bench_function("planetlab_small", |b| {
+        b.iter(|| {
+            planetlab::generate(
+                &planetlab::PlanetLabConfig::small(),
+                &mut StdRng::seed_from_u64(1),
+            )
+            .expect("generation succeeds")
+        })
+    });
+    group.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    let fixture = fixture(
+        TopologyFamily::PlanetLab,
+        0.10,
+        CorrelationLevel::HighlyCorrelated,
+        0.0,
+        0.0,
+        7,
+    );
+    let mut group = c.benchmark_group("simulation_100_snapshots");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, transmission) in [
+        ("binomial", TransmissionModel::Binomial),
+        ("exact", TransmissionModel::Exact),
+        ("per_packet", TransmissionModel::PerPacket),
+    ] {
+        let config = SimulationConfig {
+            transmission,
+            packets_per_path: 200,
+            ..SimulationConfig::default()
+        };
+        let simulator =
+            Simulator::new(&fixture.scenario.instance, &fixture.scenario.model, config)
+                .expect("valid simulator");
+        group.bench_function(BenchmarkId::new("transmission", name), |b| {
+            b.iter(|| simulator.run(100, &mut StdRng::seed_from_u64(3)))
+        });
+    }
+    group.finish();
+}
+
+fn solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // Dense least squares on a 120 x 80 incidence-like system.
+    let rows = 120;
+    let cols = 80;
+    let dense = Matrix::from_fn(rows, cols, |i, j| {
+        if (i * 7 + j * 13) % 11 < 3 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let x_true: Vec<f64> = (0..cols).map(|i| -((i % 9) as f64) / 20.0).collect();
+    let b = dense.matvec(&x_true).unwrap();
+    group.bench_function("dense_least_squares_120x80", |bench| {
+        bench.iter(|| solve_least_squares(&dense, &b).expect("solve succeeds"))
+    });
+
+    // Sparse CGLS on a 600 x 400 system.
+    let mut sparse = SparseMatrix::new(400);
+    let mut state = 99u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for _ in 0..600 {
+        let len = 4 + next() % 6;
+        let cols: Vec<usize> = (0..len).map(|_| next() % 400).collect();
+        sparse.push_indicator_row(&cols).unwrap();
+    }
+    let x_true: Vec<f64> = (0..400).map(|i| -((i % 7) as f64) / 15.0).collect();
+    let rhs = sparse.matvec(&x_true).unwrap();
+    group.bench_function("cgls_600x400", |bench| {
+        bench.iter(|| cgls(&sparse, &rhs, 1e-8, 2000, 1e-10).expect("cgls succeeds"))
+    });
+
+    // Minimum-L1 LP on an under-determined 20 x 40 system.
+    let wide = Matrix::from_fn(20, 40, |i, j| if (i + 3 * j) % 7 < 2 { 1.0 } else { 0.0 });
+    let x_sparse: Vec<f64> = (0..40)
+        .map(|i| if i % 9 == 0 { -0.4 } else { 0.0 })
+        .collect();
+    let b_wide = wide.matvec(&x_sparse).unwrap();
+    group.bench_function("min_l1_lp_20x40", |bench| {
+        bench.iter(|| min_l1_norm_solution(&wide, &b_wide).expect("lp succeeds"))
+    });
+    group.finish();
+}
+
+fn instance_statistics(c: &mut Criterion) {
+    // Not strictly a benchmark target of the paper, but useful to watch:
+    // coverage queries are on the hot path of the identifiability check and
+    // the theorem algorithm.
+    let instance = bench_instance(TopologyFamily::PlanetLab, 11);
+    let links: Vec<_> = instance.topology.link_ids().collect();
+    let mut group = c.benchmark_group("coverage_queries");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("coverage_of_every_link", |b| {
+        b.iter(|| {
+            links
+                .iter()
+                .map(|&l| instance.paths.coverage(&[l]).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    topology_generation,
+    simulation_throughput,
+    solvers,
+    instance_statistics
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Shared fixtures for the netcorr benchmarks.
+//!
+//! Every Criterion benchmark in this crate works on *smoke-scale*
+//! topologies so the full benchmark suite runs in minutes; the paper-scale
+//! numbers reported in `EXPERIMENTS.md` come from the `netcorr-eval`
+//! binaries (`fig3`, `fig4`, `fig5`, `all_experiments`) run with
+//! `--scale paper`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netcorr_core::{CorrelationAlgorithm, IndependenceAlgorithm};
+use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
+use netcorr_eval::scenario::{CongestionScenario, CorrelationLevel, ScenarioBuilder, ScenarioConfig};
+use netcorr_measure::PathObservations;
+use netcorr_sim::{SimulationConfig, Simulator};
+use netcorr_topology::TopologyInstance;
+
+/// Number of snapshots simulated by the benchmark fixtures.
+pub const BENCH_SNAPSHOTS: usize = 300;
+
+/// A ready-to-infer benchmark fixture: a scenario plus simulated
+/// observations.
+pub struct Fixture {
+    /// The scenario (instance handed to the algorithms + ground truth).
+    pub scenario: CongestionScenario,
+    /// Simulated end-to-end observations.
+    pub observations: PathObservations,
+}
+
+impl Fixture {
+    /// Runs the correlation algorithm once on the fixture.
+    pub fn run_correlation(&self) -> netcorr_core::TomographyEstimate {
+        CorrelationAlgorithm::new(&self.scenario.instance)
+            .infer(&self.observations)
+            .expect("inference succeeds")
+    }
+
+    /// Runs the independence baseline once on the fixture.
+    pub fn run_independence(&self) -> netcorr_core::TomographyEstimate {
+        IndependenceAlgorithm::new(&self.scenario.instance)
+            .infer(&self.observations)
+            .expect("inference succeeds")
+    }
+}
+
+/// Generates a smoke-scale base instance of the given family.
+pub fn bench_instance(family: TopologyFamily, seed: u64) -> TopologyInstance {
+    base_instance(family, Scale::Smoke, seed).expect("topology generation succeeds")
+}
+
+/// Builds a fixture for the given scenario parameters on a smoke-scale
+/// topology.
+pub fn fixture(
+    family: TopologyFamily,
+    congested_fraction: f64,
+    level: CorrelationLevel,
+    unidentifiable_fraction: f64,
+    mislabeled_fraction: f64,
+    seed: u64,
+) -> Fixture {
+    let base = bench_instance(family, seed);
+    let config = ScenarioConfig {
+        congested_fraction,
+        correlation_level: level,
+        unidentifiable_fraction,
+        mislabeled_fraction,
+        ..ScenarioConfig::default()
+    };
+    let scenario = ScenarioBuilder::new(config)
+        .expect("valid scenario config")
+        .build(&base, &mut StdRng::seed_from_u64(seed.wrapping_add(1)))
+        .expect("scenario can be instantiated");
+    let simulator = Simulator::new(
+        &scenario.instance,
+        &scenario.model,
+        SimulationConfig::default(),
+    )
+    .expect("valid simulator");
+    let observations = simulator.run(BENCH_SNAPSHOTS, &mut StdRng::seed_from_u64(seed ^ 0xbeef));
+    Fixture {
+        scenario,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_buildable_for_both_families() {
+        for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
+            let fixture = fixture(
+                family,
+                0.10,
+                CorrelationLevel::HighlyCorrelated,
+                0.0,
+                0.0,
+                42,
+            );
+            assert_eq!(fixture.observations.num_snapshots(), BENCH_SNAPSHOTS);
+            let estimate = fixture.run_correlation();
+            assert_eq!(estimate.num_links(), fixture.scenario.instance.num_links());
+            let baseline = fixture.run_independence();
+            assert_eq!(baseline.num_links(), estimate.num_links());
+        }
+    }
+}

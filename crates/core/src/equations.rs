@@ -1,0 +1,388 @@
+//! Building the log-linear measurement equations (Section 4).
+//!
+//! Under the separability assumption, a path is good iff all its links are
+//! good, so for any collection of paths whose links are *mutually
+//! uncorrelated*
+//!
+//! ```text
+//! P(all those paths good) = Π_k P(X_{e_k} = 0)   over the union of their links
+//! ```
+//!
+//! and taking logarithms turns the product into a linear equation over the
+//! unknowns `x_k = log P(X_{e_k} = 0)`. The paper's practical algorithm
+//! therefore forms:
+//!
+//! * one equation per *usable path* — a path none of whose links are
+//!   potentially correlated with each other (Eq. 9);
+//! * one equation per *usable path pair* — a pair whose combined links are
+//!   mutually uncorrelated (Eq. 10). Only pairs of paths that share at
+//!   least one link are considered, because the equation of a disjoint pair
+//!   is the sum of the two single-path equations and adds nothing.
+//!
+//! The independence baseline (Nguyen–Thiran \[12\]) uses exactly the same
+//! construction but *assumes* every link is independent, i.e. it treats
+//! every path and every intersecting pair as usable. That difference —
+//! controlled here by [`EquationConfig::respect_correlation`] — is the
+//! entire difference between the two algorithms compared in the paper's
+//! evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use netcorr_linalg::SparseMatrix;
+use netcorr_measure::ProbabilityEstimator;
+use netcorr_topology::graph::LinkId;
+use netcorr_topology::path::PathId;
+use netcorr_topology::TopologyInstance;
+
+use crate::error::CoreError;
+
+/// Where an equation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EquationSource {
+    /// `P(Y_i = 0) = Π_{e ∈ P_i} P(X_e = 0)`.
+    SinglePath(PathId),
+    /// `P(Y_i = 0, Y_j = 0) = Π_{e ∈ P_i ∪ P_j} P(X_e = 0)`.
+    PathPair(PathId, PathId),
+}
+
+/// Configuration of the equation builder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EquationConfig {
+    /// If `true` (the correlation algorithm), only paths and path pairs
+    /// whose links are mutually uncorrelated are used. If `false` (the
+    /// independence baseline), every path and every intersecting pair is
+    /// used.
+    pub respect_correlation: bool,
+    /// Whether path-pair equations are formed at all (ablation switch).
+    pub use_pairs: bool,
+    /// Maximum number of accepted path-pair equations, as a multiple of the
+    /// number of links.
+    pub max_pair_equations_per_link: f64,
+    /// Maximum number of candidate pairs examined.
+    pub max_pair_candidates: usize,
+}
+
+impl Default for EquationConfig {
+    fn default() -> Self {
+        EquationConfig {
+            respect_correlation: true,
+            use_pairs: true,
+            max_pair_equations_per_link: 3.0,
+            max_pair_candidates: 2_000_000,
+        }
+    }
+}
+
+/// The collected measurement equations `A x = y` over the unknowns
+/// `x_k = log P(X_{e_k} = 0)`.
+#[derive(Debug, Clone)]
+pub struct EquationSystem {
+    /// Sparse 0/1 incidence matrix (one row per equation, one column per
+    /// link).
+    pub matrix: SparseMatrix,
+    /// Right-hand sides: clamped empirical log-probabilities.
+    pub rhs: Vec<f64>,
+    /// Provenance of every equation, parallel to the rows.
+    pub sources: Vec<EquationSource>,
+    /// Number of single-path equations (the paper's `N1` before
+    /// independence selection).
+    pub num_single: usize,
+    /// Number of path-pair equations (the paper's `N2` before independence
+    /// selection).
+    pub num_pair: usize,
+    /// For every link, whether it appears in at least one equation.
+    pub covered: Vec<bool>,
+}
+
+impl EquationSystem {
+    /// Number of equations collected.
+    pub fn num_equations(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Number of links that appear in no equation.
+    pub fn num_uncovered_links(&self) -> usize {
+        self.covered.iter().filter(|&&c| !c).count()
+    }
+}
+
+/// Builds the measurement equations for an instance from recorded
+/// observations.
+pub fn build_equations(
+    instance: &TopologyInstance,
+    estimator: &ProbabilityEstimator<'_>,
+    config: &EquationConfig,
+) -> Result<EquationSystem, CoreError> {
+    let num_links = instance.num_links();
+    let mut matrix = SparseMatrix::new(num_links);
+    let mut rhs = Vec::new();
+    let mut sources = Vec::new();
+    let mut covered = vec![false; num_links];
+
+    let usable_path = |links: &[LinkId]| -> bool {
+        !config.respect_correlation || instance.correlation.mutually_uncorrelated(links)
+    };
+
+    // --- Single-path equations (Eq. 9). ---
+    let mut usable_paths: Vec<PathId> = Vec::new();
+    for path in instance.paths.paths() {
+        if !usable_path(&path.links) {
+            continue;
+        }
+        usable_paths.push(path.id);
+        let columns: Vec<usize> = path.links.iter().map(|l| l.index()).collect();
+        matrix
+            .push_indicator_row(&columns)
+            .map_err(CoreError::Numerical)?;
+        rhs.push(estimator.log_prob_paths_good(&[path.id])?);
+        sources.push(EquationSource::SinglePath(path.id));
+        for &c in &columns {
+            covered[c] = true;
+        }
+    }
+    let num_single = rhs.len();
+
+    // --- Path-pair equations (Eq. 10). ---
+    //
+    // Only pairs of paths that share at least one link can add information
+    // beyond the two single-path equations (the union row of a disjoint
+    // pair is the sum of the two single rows). Candidate pairs are
+    // enumerated per shared link and consumed round-robin across links so
+    // that the collected pair equations are structurally diverse — the
+    // solver's independence selection then has good material to reach the
+    // paper's `N1 + N2 ≈ |E|` regardless of which link the enumeration
+    // started from.
+    let mut num_pair = 0;
+    if config.use_pairs {
+        let max_pairs = (config.max_pair_equations_per_link * num_links as f64).ceil() as usize;
+        let usable_flag = {
+            let mut flags = vec![false; instance.num_paths()];
+            for &p in &usable_paths {
+                flags[p.index()] = true;
+            }
+            flags
+        };
+        // Candidate pairs per link (both paths individually usable).
+        let mut candidates_per_link: Vec<Vec<(PathId, PathId)>> =
+            Vec::with_capacity(num_links);
+        let mut candidates_examined = 0usize;
+        for link in instance.topology.link_ids() {
+            let through = instance.paths.paths_through(link);
+            let mut pairs = Vec::new();
+            'link: for (a_idx, &pa) in through.iter().enumerate() {
+                if !usable_flag[pa.index()] {
+                    continue;
+                }
+                for &pb in &through[a_idx + 1..] {
+                    candidates_examined += 1;
+                    if candidates_examined > config.max_pair_candidates {
+                        break 'link;
+                    }
+                    if !usable_flag[pb.index()] {
+                        continue;
+                    }
+                    pairs.push((pa.min(pb), pa.max(pb)));
+                }
+            }
+            candidates_per_link.push(pairs);
+        }
+        // Round-robin over links: the r-th candidate of every link, then
+        // the (r+1)-th, and so on.
+        let mut seen_pairs = std::collections::BTreeSet::new();
+        let max_rounds = candidates_per_link
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        'rounds: for round in 0..max_rounds {
+            for pairs in &candidates_per_link {
+                if num_pair >= max_pairs {
+                    break 'rounds;
+                }
+                let Some(&key) = pairs.get(round) else { continue };
+                if !seen_pairs.insert(key) {
+                    continue;
+                }
+                // Union of the two paths' links.
+                let mut union: Vec<LinkId> = instance.paths.path(key.0).links.clone();
+                union.extend(instance.paths.path(key.1).links.iter().copied());
+                union.sort_unstable();
+                union.dedup();
+                if !usable_path(&union) {
+                    continue;
+                }
+                let columns: Vec<usize> = union.iter().map(|l| l.index()).collect();
+                matrix
+                    .push_indicator_row(&columns)
+                    .map_err(CoreError::Numerical)?;
+                rhs.push(estimator.log_prob_paths_good(&[key.0, key.1])?);
+                sources.push(EquationSource::PathPair(key.0, key.1));
+                for &c in &columns {
+                    covered[c] = true;
+                }
+                num_pair += 1;
+            }
+        }
+    }
+
+    if rhs.is_empty() {
+        return Err(CoreError::NoUsableEquations);
+    }
+
+    Ok(EquationSystem {
+        matrix,
+        rhs,
+        sources,
+        num_single,
+        num_pair,
+        covered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcorr_measure::PathObservations;
+    use netcorr_topology::toy;
+
+    /// Observations over Figure 1(a)'s three paths where every path is good
+    /// half the time (contents only matter for the RHS, not the structure).
+    fn fig1a_observations() -> PathObservations {
+        let mut obs = PathObservations::new(3);
+        for i in 0..16 {
+            let bit = i % 2 == 0;
+            obs.record_snapshot(&[bit, !bit, bit]).unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn fig1a_produces_exactly_the_papers_equations() {
+        let inst = toy::figure_1a();
+        let obs = fig1a_observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let system = build_equations(&inst, &est, &EquationConfig::default()).unwrap();
+
+        // All three paths avoid correlated links; the only usable pair is
+        // (P2, P3) — exactly the example worked out in Section 4.
+        assert_eq!(system.num_single, 3);
+        assert_eq!(system.num_pair, 1);
+        assert_eq!(system.num_equations(), 4);
+        assert_eq!(system.num_uncovered_links(), 0);
+        assert!(system
+            .sources
+            .contains(&EquationSource::PathPair(PathId(1), PathId(2))));
+        assert!(!system
+            .sources
+            .iter()
+            .any(|s| matches!(s, EquationSource::PathPair(PathId(0), _))));
+
+        // The pair equation covers links e2, e3, e4 (columns 1, 2, 3).
+        let pair_row = system.matrix.row(3);
+        let cols: Vec<usize> = pair_row.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn independence_mode_uses_all_paths_and_intersecting_pairs() {
+        let inst = toy::figure_1a();
+        let obs = fig1a_observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let config = EquationConfig {
+            respect_correlation: false,
+            ..EquationConfig::default()
+        };
+        let system = build_equations(&inst, &est, &config).unwrap();
+        assert_eq!(system.num_single, 3);
+        // Intersecting pairs: (P1,P2) share e3, (P2,P3) share e2 -> 2 pairs.
+        assert_eq!(system.num_pair, 2);
+    }
+
+    #[test]
+    fn pairs_can_be_disabled() {
+        let inst = toy::figure_1a();
+        let obs = fig1a_observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let config = EquationConfig {
+            use_pairs: false,
+            ..EquationConfig::default()
+        };
+        let system = build_equations(&inst, &est, &config).unwrap();
+        assert_eq!(system.num_single, 3);
+        assert_eq!(system.num_pair, 0);
+    }
+
+    #[test]
+    fn correlated_paths_are_excluded() {
+        // In Figure 1(b), every path is usable (each path's links are in
+        // different sets), but with a partition that puts a whole path in
+        // one set the path is excluded.
+        let inst = toy::figure_1b();
+        let all_in_one = inst
+            .with_correlation(netcorr_topology::CorrelationPartition::single_set(3))
+            .unwrap();
+        let mut obs = PathObservations::new(2);
+        for _ in 0..8 {
+            obs.record_snapshot(&[false, true]).unwrap();
+        }
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let err = build_equations(&all_in_one, &est, &EquationConfig::default()).unwrap_err();
+        assert_eq!(err, CoreError::NoUsableEquations);
+        // The independence baseline still forms equations on the same
+        // instance.
+        let config = EquationConfig {
+            respect_correlation: false,
+            ..EquationConfig::default()
+        };
+        let system = build_equations(&all_in_one, &est, &config).unwrap();
+        assert_eq!(system.num_single, 2);
+    }
+
+    #[test]
+    fn rhs_is_the_clamped_log_frequency() {
+        let inst = toy::figure_1a();
+        let mut obs = PathObservations::new(3);
+        // P1 good 3/4 of the time, P2 always good, P3 never good.
+        for i in 0..8 {
+            obs.record_snapshot(&[i % 4 == 0, false, true]).unwrap();
+        }
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let config = EquationConfig {
+            use_pairs: false,
+            ..EquationConfig::default()
+        };
+        let system = build_equations(&inst, &est, &config).unwrap();
+        assert!((system.rhs[0] - (0.75f64).ln()).abs() < 1e-12);
+        assert_eq!(system.rhs[1], 0.0);
+        // Never-good path: clamped to 1/(2N) = 1/16.
+        assert!((system.rhs[2] - (1.0 / 16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_budget_is_respected() {
+        let inst = toy::figure_1a();
+        let obs = fig1a_observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let config = EquationConfig {
+            respect_correlation: false,
+            max_pair_equations_per_link: 0.25, // ceil(0.25 * 4) = 1 pair max
+            ..EquationConfig::default()
+        };
+        let system = build_equations(&inst, &est, &config).unwrap();
+        assert_eq!(system.num_pair, 1);
+    }
+
+    #[test]
+    fn lan_topology_covers_every_link() {
+        let inst = toy::figure_2a_lan();
+        let mut obs = PathObservations::new(inst.num_paths());
+        for _ in 0..4 {
+            obs.record_snapshot(&vec![false; inst.num_paths()]).unwrap();
+        }
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let system = build_equations(&inst, &est, &EquationConfig::default()).unwrap();
+        assert_eq!(system.num_uncovered_links(), 0);
+        assert_eq!(system.num_single, inst.num_paths());
+        assert!(system.num_pair > 0);
+    }
+}

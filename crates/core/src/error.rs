@@ -1,0 +1,129 @@
+//! Error type for the tomography algorithms.
+
+use std::fmt;
+
+use netcorr_linalg::LinalgError;
+use netcorr_measure::MeasureError;
+use netcorr_topology::graph::LinkId;
+use netcorr_topology::TopologyError;
+
+/// Errors produced by the inference algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A problem with the topology / correlation partition.
+    Topology(TopologyError),
+    /// A problem with the measurements (e.g. no snapshots recorded).
+    Measurement(MeasureError),
+    /// A numerical failure in the underlying solvers.
+    Numerical(LinalgError),
+    /// The observations do not allow any equation to be formed (for
+    /// example, every path traverses correlated links).
+    NoUsableEquations,
+    /// The observations never show an all-paths-good snapshot, so the
+    /// congestion factors of the exact algorithm cannot be normalised.
+    InsufficientObservations {
+        /// What was missing.
+        reason: &'static str,
+    },
+    /// Assumption 4 does not hold: two correlation subsets cover exactly
+    /// the same paths, so their congestion probabilities are not
+    /// identifiable.
+    Unidentifiable {
+        /// One of the conflicting subsets.
+        subset_a: Vec<LinkId>,
+        /// The other conflicting subset.
+        subset_b: Vec<LinkId>,
+    },
+    /// The exact (theorem) algorithm would have to enumerate more
+    /// correlation subsets or network states than the configured limit.
+    EnumerationTooLarge {
+        /// A human-readable description of what exceeded the limit.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The algorithm configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Topology(e) => write!(f, "topology error: {e}"),
+            CoreError::Measurement(e) => write!(f, "measurement error: {e}"),
+            CoreError::Numerical(e) => write!(f, "numerical error: {e}"),
+            CoreError::NoUsableEquations => {
+                write!(f, "no usable equations could be formed from the observations")
+            }
+            CoreError::InsufficientObservations { reason } => {
+                write!(f, "insufficient observations: {reason}")
+            }
+            CoreError::Unidentifiable { subset_a, subset_b } => write!(
+                f,
+                "assumption 4 violated: correlation subsets {subset_a:?} and {subset_b:?} cover the same paths"
+            ),
+            CoreError::EnumerationTooLarge { what, limit } => {
+                write!(f, "enumeration too large: {what} exceeds limit {limit}")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+impl From<MeasureError> for CoreError {
+    fn from(e: MeasureError) -> Self {
+        CoreError::Measurement(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = MeasureError::NoSnapshots.into();
+        assert!(matches!(e, CoreError::Measurement(_)));
+        assert!(e.to_string().contains("measurement"));
+
+        let e: CoreError = LinalgError::Singular.into();
+        assert!(matches!(e, CoreError::Numerical(_)));
+
+        let e: CoreError = TopologyError::EmptyPath.into();
+        assert!(matches!(e, CoreError::Topology(_)));
+
+        assert!(CoreError::NoUsableEquations.to_string().contains("equations"));
+        assert!(CoreError::InsufficientObservations {
+            reason: "all-good snapshot never observed"
+        }
+        .to_string()
+        .contains("all-good"));
+        assert!(CoreError::Unidentifiable {
+            subset_a: vec![LinkId(0)],
+            subset_b: vec![LinkId(1)]
+        }
+        .to_string()
+        .contains("assumption 4"));
+        assert!(CoreError::EnumerationTooLarge {
+            what: "network states",
+            limit: 10
+        }
+        .to_string()
+        .contains("10"));
+        assert!(CoreError::InvalidConfig("oops".into()).to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Congestion factors α_A and their identification (Appendix A).
+//!
+//! For every correlation subset `A ⊆ C_p` the *congestion factor* is
+//!
+//! ```text
+//! α_A = P(S^p = A) / P(S^p = ∅)
+//! ```
+//!
+//! i.e. how often exactly the links of `A` are the congested links of their
+//! correlation set, relative to how often the whole set is good. The proof
+//! of Theorem 1 shows that all congestion factors are identifiable from
+//! end-to-end measurements by working through the correlation subsets in
+//! increasing order of how many paths they cover (the partial order `≺`):
+//!
+//! ```text
+//! P(ψ(S) = ψ(A)) / P(ψ(S) = ∅)  =  α_A · Γ_A  +  Γ_Ā            (Eq. 18)
+//! ```
+//!
+//! where `Γ_A` and `Γ_Ā` are sums, over the network states whose congested
+//! paths are exactly `ψ(A)`, of products of congestion factors of *smaller*
+//! subsets — all of which are already known when `A` is processed. This
+//! module implements that recursion; the [`crate::theorem`] module wraps it
+//! into the full estimation algorithm (measurement → factors → per-link
+//! probabilities via Lemma 3).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use netcorr_topology::correlation::CorrelationSetId;
+use netcorr_topology::graph::LinkId;
+use netcorr_topology::path::PathId;
+use netcorr_topology::TopologyInstance;
+
+use crate::error::CoreError;
+
+/// A correlation subset together with its coverage and (once computed)
+/// congestion factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubsetFactor {
+    /// The correlation set this subset belongs to.
+    pub set: CorrelationSetId,
+    /// The links of the subset (sorted).
+    pub links: Vec<LinkId>,
+    /// The paths covered by the subset, `ψ(A)`.
+    pub coverage: BTreeSet<PathId>,
+    /// The congestion factor `α_A`.
+    pub alpha: f64,
+}
+
+/// All correlation subsets of an instance, ordered by coverage size (the
+/// partial order `≺` used by the identification recursion), before their
+/// factors are known.
+#[derive(Debug, Clone)]
+pub struct SubsetEnumeration {
+    /// Subsets in processing order (coverage size ascending).
+    pub subsets: Vec<SubsetFactor>,
+    /// For every correlation set, the indices (into `subsets`) of its
+    /// subsets.
+    pub per_set: Vec<Vec<usize>>,
+}
+
+/// Configuration limits for the exact algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnumerationLimits {
+    /// Maximum number of links per correlation set (the number of subsets
+    /// is exponential in this).
+    pub max_set_size: usize,
+    /// Maximum number of network states enumerated while computing one
+    /// congestion factor.
+    pub max_states_per_factor: usize,
+}
+
+impl Default for EnumerationLimits {
+    fn default() -> Self {
+        EnumerationLimits {
+            max_set_size: 16,
+            max_states_per_factor: 200_000,
+        }
+    }
+}
+
+/// Enumerates all correlation subsets of the instance, verifies
+/// Assumption 4 over them, and returns them in processing order.
+pub fn enumerate_subsets(
+    instance: &TopologyInstance,
+    limits: &EnumerationLimits,
+) -> Result<SubsetEnumeration, CoreError> {
+    if instance.correlation.max_set_size() > limits.max_set_size {
+        return Err(CoreError::EnumerationTooLarge {
+            what: "correlation set size",
+            limit: limits.max_set_size,
+        });
+    }
+    let mut subsets = Vec::new();
+    for (set_id, _) in instance.correlation.sets() {
+        for links in instance
+            .correlation
+            .subsets_of_set(set_id, limits.max_set_size)
+            .map_err(CoreError::Topology)?
+        {
+            let coverage = instance.paths.coverage(&links);
+            subsets.push(SubsetFactor {
+                set: set_id,
+                links,
+                coverage,
+                alpha: 0.0,
+            });
+        }
+    }
+    // Assumption 4: no two subsets may cover exactly the same paths.
+    let mut by_coverage: std::collections::BTreeMap<Vec<PathId>, usize> =
+        std::collections::BTreeMap::new();
+    for (idx, subset) in subsets.iter().enumerate() {
+        let key: Vec<PathId> = subset.coverage.iter().copied().collect();
+        if let Some(&other) = by_coverage.get(&key) {
+            return Err(CoreError::Unidentifiable {
+                subset_a: subsets[other].links.clone(),
+                subset_b: subset.links.clone(),
+            });
+        }
+        by_coverage.insert(key, idx);
+    }
+    // Processing order: coverage size ascending (stable, so deterministic).
+    subsets.sort_by_key(|s| (s.coverage.len(), s.links.clone()));
+    let mut per_set = vec![Vec::new(); instance.correlation.num_sets()];
+    for (idx, subset) in subsets.iter().enumerate() {
+        per_set[subset.set.index()].push(idx);
+    }
+    Ok(SubsetEnumeration { subsets, per_set })
+}
+
+/// Identifies every congestion factor from the measured probabilities.
+///
+/// `measured_ratio(coverage)` must return the measured
+/// `P(ψ(S) = ψ(A)) / P(ψ(S) = ∅)` for the given coverage; the enumeration
+/// is updated in place with the computed `alpha` values.
+pub fn identify_factors(
+    enumeration: &mut SubsetEnumeration,
+    limits: &EnumerationLimits,
+    mut measured_ratio: impl FnMut(&BTreeSet<PathId>) -> Result<f64, CoreError>,
+) -> Result<(), CoreError> {
+    let num_sets = enumeration.per_set.len();
+    for index in 0..enumeration.subsets.len() {
+        let target_coverage = enumeration.subsets[index].coverage.clone();
+        let target_set = enumeration.subsets[index].set;
+        let target_links = enumeration.subsets[index].links.clone();
+
+        // Candidate subsets per correlation set: those whose coverage is
+        // contained in the target coverage (plus the empty subset, which is
+        // always a candidate). Only already-processed subsets (strictly
+        // smaller coverage) or the target itself can qualify, so their
+        // alphas are known.
+        let mut candidates: Vec<Vec<Option<usize>>> = vec![vec![None]; num_sets];
+        for (idx, subset) in enumeration.subsets.iter().enumerate() {
+            if subset.coverage.is_subset(&target_coverage) {
+                candidates[subset.set.index()].push(Some(idx));
+            }
+        }
+
+        // Enumerate the network states (one candidate per correlation set)
+        // whose union of coverages equals the target coverage, accumulating
+        // Γ_A (states where S^q = A) and Γ_Ā (the rest).
+        let mut gamma_a = 0.0;
+        let mut gamma_a_bar = 0.0;
+        let mut states_visited = 0usize;
+        let mut stack: Vec<(usize, BTreeSet<PathId>, f64, bool)> =
+            vec![(0, BTreeSet::new(), 1.0, false)];
+        while let Some((set_idx, covered, product, target_chosen)) = stack.pop() {
+            if covered.len() > target_coverage.len() {
+                continue;
+            }
+            if set_idx == num_sets {
+                states_visited += 1;
+                if states_visited > limits.max_states_per_factor {
+                    return Err(CoreError::EnumerationTooLarge {
+                        what: "network states per congestion factor",
+                        limit: limits.max_states_per_factor,
+                    });
+                }
+                if covered == target_coverage {
+                    if target_chosen {
+                        gamma_a += product;
+                    } else {
+                        gamma_a_bar += product;
+                    }
+                }
+                continue;
+            }
+            for candidate in &candidates[set_idx] {
+                match candidate {
+                    None => {
+                        // This correlation set is entirely good: alpha = 1
+                        // multiplier, no extra coverage.
+                        stack.push((set_idx + 1, covered.clone(), product, target_chosen));
+                    }
+                    Some(subset_idx) => {
+                        let subset = &enumeration.subsets[*subset_idx];
+                        let is_target = *subset_idx == index;
+                        if !is_target && subset.coverage.len() >= target_coverage.len() {
+                            // Not yet identified (processed later); by
+                            // Lemma 1 such states cannot satisfy the
+                            // coverage constraint unless the subset IS the
+                            // target, so skip.
+                            continue;
+                        }
+                        let mut new_covered = covered.clone();
+                        new_covered.extend(subset.coverage.iter().copied());
+                        if !new_covered.is_subset(&target_coverage) {
+                            continue;
+                        }
+                        let factor = if is_target { 1.0 } else { subset.alpha };
+                        stack.push((
+                            set_idx + 1,
+                            new_covered,
+                            product * factor,
+                            target_chosen || (is_target && subset.set == target_set),
+                        ));
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            gamma_a >= 1.0 - 1e-9,
+            "Γ_A must include the state S = A itself (links {target_links:?})"
+        );
+        let measured = measured_ratio(&target_coverage)?;
+        let alpha = ((measured - gamma_a_bar) / gamma_a).max(0.0);
+        enumeration.subsets[index].alpha = alpha;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcorr_topology::toy;
+
+    #[test]
+    fn enumeration_matches_the_paper_ordering_for_fig1a() {
+        let inst = toy::figure_1a();
+        let enumeration = enumerate_subsets(&inst, &EnumerationLimits::default()).unwrap();
+        // |C̃| = 5 subsets.
+        assert_eq!(enumeration.subsets.len(), 5);
+        // Coverage sizes must be non-decreasing.
+        let sizes: Vec<usize> = enumeration.subsets.iter().map(|s| s.coverage.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        // The paper's ordering: {e1}, {e4} (1 path each), then {e3}, {e2}
+        // (2 paths each), then {e1, e2} (3 paths).
+        assert_eq!(enumeration.subsets[0].coverage.len(), 1);
+        assert_eq!(enumeration.subsets[1].coverage.len(), 1);
+        assert_eq!(enumeration.subsets[4].links, vec![LinkId(0), LinkId(1)]);
+        // Per-set index covers every subset exactly once.
+        let total: usize = enumeration.per_set.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn enumeration_detects_assumption_4_violations() {
+        let inst = toy::figure_1b();
+        let err = enumerate_subsets(&inst, &EnumerationLimits::default()).unwrap_err();
+        match err {
+            CoreError::Unidentifiable { subset_a, subset_b } => {
+                let mut pair = vec![subset_a, subset_b];
+                pair.sort();
+                assert_eq!(pair[0], vec![LinkId(0), LinkId(1)]);
+                assert_eq!(pair[1], vec![LinkId(2)]);
+            }
+            other => panic!("expected Unidentifiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_the_set_size_limit() {
+        let inst = toy::figure_1a();
+        let limits = EnumerationLimits {
+            max_set_size: 1,
+            ..EnumerationLimits::default()
+        };
+        assert!(matches!(
+            enumerate_subsets(&inst, &limits),
+            Err(CoreError::EnumerationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn factors_are_identified_from_exact_ratios_on_fig1a() {
+        // Ground truth: e1, e2 jointly congested with probability 0.2;
+        // e3 and e4 independently congested with probability 0.1.
+        // α_{e1} = α_{e2} = 0, α_{e1,e2} = 0.25, α_{e3} = α_{e4} = 1/9.
+        let inst = toy::figure_1a();
+        let mut enumeration = enumerate_subsets(&inst, &EnumerationLimits::default()).unwrap();
+
+        // Exact measured ratios P(ψ(S) = ψ(A)) / P(ψ(S) = ∅), computed by
+        // hand from the model (see the walk-through in Section 3.2):
+        //   ψ({e1}) = {P1}:            α1 = 0
+        //   ψ({e4}) = {P3}:            α4 = 1/9
+        //   ψ({e3}) = {P1,P2}:         (1 + α1) α3 = 1/9
+        //   ψ({e2}) = {P2,P3}:         α2 + α2·α4 + ... = 0
+        //   ψ({e1,e2}) = {P1,P2,P3}:   see Appendix A illustration.
+        let alpha_12 = 0.25_f64;
+        let alpha_3 = 1.0 / 9.0;
+        let alpha_4 = 1.0 / 9.0;
+        let ratio = move |coverage: &BTreeSet<PathId>| -> Result<f64, CoreError> {
+            let c: Vec<usize> = coverage.iter().map(|p| p.index()).collect();
+            let value = match c.as_slice() {
+                [0] => 0.0,                                   // only P1 congested
+                [2] => alpha_4,                               // only P3 congested
+                [0, 1] => alpha_3,                            // P1, P2 congested
+                [1, 2] => 0.0,                                // P2, P3 congested (needs e2 alone)
+                [0, 1, 2] => {
+                    // All paths congested: states from the Appendix A
+                    // illustration expressed in congestion factors.
+                    alpha_12 * (1.0 + alpha_3 + alpha_4 + alpha_3 * alpha_4)
+                        + alpha_3 * alpha_4
+                }
+                other => panic!("unexpected coverage {other:?}"),
+            };
+            Ok(value)
+        };
+        identify_factors(&mut enumeration, &EnumerationLimits::default(), ratio).unwrap();
+
+        let find = |links: &[LinkId]| -> f64 {
+            enumeration
+                .subsets
+                .iter()
+                .find(|s| s.links == links)
+                .unwrap()
+                .alpha
+        };
+        assert!((find(&[LinkId(0)]) - 0.0).abs() < 1e-9);
+        assert!((find(&[LinkId(1)]) - 0.0).abs() < 1e-9);
+        assert!((find(&[LinkId(0), LinkId(1)]) - 0.25).abs() < 1e-9);
+        assert!((find(&[LinkId(2)]) - 1.0 / 9.0).abs() < 1e-9);
+        assert!((find(&[LinkId(3)]) - 1.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_noise_is_clamped_to_zero() {
+        let inst = toy::figure_1a();
+        let mut enumeration = enumerate_subsets(&inst, &EnumerationLimits::default()).unwrap();
+        // Slightly negative measured ratios (possible with noisy estimates
+        // after subtracting Γ_Ā) must not produce negative factors.
+        identify_factors(&mut enumeration, &EnumerationLimits::default(), |_| Ok(-0.01)).unwrap();
+        assert!(enumeration.subsets.iter().all(|s| s.alpha >= 0.0));
+    }
+}

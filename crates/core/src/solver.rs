@@ -1,0 +1,503 @@
+//! Solving the log-linear measurement system.
+//!
+//! The solver follows the paper's procedure (Section 4) for **both**
+//! algorithms:
+//!
+//! 1. Consider the candidate equations in priority order — single-path
+//!    equations first, then path-pair equations — and keep a maximal
+//!    linearly-independent subset; the kept counts are the paper's `N1` and
+//!    `N2`.
+//! 2. If `N1 + N2 = |E|`, solve the square system exactly.
+//! 3. If `N1 + N2 < |E|`, the system is under-determined and the solution
+//!    that minimises the L1 norm is chosen (the unknowns are
+//!    log-probabilities, `x ≤ 0`, so this is the least-congestion solution
+//!    consistent with every kept equation).
+//!
+//! Selecting exactly the independent equations — rather than least-squares
+//! over every redundant measurement — matters for fidelity: it is what
+//! makes the independence baseline pay for its invalid equations (an
+//! invalid pair equation enters the square system at full weight and its
+//! bias propagates to the links it touches), which is precisely the effect
+//! the paper's evaluation measures.
+//!
+//! Numerically, small instances use dense QR / an exact LP for the
+//! minimum-L1 solution; large instances (above
+//! [`SolverConfig::dense_threshold`] links) solve the selected equations
+//! with sparse CGLS plus a small ridge, which approximates the minimum-norm
+//! completion of the under-determined case at a cost linear in the number
+//! of non-zeros.
+
+use serde::{Deserialize, Serialize};
+
+use netcorr_linalg::{
+    cgls, l1::min_l1_norm_solution, l1::min_l1_norm_solution_nonneg, norms,
+    rank::IndependentRowSelector, LinalgError, Matrix, QrDecomposition, SparseMatrix,
+};
+
+use crate::equations::{EquationSource, EquationSystem};
+use crate::error::CoreError;
+use crate::result::SolverKind;
+
+/// Configuration of the numerical solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Relative tolerance for the linear-independence selection.
+    pub independence_tolerance: f64,
+    /// Instances with at most this many links use the dense exact path
+    /// (QR for the determined case, an exact LP for the minimum-L1-norm
+    /// under-determined case); larger instances solve the selected
+    /// equations with sparse CGLS.
+    pub dense_threshold: usize,
+    /// Maximum CGLS iterations on the sparse path.
+    pub cgls_iterations: usize,
+    /// CGLS convergence tolerance (relative to the RHS norm).
+    pub cgls_tolerance: f64,
+    /// Ridge (Tikhonov) regularisation used on the sparse path.
+    pub ridge: f64,
+    /// Clamp the solved log-probabilities to `≤ 0` (probabilities never
+    /// exceed 1). Only disabled in ablation experiments.
+    pub clamp_nonpositive: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            independence_tolerance: 1e-9,
+            dense_threshold: 400,
+            cgls_iterations: 4000,
+            cgls_tolerance: 1e-12,
+            ridge: 1e-8,
+            clamp_nonpositive: true,
+        }
+    }
+}
+
+/// The outcome of a solve: the log-good-probabilities plus bookkeeping used
+/// to fill [`crate::result::Diagnostics`].
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Solved `x_k = log P(X_{e_k} = 0)` per link.
+    pub x: Vec<f64>,
+    /// Which numerical path produced the solution.
+    pub kind: SolverKind,
+    /// Residual over all collected equations.
+    pub residual: f64,
+    /// Number of single-path equations actually used (`N1`).
+    pub used_single: usize,
+    /// Number of path-pair equations actually used (`N2`).
+    pub used_pair: usize,
+    /// Whether fewer independent equations than unknowns were available.
+    pub underdetermined: bool,
+}
+
+/// Solves the collected measurement system for the per-link
+/// log-good-probabilities.
+pub fn solve_equations(
+    system: &EquationSystem,
+    num_links: usize,
+    config: &SolverConfig,
+) -> Result<SolveOutcome, CoreError> {
+    // --- 1. Select a maximal linearly-independent subset of equations, in
+    // the paper's priority order (the builder already emits single-path
+    // equations before pair equations). ---
+    let mut selector = IndependentRowSelector::new(num_links, config.independence_tolerance);
+    let mut selected: Vec<usize> = Vec::new();
+    let mut dense_row = vec![0.0; num_links];
+    for row_idx in 0..system.num_equations() {
+        if selector.is_complete() {
+            break;
+        }
+        for value in dense_row.iter_mut() {
+            *value = 0.0;
+        }
+        for &(col, value) in system.matrix.row(row_idx) {
+            dense_row[col] = value;
+        }
+        if selector.offer(&dense_row) {
+            selected.push(row_idx);
+        }
+    }
+    let used_single = selected
+        .iter()
+        .filter(|&&i| matches!(system.sources[i], EquationSource::SinglePath(_)))
+        .count();
+    let used_pair = selected.len() - used_single;
+    let underdetermined = selected.len() < num_links;
+
+    // --- 2./3. Solve the selected equations. ---
+    let mut outcome = if num_links <= config.dense_threshold {
+        solve_dense(system, &selected, num_links, underdetermined)?
+    } else {
+        solve_sparse(system, &selected, num_links, config)?
+    };
+    outcome.used_single = used_single;
+    outcome.used_pair = used_pair;
+    outcome.underdetermined = underdetermined;
+
+    if config.clamp_nonpositive {
+        for x in &mut outcome.x {
+            if *x > 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+    // Residual over every collected equation (after clamping), so the two
+    // numerical paths are directly comparable.
+    let ax = system
+        .matrix
+        .matvec(&outcome.x)
+        .map_err(CoreError::Numerical)?;
+    outcome.residual = norms::l2_norm(&norms::sub(&ax, &system.rhs));
+    Ok(outcome)
+}
+
+/// Dense exact path: QR when fully determined, exact minimum-L1-norm LP
+/// otherwise.
+fn solve_dense(
+    system: &EquationSystem,
+    selected: &[usize],
+    num_links: usize,
+    underdetermined: bool,
+) -> Result<SolveOutcome, CoreError> {
+    let mut a = Matrix::zeros(selected.len(), num_links);
+    let mut b = Vec::with_capacity(selected.len());
+    for (new_row, &row_idx) in selected.iter().enumerate() {
+        for &(col, value) in system.matrix.row(row_idx) {
+            a[(new_row, col)] = value;
+        }
+        b.push(system.rhs[row_idx]);
+    }
+
+    if !underdetermined {
+        let qr = QrDecomposition::new(&a).map_err(CoreError::Numerical)?;
+        let x = qr.solve_least_squares(&b).map_err(CoreError::Numerical)?;
+        return Ok(SolveOutcome {
+            x,
+            kind: SolverKind::DenseExact,
+            residual: 0.0,
+            used_single: 0,
+            used_pair: 0,
+            underdetermined,
+        });
+    }
+
+    // Fewer equations than unknowns: minimum-L1-norm solution. Substitute
+    // z = -x ≥ 0, so the constraints become A z = -b with z ≥ 0.
+    let neg_b: Vec<f64> = b.iter().map(|v| -v).collect();
+    let x = match min_l1_norm_solution_nonneg(&a, &neg_b) {
+        Ok(z) => z.into_iter().map(|v| -v).collect::<Vec<f64>>(),
+        Err(LinalgError::Infeasible) => {
+            // Measurement noise can make the sign-constrained program
+            // infeasible; fall back to the free-sign formulation.
+            min_l1_norm_solution(&a, &b).map_err(CoreError::Numerical)?
+        }
+        Err(e) => return Err(CoreError::Numerical(e)),
+    };
+    Ok(SolveOutcome {
+        x,
+        kind: SolverKind::DenseL1,
+        residual: 0.0,
+        used_single: 0,
+        used_pair: 0,
+        underdetermined,
+    })
+}
+
+/// Scalable path: sparse CGLS (plus a small ridge) over the selected
+/// equations.
+fn solve_sparse(
+    system: &EquationSystem,
+    selected: &[usize],
+    num_links: usize,
+    config: &SolverConfig,
+) -> Result<SolveOutcome, CoreError> {
+    let mut matrix = SparseMatrix::new(num_links);
+    let mut rhs = Vec::with_capacity(selected.len());
+    for &row_idx in selected {
+        matrix
+            .push_row(system.matrix.row(row_idx))
+            .map_err(CoreError::Numerical)?;
+        rhs.push(system.rhs[row_idx]);
+    }
+    let solution = cgls(
+        &matrix,
+        &rhs,
+        config.ridge,
+        config.cgls_iterations,
+        config.cgls_tolerance,
+    )
+    .map_err(CoreError::Numerical)?;
+    Ok(SolveOutcome {
+        x: solution.x,
+        kind: SolverKind::SparseIterative,
+        residual: solution.residual,
+        used_single: 0,
+        used_pair: 0,
+        underdetermined: selected.len() < num_links,
+    })
+}
+
+/// Convenience for tests and ablations: solves the same system with both
+/// numerical paths and returns `(dense, sparse)`.
+pub fn solve_both_paths(
+    system: &EquationSystem,
+    num_links: usize,
+    config: &SolverConfig,
+) -> Result<(SolveOutcome, SolveOutcome), CoreError> {
+    let dense_config = SolverConfig {
+        dense_threshold: usize::MAX,
+        ..*config
+    };
+    let sparse_config = SolverConfig {
+        dense_threshold: 0,
+        ..*config
+    };
+    Ok((
+        solve_equations(system, num_links, &dense_config)?,
+        solve_equations(system, num_links, &sparse_config)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations::EquationSource;
+    use netcorr_linalg::SparseMatrix;
+    use netcorr_topology::path::PathId;
+
+    /// Builds an equation system by hand: the Figure 1(a) system of
+    /// Section 4 with exact (noise-free) right-hand sides for
+    /// P(e1 good) = 0.8, P(e2 good) = 0.8, P(e3 good) = 0.9,
+    /// P(e4 good) = 0.9.
+    fn fig1a_exact_system() -> (EquationSystem, Vec<f64>) {
+        let x_true = vec![
+            (0.8f64).ln(),
+            (0.8f64).ln(),
+            (0.9f64).ln(),
+            (0.9f64).ln(),
+        ];
+        let rows: Vec<Vec<usize>> = vec![
+            vec![0, 2],    // P1 = {e1, e3}
+            vec![1, 2],    // P2 = {e2, e3}
+            vec![1, 3],    // P3 = {e2, e4}
+            vec![1, 2, 3], // pair (P2, P3)
+        ];
+        let mut matrix = SparseMatrix::new(4);
+        let mut rhs = Vec::new();
+        for row in &rows {
+            matrix.push_indicator_row(row).unwrap();
+            rhs.push(row.iter().map(|&c| x_true[c]).sum());
+        }
+        let sources = vec![
+            EquationSource::SinglePath(PathId(0)),
+            EquationSource::SinglePath(PathId(1)),
+            EquationSource::SinglePath(PathId(2)),
+            EquationSource::PathPair(PathId(1), PathId(2)),
+        ];
+        (
+            EquationSystem {
+                matrix,
+                rhs,
+                sources,
+                num_single: 3,
+                num_pair: 1,
+                covered: vec![true; 4],
+            },
+            x_true,
+        )
+    }
+
+    #[test]
+    fn dense_exact_recovers_the_true_solution() {
+        let (system, x_true) = fig1a_exact_system();
+        let outcome = solve_equations(&system, 4, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.kind, SolverKind::DenseExact);
+        assert_eq!(outcome.used_single, 3);
+        assert_eq!(outcome.used_pair, 1);
+        assert!(!outcome.underdetermined);
+        assert!(norms::approx_eq(&outcome.x, &x_true, 1e-9), "{:?}", outcome.x);
+        assert!(outcome.residual < 1e-9);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_on_small_systems() {
+        let (system, x_true) = fig1a_exact_system();
+        let (dense, sparse) = solve_both_paths(&system, 4, &SolverConfig::default()).unwrap();
+        assert_eq!(dense.kind, SolverKind::DenseExact);
+        assert_eq!(sparse.kind, SolverKind::SparseIterative);
+        assert!(norms::approx_eq(&dense.x, &x_true, 1e-8));
+        assert!(norms::approx_eq(&sparse.x, &x_true, 1e-3), "{:?}", sparse.x);
+        // Both report the same equation bookkeeping.
+        assert_eq!(dense.used_single, sparse.used_single);
+        assert_eq!(dense.used_pair, sparse.used_pair);
+    }
+
+    #[test]
+    fn underdetermined_dense_system_uses_min_l1() {
+        // Drop the pair equation: only 3 equations for 4 unknowns. The
+        // minimum-L1 solution concentrates mass consistent with x ≤ 0.
+        let (mut system, _) = fig1a_exact_system();
+        // Rebuild without the last row.
+        let mut matrix = SparseMatrix::new(4);
+        for i in 0..3 {
+            let cols: Vec<usize> = system.matrix.row(i).iter().map(|&(c, _)| c).collect();
+            matrix.push_indicator_row(&cols).unwrap();
+        }
+        system.matrix = matrix;
+        system.rhs.truncate(3);
+        system.sources.truncate(3);
+        system.num_pair = 0;
+        let outcome = solve_equations(&system, 4, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.kind, SolverKind::DenseL1);
+        assert!(outcome.underdetermined);
+        assert_eq!(outcome.used_single, 3);
+        assert_eq!(outcome.used_pair, 0);
+        // All solved log-probabilities are ≤ 0 and the equations are
+        // satisfied.
+        assert!(outcome.x.iter().all(|&v| v <= 1e-9));
+        let ax = system.matrix.matvec(&outcome.x).unwrap();
+        assert!(norms::approx_eq(&ax, &system.rhs, 1e-6));
+    }
+
+    #[test]
+    fn clamping_removes_positive_log_probabilities() {
+        // A single equation x0 = +0.5 (impossible for a log-probability,
+        // but measurement noise can produce it); clamping maps it to 0.
+        let mut matrix = SparseMatrix::new(1);
+        matrix.push_indicator_row(&[0]).unwrap();
+        let system = EquationSystem {
+            matrix,
+            rhs: vec![0.5],
+            sources: vec![EquationSource::SinglePath(PathId(0))],
+            num_single: 1,
+            num_pair: 0,
+            covered: vec![true],
+        };
+        let outcome = solve_equations(&system, 1, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.x, vec![0.0]);
+        let unclamped = solve_equations(
+            &system,
+            1,
+            &SolverConfig {
+                clamp_nonpositive: false,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert!((unclamped.x[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncovered_links_default_to_good() {
+        // Two links, but only link 0 appears in an equation; link 1 gets
+        // log-probability 0 (good) from the minimum-norm / L1 choice.
+        let mut matrix = SparseMatrix::new(2);
+        matrix.push_indicator_row(&[0]).unwrap();
+        let system = EquationSystem {
+            matrix,
+            rhs: vec![(0.7f64).ln()],
+            sources: vec![EquationSource::SinglePath(PathId(0))],
+            num_single: 1,
+            num_pair: 0,
+            covered: vec![true, false],
+        };
+        let outcome = solve_equations(&system, 2, &SolverConfig::default()).unwrap();
+        assert!(outcome.underdetermined);
+        assert!((outcome.x[0] - (0.7f64).ln()).abs() < 1e-6);
+        assert!(outcome.x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_path_handles_underdetermined_systems() {
+        let mut matrix = SparseMatrix::new(3);
+        matrix.push_indicator_row(&[0, 1]).unwrap();
+        matrix.push_indicator_row(&[1]).unwrap();
+        let system = EquationSystem {
+            matrix,
+            rhs: vec![(0.5f64).ln(), (0.9f64).ln()],
+            sources: vec![
+                EquationSource::SinglePath(PathId(0)),
+                EquationSource::SinglePath(PathId(1)),
+            ],
+            num_single: 2,
+            num_pair: 0,
+            covered: vec![true, true, false],
+        };
+        let config = SolverConfig {
+            dense_threshold: 0,
+            ..SolverConfig::default()
+        };
+        let outcome = solve_equations(&system, 3, &config).unwrap();
+        assert_eq!(outcome.kind, SolverKind::SparseIterative);
+        assert!(outcome.underdetermined);
+        assert!(outcome.x[2].abs() < 1e-6);
+        // The determined part is still recovered.
+        assert!((outcome.x[1] - (0.9f64).ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dense_path_handles_redundant_equations() {
+        // Duplicate the first equation; the selector must skip it and the
+        // solution must be unchanged.
+        let (system, x_true) = fig1a_exact_system();
+        let mut matrix = SparseMatrix::new(4);
+        let mut rhs = Vec::new();
+        let mut sources = Vec::new();
+        for i in 0..system.num_equations() {
+            let cols: Vec<usize> = system.matrix.row(i).iter().map(|&(c, _)| c).collect();
+            matrix.push_indicator_row(&cols).unwrap();
+            rhs.push(system.rhs[i]);
+            sources.push(system.sources[i]);
+            if i == 0 {
+                matrix.push_indicator_row(&cols).unwrap();
+                rhs.push(system.rhs[i]);
+                sources.push(system.sources[i]);
+            }
+        }
+        let redundant = EquationSystem {
+            matrix,
+            rhs,
+            sources,
+            num_single: 4,
+            num_pair: 1,
+            covered: vec![true; 4],
+        };
+        let outcome = solve_equations(&redundant, 4, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.kind, SolverKind::DenseExact);
+        assert_eq!(outcome.used_single, 3, "the duplicate row must not be counted");
+        assert!(norms::approx_eq(&outcome.x, &x_true, 1e-8));
+    }
+
+    #[test]
+    fn an_inconsistent_equation_biases_the_exact_solution() {
+        // This is the mechanism behind the paper's comparison: when an
+        // invalid equation (here, a pair equation whose RHS is wrong
+        // because the links are actually correlated) is part of the
+        // selected square system, its bias lands on the links it touches.
+        let (mut system, x_true) = fig1a_exact_system();
+        // Corrupt the pair equation by the amount correlation would cause:
+        // P(Y2 = 0, Y3 = 0) is larger than the independence assumption
+        // predicts.
+        system.rhs[3] += 0.3;
+        let outcome = solve_equations(&system, 4, &SolverConfig::default()).unwrap();
+        let error: f64 = outcome
+            .x
+            .iter()
+            .zip(x_true.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            error > 0.2,
+            "the corrupted equation should visibly bias the solution, max error {error}"
+        );
+    }
+
+    #[test]
+    fn solver_config_default_is_sane() {
+        let c = SolverConfig::default();
+        assert!(c.dense_threshold >= 100);
+        assert!(c.ridge > 0.0);
+        assert!(c.clamp_nonpositive);
+        assert!(c.cgls_iterations >= 1000);
+    }
+}

@@ -1,0 +1,57 @@
+//! Reproduces Figure 3 (performance under ideal conditions, Brite
+//! topology): the mean / 90th-percentile sweep over the congested-link
+//! fraction and the two CDFs at 10% congested links.
+
+use netcorr_eval::cli::CliOptions;
+use netcorr_eval::figures::fig3;
+use netcorr_eval::report;
+use netcorr_eval::scenario::CorrelationLevel;
+
+fn main() {
+    let options = match CliOptions::from_env() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(err) = run(&options) {
+        eprintln!("fig3 failed: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run(options: &CliOptions) -> Result<(), netcorr_eval::EvalError> {
+    println!("== Figure 3(a)/(b): error vs. fraction of congested links (highly correlated) ==");
+    let sweep = fig3::congestion_sweep(
+        options.scale,
+        CorrelationLevel::HighlyCorrelated,
+        &options.experiment,
+    )?;
+    println!(
+        "{}",
+        report::format_sweep_table("Figure 3(a) mean / 3(b) 90th percentile", &sweep)
+    );
+    report::write_sweep_csv(&options.out_dir.join("fig3ab.csv"), &sweep)?;
+
+    println!("== Figure 3(c): CDF at 10% congested links, highly correlated ==");
+    let fig3c = fig3::cdf_at_ten_percent(
+        options.scale,
+        CorrelationLevel::HighlyCorrelated,
+        &options.experiment,
+    )?;
+    println!("{}", report::format_cdf_table(&fig3c));
+    report::write_cdf_csv(&options.out_dir.join("fig3c.csv"), &fig3c)?;
+
+    println!("== Figure 3(d): CDF at 10% congested links, loosely correlated ==");
+    let fig3d = fig3::cdf_at_ten_percent(
+        options.scale,
+        CorrelationLevel::LooselyCorrelated,
+        &options.experiment,
+    )?;
+    println!("{}", report::format_cdf_table(&fig3d));
+    report::write_cdf_csv(&options.out_dir.join("fig3d.csv"), &fig3d)?;
+
+    println!("CSV output written to {}", options.out_dir.display());
+    Ok(())
+}

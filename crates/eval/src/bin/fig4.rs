@@ -1,0 +1,33 @@
+//! Reproduces Figure 4 (unidentifiable links): error CDFs when 25% / 50% of
+//! the congested links are unidentifiable, on Brite- and PlanetLab-style
+//! topologies.
+
+use netcorr_eval::cli::CliOptions;
+use netcorr_eval::figures::fig4;
+use netcorr_eval::report;
+
+fn main() {
+    let options = match CliOptions::from_env() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(err) = run(&options) {
+        eprintln!("fig4 failed: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run(options: &CliOptions) -> Result<(), netcorr_eval::EvalError> {
+    let comparisons = fig4::full_figure(options.scale, &options.experiment)?;
+    let names = ["fig4a", "fig4b", "fig4c", "fig4d"];
+    for (comparison, name) in comparisons.iter().zip(names.iter()) {
+        println!("== {name}: {} ==", comparison.label);
+        println!("{}", report::format_cdf_table(comparison));
+        report::write_cdf_csv(&options.out_dir.join(format!("{name}.csv")), comparison)?;
+    }
+    println!("CSV output written to {}", options.out_dir.display());
+    Ok(())
+}

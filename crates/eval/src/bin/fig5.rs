@@ -1,0 +1,33 @@
+//! Reproduces Figure 5 (unknown correlation patterns): error CDFs when
+//! 25% / 50% of the congested links are mislabeled (the worm / flooding
+//! scenario), on Brite- and PlanetLab-style topologies.
+
+use netcorr_eval::cli::CliOptions;
+use netcorr_eval::figures::fig5;
+use netcorr_eval::report;
+
+fn main() {
+    let options = match CliOptions::from_env() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(err) = run(&options) {
+        eprintln!("fig5 failed: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run(options: &CliOptions) -> Result<(), netcorr_eval::EvalError> {
+    let comparisons = fig5::full_figure(options.scale, &options.experiment)?;
+    let names = ["fig5a", "fig5b", "fig5c", "fig5d"];
+    for (comparison, name) in comparisons.iter().zip(names.iter()) {
+        println!("== {name}: {} ==", comparison.label);
+        println!("{}", report::format_cdf_table(comparison));
+        report::write_cdf_csv(&options.out_dir.join(format!("{name}.csv")), comparison)?;
+    }
+    println!("CSV output written to {}", options.out_dir.display());
+    Ok(())
+}

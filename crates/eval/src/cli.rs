@@ -1,0 +1,170 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! The binaries accept a small, uniform set of flags:
+//!
+//! ```text
+//! --scale smoke|paper     topology size (default: paper)
+//! --trials N              trials per experiment (default: 3)
+//! --snapshots N           measurement snapshots per trial (default: 800)
+//! --seed N                base random seed (default: 42)
+//! --out DIR               directory for CSV output (default: target/experiments)
+//! --sequential            disable trial-level parallelism
+//! ```
+
+use std::path::PathBuf;
+
+use crate::error::EvalError;
+use crate::figures::Scale;
+use crate::runner::ExperimentConfig;
+
+/// Parsed command-line options for the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Topology scale.
+    pub scale: Scale,
+    /// Experiment configuration (trials, snapshots, seed, parallelism).
+    pub experiment: ExperimentConfig,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: Scale::Paper,
+            experiment: ExperimentConfig::default(),
+            out_dir: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses options from an argument iterator (excluding the program
+    /// name).
+    pub fn parse<I>(args: I) -> Result<Self, EvalError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut options = CliOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let value = expect_value(&mut args, "--scale")?;
+                    options.scale = match value.as_str() {
+                        "smoke" => Scale::Smoke,
+                        "paper" => Scale::Paper,
+                        other => {
+                            return Err(EvalError::InvalidScenario(format!(
+                                "unknown scale '{other}' (expected 'smoke' or 'paper')"
+                            )))
+                        }
+                    };
+                }
+                "--trials" => {
+                    options.experiment.trials =
+                        parse_number(&expect_value(&mut args, "--trials")?, "--trials")?;
+                }
+                "--snapshots" => {
+                    options.experiment.snapshots =
+                        parse_number(&expect_value(&mut args, "--snapshots")?, "--snapshots")?;
+                }
+                "--seed" => {
+                    options.experiment.base_seed =
+                        parse_number(&expect_value(&mut args, "--seed")?, "--seed")? as u64;
+                }
+                "--out" => {
+                    options.out_dir = PathBuf::from(expect_value(&mut args, "--out")?);
+                }
+                "--sequential" => {
+                    options.experiment.parallel = false;
+                }
+                "--help" | "-h" => {
+                    return Err(EvalError::InvalidScenario(usage().to_string()));
+                }
+                other => {
+                    return Err(EvalError::InvalidScenario(format!(
+                        "unknown argument '{other}'\n{}",
+                        usage()
+                    )));
+                }
+            }
+        }
+        Ok(options)
+    }
+
+    /// Parses options from the process arguments.
+    pub fn from_env() -> Result<Self, EvalError> {
+        CliOptions::parse(std::env::args().skip(1))
+    }
+}
+
+/// Usage string shown on `--help` or argument errors.
+pub fn usage() -> &'static str {
+    "usage: <binary> [--scale smoke|paper] [--trials N] [--snapshots N] [--seed N] [--out DIR] [--sequential]"
+}
+
+fn expect_value(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<String, EvalError> {
+    args.next()
+        .ok_or_else(|| EvalError::InvalidScenario(format!("missing value for {flag}")))
+}
+
+fn parse_number(value: &str, flag: &str) -> Result<usize, EvalError> {
+    value
+        .parse::<usize>()
+        .map_err(|_| EvalError::InvalidScenario(format!("invalid number '{value}' for {flag}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, EvalError> {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.scale, Scale::Paper);
+        assert_eq!(options.experiment.trials, 3);
+        assert!(options.experiment.parallel);
+        assert_eq!(options.out_dir, PathBuf::from("target/experiments"));
+    }
+
+    #[test]
+    fn all_flags_are_parsed() {
+        let options = parse(&[
+            "--scale",
+            "smoke",
+            "--trials",
+            "5",
+            "--snapshots",
+            "123",
+            "--seed",
+            "99",
+            "--out",
+            "/tmp/x",
+            "--sequential",
+        ])
+        .unwrap();
+        assert_eq!(options.scale, Scale::Smoke);
+        assert_eq!(options.experiment.trials, 5);
+        assert_eq!(options.experiment.snapshots, 123);
+        assert_eq!(options.experiment.base_seed, 99);
+        assert_eq!(options.out_dir, PathBuf::from("/tmp/x"));
+        assert!(!options.experiment.parallel);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--scale", "huge"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the evaluation harness.
+
+use std::fmt;
+
+use netcorr_core::CoreError;
+use netcorr_measure::MeasureError;
+use netcorr_sim::SimError;
+use netcorr_topology::TopologyError;
+
+/// Errors produced while building scenarios or running experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A topology problem.
+    Topology(TopologyError),
+    /// A simulator / congestion-model problem.
+    Simulation(SimError),
+    /// An inference problem.
+    Inference(CoreError),
+    /// A measurement problem.
+    Measurement(MeasureError),
+    /// The scenario configuration is invalid (e.g. a fraction outside
+    /// [0, 1]).
+    InvalidScenario(String),
+    /// The scenario could not be realised on the given topology (e.g. not
+    /// enough correlation sets with three or more links for a
+    /// highly-correlated scenario).
+    ScenarioInfeasible(String),
+    /// Writing a report failed.
+    Io(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Topology(e) => write!(f, "topology error: {e}"),
+            EvalError::Simulation(e) => write!(f, "simulation error: {e}"),
+            EvalError::Inference(e) => write!(f, "inference error: {e}"),
+            EvalError::Measurement(e) => write!(f, "measurement error: {e}"),
+            EvalError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            EvalError::ScenarioInfeasible(msg) => write!(f, "scenario infeasible: {msg}"),
+            EvalError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<TopologyError> for EvalError {
+    fn from(e: TopologyError) -> Self {
+        EvalError::Topology(e)
+    }
+}
+
+impl From<SimError> for EvalError {
+    fn from(e: SimError) -> Self {
+        EvalError::Simulation(e)
+    }
+}
+
+impl From<CoreError> for EvalError {
+    fn from(e: CoreError) -> Self {
+        EvalError::Inference(e)
+    }
+}
+
+impl From<MeasureError> for EvalError {
+    fn from(e: MeasureError) -> Self {
+        EvalError::Measurement(e)
+    }
+}
+
+impl From<std::io::Error> for EvalError {
+    fn from(e: std::io::Error) -> Self {
+        EvalError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EvalError = TopologyError::EmptyPath.into();
+        assert!(matches!(e, EvalError::Topology(_)));
+        let e: EvalError = SimError::EmptyGroup.into();
+        assert!(matches!(e, EvalError::Simulation(_)));
+        let e: EvalError = CoreError::NoUsableEquations.into();
+        assert!(e.to_string().contains("inference"));
+        let e: EvalError = MeasureError::NoSnapshots.into();
+        assert!(matches!(e, EvalError::Measurement(_)));
+        let e: EvalError = std::io::Error::new(std::io::ErrorKind::Other, "disk full").into();
+        assert!(e.to_string().contains("disk full"));
+        assert!(EvalError::InvalidScenario("bad fraction".into())
+            .to_string()
+            .contains("bad fraction"));
+        assert!(EvalError::ScenarioInfeasible("too few sets".into())
+            .to_string()
+            .contains("too few sets"));
+    }
+}

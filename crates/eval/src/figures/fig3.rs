@@ -1,0 +1,136 @@
+//! Figure 3: performance under ideal conditions.
+//!
+//! All links are identifiable and there are no unknown correlation
+//! patterns; the congested-link fraction is swept from 5% to 25% on a
+//! BRITE-style topology.
+//!
+//! * **Figure 3(a)** — mean absolute error vs. fraction of congested links,
+//!   highly correlated congestion.
+//! * **Figure 3(b)** — 90th percentile of the absolute error, same sweep.
+//! * **Figure 3(c)** — CDF of the absolute error at 10% congested links,
+//!   highly correlated.
+//! * **Figure 3(d)** — CDF at 10% congested links, loosely correlated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EvalError;
+use crate::figures::{base_instance, CdfComparison, Scale, TopologyFamily};
+use crate::metrics::ErrorSummary;
+use crate::runner::{run_experiment, ExperimentConfig};
+use crate::scenario::{CorrelationLevel, ScenarioConfig};
+
+/// The congested-link fractions swept by Figures 3(a) and 3(b).
+pub const CONGESTED_FRACTIONS: [f64; 5] = [0.05, 0.10, 0.15, 0.20, 0.25];
+
+/// One point of the Figure 3(a)/(b) sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Point {
+    /// Fraction of congested links (x-axis, as a percentage).
+    pub congested_percent: f64,
+    /// Pooled error summary of the correlation algorithm.
+    pub correlation: ErrorSummary,
+    /// Pooled error summary of the independence baseline.
+    pub independence: ErrorSummary,
+}
+
+/// Runs the Figure 3(a)/(b) sweep: mean and 90th-percentile absolute error
+/// as the fraction of congested links grows, with highly correlated
+/// congestion on a BRITE-style topology.
+pub fn congestion_sweep(
+    scale: Scale,
+    level: CorrelationLevel,
+    experiment: &ExperimentConfig,
+) -> Result<Vec<Fig3Point>, EvalError> {
+    let base = base_instance(TopologyFamily::Brite, scale, experiment.base_seed)?;
+    let mut points = Vec::with_capacity(CONGESTED_FRACTIONS.len());
+    for &fraction in &CONGESTED_FRACTIONS {
+        let scenario = ScenarioConfig {
+            congested_fraction: fraction,
+            correlation_level: level,
+            ..ScenarioConfig::default()
+        };
+        let result = run_experiment(&base, &scenario, experiment)?;
+        points.push(Fig3Point {
+            congested_percent: fraction * 100.0,
+            correlation: result.correlation_summary(),
+            independence: result.independence_summary(),
+        });
+    }
+    Ok(points)
+}
+
+/// Runs the Figure 3(c)/(d) experiment: the CDF of the absolute error at
+/// 10% congested links, for the given correlation level, on a BRITE-style
+/// topology.
+pub fn cdf_at_ten_percent(
+    scale: Scale,
+    level: CorrelationLevel,
+    experiment: &ExperimentConfig,
+) -> Result<CdfComparison, EvalError> {
+    let base = base_instance(TopologyFamily::Brite, scale, experiment.base_seed)?;
+    let scenario = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: level,
+        ..ScenarioConfig::default()
+    };
+    let result = run_experiment(&base, &scenario, experiment)?;
+    let label = match level {
+        CorrelationLevel::HighlyCorrelated => {
+            "Fig 3(c): 10% congested links, highly correlated, Brite"
+        }
+        CorrelationLevel::LooselyCorrelated => {
+            "Fig 3(d): 10% congested links, loosely correlated, Brite"
+        }
+    };
+    Ok(CdfComparison::from_result(label, &result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_point_per_fraction() {
+        let experiment = ExperimentConfig {
+            trials: 1,
+            snapshots: 200,
+            parallel: false,
+            ..ExperimentConfig::smoke()
+        };
+        let points = congestion_sweep(
+            Scale::Smoke,
+            CorrelationLevel::LooselyCorrelated,
+            &experiment,
+        )
+        .unwrap();
+        assert_eq!(points.len(), CONGESTED_FRACTIONS.len());
+        assert_eq!(points[0].congested_percent, 5.0);
+        assert_eq!(points.last().unwrap().congested_percent, 25.0);
+        for point in &points {
+            assert!(point.correlation.count > 0);
+            assert!(point.correlation.mean <= 1.0);
+            assert!(point.independence.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn cdf_experiment_produces_comparable_series() {
+        let experiment = ExperimentConfig {
+            trials: 1,
+            snapshots: 300,
+            parallel: false,
+            ..ExperimentConfig::smoke()
+        };
+        let comparison = cdf_at_ten_percent(
+            Scale::Smoke,
+            CorrelationLevel::HighlyCorrelated,
+            &experiment,
+        )
+        .unwrap();
+        assert!(comparison.label.contains("highly"));
+        assert_eq!(comparison.correlation.len(), comparison.independence.len());
+        // Both CDFs end at 100%.
+        assert_eq!(comparison.correlation.last().unwrap().1, 100.0);
+        assert_eq!(comparison.independence.last().unwrap().1, 100.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 4: performance with unidentifiable links.
+//!
+//! 10% of the links are congested; a fraction of those congested links
+//! (25% or 50%) are made *unidentifiable* by coarsening the correlation
+//! partition around intermediate nodes so that Assumption 4 no longer
+//! holds for them. The CDFs of the absolute error are reported for a
+//! BRITE-style topology (Figures 4(a), 4(b)) and a PlanetLab-style topology
+//! (Figures 4(c), 4(d)).
+
+use crate::error::EvalError;
+use crate::figures::{base_instance, CdfComparison, Scale, TopologyFamily};
+use crate::runner::{run_experiment, ExperimentConfig};
+use crate::scenario::{CorrelationLevel, ScenarioConfig};
+
+/// The unidentifiable fractions used by the paper (25% and 50% of the
+/// congested links).
+pub const UNIDENTIFIABLE_FRACTIONS: [f64; 2] = [0.25, 0.50];
+
+/// Runs one Figure 4 experiment: the error CDFs when
+/// `unidentifiable_fraction` of the congested links are unidentifiable.
+pub fn unidentifiable_cdf(
+    family: TopologyFamily,
+    scale: Scale,
+    unidentifiable_fraction: f64,
+    experiment: &ExperimentConfig,
+) -> Result<CdfComparison, EvalError> {
+    let base = base_instance(family, scale, experiment.base_seed)?;
+    let scenario = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        unidentifiable_fraction,
+        ..ScenarioConfig::default()
+    };
+    let result = run_experiment(&base, &scenario, experiment)?;
+    let label = format!(
+        "Fig 4: {:.0}% of congested links unidentifiable, 10% congested, {family}",
+        unidentifiable_fraction * 100.0
+    );
+    Ok(CdfComparison::from_result(label, &result))
+}
+
+/// Runs the full Figure 4 set: (25%, 50%) × (Brite, PlanetLab), i.e.
+/// Figures 4(a)–4(d) in the paper's order.
+pub fn full_figure(
+    scale: Scale,
+    experiment: &ExperimentConfig,
+) -> Result<Vec<CdfComparison>, EvalError> {
+    let mut comparisons = Vec::with_capacity(4);
+    for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
+        for &fraction in &UNIDENTIFIABLE_FRACTIONS {
+            comparisons.push(unidentifiable_cdf(family, scale, fraction, experiment)?);
+        }
+    }
+    Ok(comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unidentifiable_cdf_runs_on_both_families() {
+        let experiment = ExperimentConfig {
+            trials: 1,
+            snapshots: 250,
+            parallel: false,
+            ..ExperimentConfig::smoke()
+        };
+        for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
+            let comparison =
+                unidentifiable_cdf(family, Scale::Smoke, 0.25, &experiment).unwrap();
+            assert!(comparison.label.contains("25%"));
+            assert!(comparison.correlation_summary.count > 0);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 5: performance with unknown correlation patterns.
+//!
+//! 10% of the links are congested; a fraction of the congested links (25%
+//! or 50%) are *mislabeled*: a worm-like flood makes links from different
+//! correlation sets fail together, but the correlation partition handed to
+//! the algorithms does not record this pattern, so both algorithms treat
+//! those links as uncorrelated. The CDFs of the absolute error are reported
+//! for a BRITE-style topology (Figures 5(a), 5(b)) and a PlanetLab-style
+//! topology (Figures 5(c), 5(d)).
+
+use crate::error::EvalError;
+use crate::figures::{base_instance, CdfComparison, Scale, TopologyFamily};
+use crate::runner::{run_experiment, ExperimentConfig};
+use crate::scenario::{CorrelationLevel, ScenarioConfig};
+
+/// The mislabeled fractions used by the paper (25% and 50% of the congested
+/// links).
+pub const MISLABELED_FRACTIONS: [f64; 2] = [0.25, 0.50];
+
+/// Runs one Figure 5 experiment: the error CDFs when `mislabeled_fraction`
+/// of the congested links participate in an unknown correlation pattern.
+pub fn mislabeled_cdf(
+    family: TopologyFamily,
+    scale: Scale,
+    mislabeled_fraction: f64,
+    experiment: &ExperimentConfig,
+) -> Result<CdfComparison, EvalError> {
+    let base = base_instance(family, scale, experiment.base_seed)?;
+    let scenario = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        mislabeled_fraction,
+        ..ScenarioConfig::default()
+    };
+    let result = run_experiment(&base, &scenario, experiment)?;
+    let label = format!(
+        "Fig 5: {:.0}% of congested links mislabeled, 10% congested, {family}",
+        mislabeled_fraction * 100.0
+    );
+    Ok(CdfComparison::from_result(label, &result))
+}
+
+/// Runs the full Figure 5 set: (25%, 50%) × (Brite, PlanetLab), i.e.
+/// Figures 5(a)–5(d) in the paper's order.
+pub fn full_figure(
+    scale: Scale,
+    experiment: &ExperimentConfig,
+) -> Result<Vec<CdfComparison>, EvalError> {
+    let mut comparisons = Vec::with_capacity(4);
+    for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
+        for &fraction in &MISLABELED_FRACTIONS {
+            comparisons.push(mislabeled_cdf(family, scale, fraction, experiment)?);
+        }
+    }
+    Ok(comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mislabeled_cdf_runs_on_both_families() {
+        let experiment = ExperimentConfig {
+            trials: 1,
+            snapshots: 250,
+            parallel: false,
+            ..ExperimentConfig::smoke()
+        };
+        for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
+            let comparison = mislabeled_cdf(family, Scale::Smoke, 0.5, &experiment).unwrap();
+            assert!(comparison.label.contains("50%"));
+            assert!(comparison.correlation_summary.count > 0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # netcorr-eval — the evaluation harness
+//!
+//! Reproduces the evaluation of *"Network Tomography on Correlated Links"*
+//! (Section 5): for every figure of the paper there is a scenario
+//! generator, an experiment runner and a reporting function that prints the
+//! same series the paper plots.
+//!
+//! * [`scenario`] — turns a topology instance into a congestion scenario:
+//!   which links are congested, how strongly they are correlated inside
+//!   their correlation sets, which of them are *unidentifiable*
+//!   (Assumption 4 broken around them) and which are *mislabeled*
+//!   (correlated by an unknown pattern such as a worm flood).
+//! * [`metrics`] — absolute error over the potentially congested links,
+//!   mean / 90th-percentile summaries and empirical CDFs — the three ways
+//!   the paper presents accuracy.
+//! * [`runner`] — runs trials (simulate → infer with both algorithms →
+//!   score) in parallel and pools the per-link errors.
+//! * [`figures`] — one module per paper figure (3, 4, 5) that performs the
+//!   corresponding parameter sweep.
+//! * [`report`] — plain-text tables and CSV emission used by the
+//!   `fig3` / `fig4` / `fig5` / `all_experiments` binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod error;
+pub mod figures;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use error::EvalError;
+pub use metrics::ErrorSummary;
+pub use runner::{ExperimentConfig, ExperimentResult, TrialResult};
+pub use scenario::{CongestionScenario, CorrelationLevel, ScenarioBuilder, ScenarioConfig};

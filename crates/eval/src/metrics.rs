@@ -1,0 +1,214 @@
+//! Accuracy metrics (Section 5, "Metrics").
+//!
+//! The paper evaluates an algorithm by the **absolute error** between the
+//! actual congestion probability of a link and the probability the
+//! algorithm computed, restricted to the *potentially congested links* —
+//! the links that participate in at least one congested path. Three views
+//! of the error distribution are used: its CDF, its mean, and its 90th
+//! percentile; all three are provided here.
+
+use netcorr_core::TomographyEstimate;
+use netcorr_measure::PathObservations;
+use netcorr_topology::graph::LinkId;
+use netcorr_topology::TopologyInstance;
+
+/// The links that participate in at least one path that was observed
+/// congested during the experiment — the paper's "potentially congested
+/// links", over which all error statistics are computed.
+pub fn potentially_congested_links(
+    instance: &TopologyInstance,
+    observations: &PathObservations,
+) -> Vec<LinkId> {
+    let mut potentially = vec![false; instance.num_links()];
+    for path_id in observations.ever_congested_paths() {
+        for &link in &instance.paths.path(path_id).links {
+            potentially[link.index()] = true;
+        }
+    }
+    (0..instance.num_links())
+        .map(LinkId)
+        .filter(|l| potentially[l.index()])
+        .collect()
+}
+
+/// Absolute error `|p̂ − p|` of an estimate against the ground-truth
+/// marginals, over the given links.
+pub fn absolute_errors(
+    estimate: &TomographyEstimate,
+    truth: &[f64],
+    links: &[LinkId],
+) -> Vec<f64> {
+    links
+        .iter()
+        .map(|&l| (estimate.congestion_probability(l) - truth[l.index()]).abs())
+        .collect()
+}
+
+/// Summary statistics of an error sample.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorSummary {
+    /// Number of links in the sample.
+    pub count: usize,
+    /// Mean absolute error.
+    pub mean: f64,
+    /// Median absolute error.
+    pub median: f64,
+    /// 90th percentile of the absolute error.
+    pub p90: f64,
+    /// Maximum absolute error.
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Computes the summary of an error sample. An empty sample yields all
+    /// zeros.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        if errors.is_empty() {
+            return ErrorSummary {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        ErrorSummary {
+            count: sorted.len(),
+            mean,
+            median: percentile_of_sorted(&sorted, 0.5),
+            p90: percentile_of_sorted(&sorted, 0.9),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The `q`-quantile of an already-sorted sample (nearest-rank convention,
+/// matching "the absolute error that corresponds to a value of y = 90% of
+/// the CDF").
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// The empirical CDF of an error sample evaluated at the given thresholds:
+/// for each `x`, the fraction of links whose error is ≤ `x` (in percent, as
+/// the paper's y-axes are "% of potentially congested links").
+pub fn cdf_at(errors: &[f64], thresholds: &[f64]) -> Vec<(f64, f64)> {
+    thresholds
+        .iter()
+        .map(|&x| {
+            let fraction = if errors.is_empty() {
+                0.0
+            } else {
+                errors.iter().filter(|&&e| e <= x).count() as f64 / errors.len() as f64
+            };
+            (x, 100.0 * fraction)
+        })
+        .collect()
+}
+
+/// The default CDF grid used by the figure reproductions (0.0 to 1.0 in
+/// steps of 0.05, matching the paper's x-axes).
+pub fn default_cdf_grid() -> Vec<f64> {
+    (0..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcorr_core::{Diagnostics, SolverKind};
+    use netcorr_topology::toy;
+
+    fn estimate(probs: Vec<f64>) -> TomographyEstimate {
+        TomographyEstimate::from_congestion_probabilities(
+            probs,
+            Diagnostics {
+                num_links: 0,
+                num_single_path_equations: 0,
+                num_pair_equations: 0,
+                underdetermined: false,
+                solver: SolverKind::DenseExact,
+                residual: 0.0,
+                uncovered_links: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn potentially_congested_links_follow_observed_congestion() {
+        let inst = toy::figure_1a();
+        let mut obs = PathObservations::new(3);
+        // Only P3 = {e4, e2} is ever congested.
+        obs.record_snapshot(&[false, false, true]).unwrap();
+        obs.record_snapshot(&[false, false, false]).unwrap();
+        let links = potentially_congested_links(&inst, &obs);
+        assert_eq!(links, vec![LinkId(1), LinkId(3)]);
+        // No congestion at all: no potentially congested links.
+        let mut quiet = PathObservations::new(3);
+        quiet.record_snapshot(&[false, false, false]).unwrap();
+        assert!(potentially_congested_links(&inst, &quiet).is_empty());
+    }
+
+    #[test]
+    fn absolute_errors_are_per_link_differences() {
+        let est = estimate(vec![0.1, 0.5, 0.0]);
+        let truth = [0.2, 0.5, 0.3];
+        let errors = absolute_errors(&est, &truth, &[LinkId(0), LinkId(1), LinkId(2)]);
+        assert!((errors[0] - 0.1).abs() < 1e-12);
+        assert_eq!(errors[1], 0.0);
+        assert!((errors[2] - 0.3).abs() < 1e-12);
+        // Restricting to a subset of links restricts the sample.
+        let errors = absolute_errors(&est, &truth, &[LinkId(2)]);
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let errors = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+        let s = ErrorSummary::from_errors(&errors);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 0.45).abs() < 1e-12);
+        assert!((s.p90 - 0.8).abs() < 1e-12);
+        assert!((s.median - 0.4).abs() < 1e-12);
+        assert!((s.max - 0.9).abs() < 1e-12);
+
+        let empty = ErrorSummary::from_errors(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_convention() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_of_sorted(&sorted, 0.25), 1.0);
+        assert_eq!(percentile_of_sorted(&sorted, 0.5), 2.0);
+        assert_eq!(percentile_of_sorted(&sorted, 0.75), 3.0);
+        assert_eq!(percentile_of_sorted(&sorted, 1.0), 4.0);
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_100() {
+        let errors = [0.05, 0.1, 0.4];
+        let grid = default_cdf_grid();
+        let cdf = cdf_at(&errors, &grid);
+        assert_eq!(cdf.len(), grid.len());
+        for pair in cdf.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "CDF must be non-decreasing");
+        }
+        assert_eq!(cdf.last().unwrap().1, 100.0);
+        // At x = 0.1, two of three errors are ≤ 0.1.
+        let at_01 = cdf.iter().find(|(x, _)| (*x - 0.1).abs() < 1e-9).unwrap();
+        assert!((at_01.1 - 200.0 / 3.0).abs() < 1e-9);
+        // Empty sample: flat zero.
+        assert!(cdf_at(&[], &grid).iter().all(|&(_, y)| y == 0.0));
+    }
+}

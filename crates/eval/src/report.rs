@@ -1,0 +1,160 @@
+//! Plain-text tables and CSV emission for the figure reproductions.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::error::EvalError;
+use crate::figures::fig3::Fig3Point;
+use crate::figures::CdfComparison;
+
+/// Formats the Figure 3(a)/(b) sweep as a plain-text table.
+pub fn format_sweep_table(title: &str, points: &[Fig3Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>12} | {:>12} {:>12} | {:>12} {:>12}",
+        "congested %", "corr mean", "indep mean", "corr p90", "indep p90"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(70));
+    for point in points {
+        let _ = writeln!(
+            out,
+            "{:>12.0} | {:>12.4} {:>12.4} | {:>12.4} {:>12.4}",
+            point.congested_percent,
+            point.correlation.mean,
+            point.independence.mean,
+            point.correlation.p90,
+            point.independence.p90
+        );
+    }
+    out
+}
+
+/// Formats a CDF comparison as a plain-text table (one row per error
+/// threshold).
+pub fn format_cdf_table(comparison: &CdfComparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", comparison.label);
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>16} | {:>16}",
+        "abs error", "correlation (%)", "independence (%)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(50));
+    for ((x, corr), (_, indep)) in comparison
+        .correlation
+        .iter()
+        .zip(comparison.independence.iter())
+    {
+        let _ = writeln!(out, "{:>10.2} | {:>16.1} | {:>16.1}", x, corr, indep);
+    }
+    let _ = writeln!(
+        out,
+        "mean: correlation {:.4}, independence {:.4}; p90: correlation {:.4}, independence {:.4}",
+        comparison.correlation_summary.mean,
+        comparison.independence_summary.mean,
+        comparison.correlation_summary.p90,
+        comparison.independence_summary.p90
+    );
+    out
+}
+
+/// Writes the Figure 3(a)/(b) sweep as CSV
+/// (`congested_percent,corr_mean,indep_mean,corr_p90,indep_p90`).
+pub fn write_sweep_csv(path: &Path, points: &[Fig3Point]) -> Result<(), EvalError> {
+    let mut out = String::from("congested_percent,corr_mean,indep_mean,corr_p90,indep_p90\n");
+    for point in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            point.congested_percent,
+            point.correlation.mean,
+            point.independence.mean,
+            point.correlation.p90,
+            point.independence.p90
+        );
+    }
+    write_file(path, &out)
+}
+
+/// Writes a CDF comparison as CSV (`abs_error,correlation_pct,independence_pct`).
+pub fn write_cdf_csv(path: &Path, comparison: &CdfComparison) -> Result<(), EvalError> {
+    let mut out = String::from("abs_error,correlation_pct,independence_pct\n");
+    for ((x, corr), (_, indep)) in comparison
+        .correlation
+        .iter()
+        .zip(comparison.independence.iter())
+    {
+        let _ = writeln!(out, "{x},{corr},{indep}");
+    }
+    write_file(path, &out)
+}
+
+/// Writes a string to a file, creating parent directories as needed.
+pub fn write_file(path: &Path, contents: &str) -> Result<(), EvalError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, contents)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ErrorSummary;
+    use crate::runner::ExperimentResult;
+
+    fn sample_points() -> Vec<Fig3Point> {
+        vec![Fig3Point {
+            congested_percent: 5.0,
+            correlation: ErrorSummary::from_errors(&[0.01, 0.02]),
+            independence: ErrorSummary::from_errors(&[0.1, 0.2]),
+        }]
+    }
+
+    fn sample_cdf() -> CdfComparison {
+        let result = ExperimentResult {
+            trials: Vec::new(),
+            correlation_errors: vec![0.01, 0.05],
+            independence_errors: vec![0.2, 0.4],
+        };
+        CdfComparison::from_result("sample", &result)
+    }
+
+    #[test]
+    fn sweep_table_contains_all_points() {
+        let table = format_sweep_table("Fig 3(a)/(b)", &sample_points());
+        assert!(table.contains("Fig 3(a)/(b)"));
+        assert!(table.contains("5"));
+        assert!(table.contains("0.0150")); // correlation mean
+        assert!(table.contains("0.1500")); // independence mean
+    }
+
+    #[test]
+    fn cdf_table_lists_thresholds_and_summaries() {
+        let table = format_cdf_table(&sample_cdf());
+        assert!(table.contains("sample"));
+        assert!(table.contains("0.05"));
+        assert!(table.contains("mean"));
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join("netcorr_eval_report_test");
+        let sweep_path = dir.join("sweep.csv");
+        write_sweep_csv(&sweep_path, &sample_points()).unwrap();
+        let contents = std::fs::read_to_string(&sweep_path).unwrap();
+        assert!(contents.starts_with("congested_percent"));
+        assert_eq!(contents.lines().count(), 2);
+
+        let cdf_path = dir.join("cdf.csv");
+        write_cdf_csv(&cdf_path, &sample_cdf()).unwrap();
+        let contents = std::fs::read_to_string(&cdf_path).unwrap();
+        assert!(contents.starts_with("abs_error"));
+        assert!(contents.lines().count() > 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

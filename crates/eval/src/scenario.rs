@@ -1,0 +1,612 @@
+//! Congestion-scenario generation (Section 5, "Simulator" and the setups of
+//! Figures 3, 4 and 5).
+//!
+//! A scenario fixes, at the beginning of an experiment:
+//!
+//! * which links are *congested* (have a non-zero congestion probability) —
+//!   a configurable fraction of all links;
+//! * how the congested links are correlated **inside** their correlation
+//!   sets — *highly* (groups of more than two links that fail together) or
+//!   *loosely* (at most two per set), the two regimes of Figure 3;
+//! * which congested links are *unidentifiable* (Figure 4): the correlation
+//!   partition handed to the algorithms is coarsened around selected
+//!   intermediate nodes so that Assumption 4 no longer holds for them;
+//! * which congested links are *mislabeled* (Figure 5): an unknown
+//!   correlation pattern — the paper's worm / flooding scenario — makes
+//!   links from different correlation sets fail together, but the
+//!   algorithms are not told about it.
+//!
+//! The ground truth is realised as a [`SubstrateModel`]: every correlated
+//! group (and the worm) is one hidden substrate element that fails
+//! independently with a probability drawn from a configurable range, and a
+//! link is congested iff one of its substrate elements has failed.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use netcorr_sim::{CongestionModel, SubstrateModel};
+use netcorr_topology::correlation::CorrelationPartition;
+use netcorr_topology::graph::LinkId;
+use netcorr_topology::TopologyInstance;
+
+use crate::error::EvalError;
+
+/// How strongly the congested links are correlated inside their correlation
+/// sets (Figure 3's two regimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrelationLevel {
+    /// More than two congested links per correlation set fail together.
+    HighlyCorrelated,
+    /// At most two congested links per correlation set.
+    LooselyCorrelated,
+}
+
+/// Configuration of a congestion scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Fraction of all links that are congested (the x-axis of
+    /// Figures 3(a)/(b); 0.10 elsewhere).
+    pub congested_fraction: f64,
+    /// Correlation regime of the congested links.
+    pub correlation_level: CorrelationLevel,
+    /// Fraction of the congested links that are made unidentifiable by
+    /// coarsening the correlation partition (Figure 4).
+    pub unidentifiable_fraction: f64,
+    /// Fraction of the congested links that participate in an unknown
+    /// correlation pattern (Figure 5).
+    pub mislabeled_fraction: f64,
+    /// Range from which each correlated group's (and the worm's)
+    /// congestion probability is drawn uniformly.
+    pub congestion_probability_range: (f64, f64),
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            congested_fraction: 0.10,
+            correlation_level: CorrelationLevel::HighlyCorrelated,
+            unidentifiable_fraction: 0.0,
+            mislabeled_fraction: 0.0,
+            congestion_probability_range: (0.05, 0.7),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        for (name, value) in [
+            ("congested_fraction", self.congested_fraction),
+            ("unidentifiable_fraction", self.unidentifiable_fraction),
+            ("mislabeled_fraction", self.mislabeled_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(EvalError::InvalidScenario(format!(
+                    "{name} must be in [0, 1], got {value}"
+                )));
+            }
+        }
+        let (lo, hi) = self.congestion_probability_range;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(EvalError::InvalidScenario(format!(
+                "congestion_probability_range ({lo}, {hi}) is not a valid sub-range of [0, 1]"
+            )));
+        }
+        if self.congested_fraction <= 0.0 {
+            return Err(EvalError::InvalidScenario(
+                "congested_fraction must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fully instantiated congestion scenario.
+#[derive(Debug, Clone)]
+pub struct CongestionScenario {
+    /// The instance handed to the inference algorithms. Its correlation
+    /// partition reflects what the operator *believes*: it has been
+    /// coarsened around unidentifiable nodes, and it does **not** include
+    /// the unknown (mislabeled) correlation pattern.
+    pub instance: TopologyInstance,
+    /// The ground-truth congestion process.
+    pub model: CongestionModel,
+    /// Ground-truth marginal congestion probability of every link.
+    pub true_marginals: Vec<f64>,
+    /// The links with a non-zero congestion probability.
+    pub congested_links: Vec<LinkId>,
+    /// Congested links rendered unidentifiable by the partition coarsening.
+    pub unidentifiable_links: Vec<LinkId>,
+    /// Congested links participating in the unknown correlation pattern.
+    pub mislabeled_links: Vec<LinkId>,
+}
+
+/// Builds [`CongestionScenario`]s from a [`ScenarioConfig`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    config: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder after validating the configuration.
+    pub fn new(config: ScenarioConfig) -> Result<Self, EvalError> {
+        config.validate()?;
+        Ok(ScenarioBuilder { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Instantiates a scenario on the given base instance.
+    pub fn build(
+        &self,
+        base: &TopologyInstance,
+        rng: &mut impl Rng,
+    ) -> Result<CongestionScenario, EvalError> {
+        let num_links = base.num_links();
+        let congested_target =
+            ((self.config.congested_fraction * num_links as f64).round() as usize).max(1);
+        let mislabeled_target =
+            (self.config.mislabeled_fraction * congested_target as f64).round() as usize;
+        let unidentifiable_target =
+            (self.config.unidentifiable_fraction * congested_target as f64).round() as usize;
+
+        // --- 1. Mislabeled links: one link from each of `mislabeled_target`
+        // distinct correlation sets, so that without the worm they would be
+        // uncorrelated. ---
+        let mut set_order: Vec<usize> = (0..base.correlation.num_sets()).collect();
+        shuffle(&mut set_order, rng);
+        let mut mislabeled: Vec<LinkId> = Vec::new();
+        let mut used_sets: Vec<bool> = vec![false; base.correlation.num_sets()];
+        for &set_idx in &set_order {
+            if mislabeled.len() >= mislabeled_target {
+                break;
+            }
+            let links = base
+                .correlation
+                .set_links(netcorr_topology::correlation::CorrelationSetId(set_idx));
+            let pick = links[rng.random_range(0..links.len())];
+            mislabeled.push(pick);
+            used_sets[set_idx] = true;
+        }
+        if mislabeled.len() < mislabeled_target {
+            return Err(EvalError::ScenarioInfeasible(format!(
+                "only {} correlation sets available for {} mislabeled links",
+                base.correlation.num_sets(),
+                mislabeled_target
+            )));
+        }
+
+        // --- 2. Correlated congested groups inside correlation sets. ---
+        let remaining_target = congested_target.saturating_sub(mislabeled.len());
+        let mut groups: Vec<Vec<LinkId>> = Vec::new();
+        let mut selected = 0usize;
+        let (min_group, max_group) = match self.config.correlation_level {
+            CorrelationLevel::HighlyCorrelated => (3usize, 6usize),
+            CorrelationLevel::LooselyCorrelated => (1usize, 2usize),
+        };
+        // First pass: sets large enough for the requested group size.
+        for &set_idx in &set_order {
+            if selected >= remaining_target {
+                break;
+            }
+            if used_sets[set_idx] {
+                continue;
+            }
+            let links = base
+                .correlation
+                .set_links(netcorr_topology::correlation::CorrelationSetId(set_idx));
+            if links.len() < min_group {
+                continue;
+            }
+            let size = min_group
+                .max(rng.random_range(min_group..=max_group.min(links.len())))
+                .min(remaining_target - selected)
+                .min(links.len());
+            if size == 0 {
+                continue;
+            }
+            let group = sample_links(links, size, rng);
+            selected += group.len();
+            used_sets[set_idx] = true;
+            groups.push(group);
+        }
+        // Second pass (fallback): if the topology does not have enough
+        // large correlation sets, fill up with whatever sets remain so the
+        // congested fraction is still met.
+        if selected < remaining_target {
+            for &set_idx in &set_order {
+                if selected >= remaining_target {
+                    break;
+                }
+                if used_sets[set_idx] {
+                    continue;
+                }
+                let links = base
+                    .correlation
+                    .set_links(netcorr_topology::correlation::CorrelationSetId(set_idx));
+                let size = links
+                    .len()
+                    .min(max_group)
+                    .min(remaining_target - selected);
+                if size == 0 {
+                    continue;
+                }
+                let group = sample_links(links, size, rng);
+                selected += group.len();
+                used_sets[set_idx] = true;
+                groups.push(group);
+            }
+        }
+        if groups.is_empty() && mislabeled.is_empty() {
+            return Err(EvalError::ScenarioInfeasible(
+                "no congested links could be selected".to_string(),
+            ));
+        }
+
+        // --- 3. Ground-truth substrate model: one hidden element per group
+        // plus one for the worm. ---
+        let (lo, hi) = self.config.congestion_probability_range;
+        let mut substrate_probs: Vec<f64> = Vec::new();
+        let mut dependencies: Vec<Vec<usize>> = vec![Vec::new(); num_links];
+        for group in &groups {
+            let element = substrate_probs.len();
+            substrate_probs.push(draw_probability(lo, hi, rng));
+            for &link in group {
+                dependencies[link.index()].push(element);
+            }
+        }
+        if !mislabeled.is_empty() {
+            let worm = substrate_probs.len();
+            substrate_probs.push(draw_probability(lo, hi, rng));
+            for &link in &mislabeled {
+                dependencies[link.index()].push(worm);
+            }
+        }
+        let model: CongestionModel = SubstrateModel::new(substrate_probs, dependencies)
+            .map_err(EvalError::Simulation)?
+            .into();
+        let true_marginals = model.marginals();
+        let mut congested_links: Vec<LinkId> = (0..num_links)
+            .map(LinkId)
+            .filter(|l| true_marginals[l.index()] > 0.0)
+            .collect();
+        congested_links.sort_unstable();
+
+        // --- 4. Unidentifiable links: coarsen the partition around
+        // intermediate nodes adjacent to congested links until the target
+        // fraction of congested links sits next to an Assumption-4
+        // violation. ---
+        let mut partition_sets: Vec<usize> = (0..num_links)
+            .map(|l| base.correlation.set_of(LinkId(l)).index())
+            .collect();
+        let mut unidentifiable: Vec<LinkId> = Vec::new();
+        if unidentifiable_target > 0 {
+            let mut node_order: Vec<usize> = (0..base.topology.num_nodes()).collect();
+            shuffle(&mut node_order, rng);
+            let congested_flag: Vec<bool> = (0..num_links)
+                .map(|l| true_marginals[l] > 0.0)
+                .collect();
+            for &node_idx in &node_order {
+                if unidentifiable.len() >= unidentifiable_target {
+                    break;
+                }
+                let node = netcorr_topology::graph::NodeId(node_idx);
+                if !base.topology.is_intermediate(node) {
+                    continue;
+                }
+                let mut adjacent: Vec<LinkId> = base.topology.in_links(node).to_vec();
+                adjacent.extend(base.topology.out_links(node).iter().copied());
+                let new_congested: Vec<LinkId> = adjacent
+                    .iter()
+                    .copied()
+                    .filter(|l| congested_flag[l.index()] && !unidentifiable.contains(l))
+                    .collect();
+                if new_congested.is_empty() {
+                    continue;
+                }
+                // Merge the correlation sets of every adjacent link into
+                // one: the node now has all its ingress links in one set
+                // and all its egress links in the same set, so Assumption 4
+                // fails around it (Section 3.3).
+                let merged_root = adjacent
+                    .iter()
+                    .map(|l| partition_sets[l.index()])
+                    .min()
+                    .expect("node is intermediate, so it has adjacent links");
+                let to_merge: Vec<usize> =
+                    adjacent.iter().map(|l| partition_sets[l.index()]).collect();
+                for value in &mut partition_sets {
+                    if to_merge.contains(value) {
+                        *value = merged_root;
+                    }
+                }
+                unidentifiable.extend(new_congested);
+            }
+            if unidentifiable.is_empty() {
+                return Err(EvalError::ScenarioInfeasible(
+                    "no intermediate node adjacent to a congested link could be coarsened"
+                        .to_string(),
+                ));
+            }
+        }
+        unidentifiable.sort_unstable();
+        unidentifiable.dedup();
+
+        // Rebuild the algorithm-visible partition from the (possibly
+        // merged) set labels.
+        let mut sets_by_label: std::collections::BTreeMap<usize, Vec<LinkId>> =
+            std::collections::BTreeMap::new();
+        for (link_idx, &label) in partition_sets.iter().enumerate() {
+            sets_by_label
+                .entry(label)
+                .or_default()
+                .push(LinkId(link_idx));
+        }
+        let visible_partition =
+            CorrelationPartition::from_sets(num_links, sets_by_label.into_values().collect())
+                .map_err(EvalError::Topology)?;
+        let instance = base
+            .with_correlation(visible_partition)
+            .map_err(EvalError::Topology)?;
+
+        let mut mislabeled_links = mislabeled;
+        mislabeled_links.sort_unstable();
+        Ok(CongestionScenario {
+            instance,
+            model,
+            true_marginals,
+            congested_links,
+            unidentifiable_links: unidentifiable,
+            mislabeled_links,
+        })
+    }
+}
+
+/// Draws a congestion probability uniformly from `[lo, hi]`.
+fn draw_probability(lo: f64, hi: f64, rng: &mut impl Rng) -> f64 {
+    if (hi - lo).abs() < f64::EPSILON {
+        lo
+    } else {
+        lo + (hi - lo) * rng.random::<f64>()
+    }
+}
+
+/// Fisher–Yates shuffle (kept local to avoid depending on `rand::seq`).
+fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Samples `count` distinct links from a slice.
+fn sample_links(links: &[LinkId], count: usize, rng: &mut impl Rng) -> Vec<LinkId> {
+    let mut indices: Vec<usize> = (0..links.len()).collect();
+    shuffle(&mut indices, rng);
+    indices
+        .into_iter()
+        .take(count)
+        .map(|i| links[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcorr_topology::generators::{brite, planetlab};
+    use netcorr_topology::identifiability::node_heuristic_violations;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planetlab_base(seed: u64) -> TopologyInstance {
+        planetlab::generate(&planetlab::PlanetLabConfig::small(), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    fn brite_base(seed: u64) -> TopologyInstance {
+        brite::generate(&brite::BriteConfig::small(), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+            .instance
+    }
+
+    #[test]
+    fn congested_fraction_is_approximately_met() {
+        let base = planetlab_base(1);
+        let config = ScenarioConfig {
+            congested_fraction: 0.15,
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let scenario = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let target = (0.15 * base.num_links() as f64).round() as usize;
+        let got = scenario.congested_links.len();
+        assert!(
+            got + 2 >= target && got <= target + 2,
+            "target {target}, got {got}"
+        );
+        // Every congested link has a positive marginal; the rest are zero.
+        for link in base.topology.link_ids() {
+            let marginal = scenario.true_marginals[link.index()];
+            if scenario.congested_links.contains(&link) {
+                assert!(marginal > 0.0);
+                assert!(marginal <= 0.7 + 1e-9);
+            } else {
+                assert_eq!(marginal, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn loosely_correlated_scenarios_cap_groups_at_two() {
+        let base = planetlab_base(3);
+        let config = ScenarioConfig {
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let scenario = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        for (_, links) in scenario.instance.correlation.sets() {
+            let congested_in_set = links
+                .iter()
+                .filter(|l| scenario.congested_links.contains(l))
+                .count();
+            assert!(congested_in_set <= 2, "{congested_in_set} congested links in one set");
+        }
+    }
+
+    #[test]
+    fn highly_correlated_scenarios_have_larger_groups_on_brite() {
+        let base = brite_base(5);
+        let config = ScenarioConfig {
+            congested_fraction: 0.2,
+            correlation_level: CorrelationLevel::HighlyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let scenario = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        let max_per_set = scenario
+            .instance
+            .correlation
+            .sets()
+            .map(|(_, links)| {
+                links
+                    .iter()
+                    .filter(|l| scenario.congested_links.contains(l))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_per_set >= 3,
+            "expected a correlation set with more than two congested links, max {max_per_set}"
+        );
+    }
+
+    #[test]
+    fn mislabeled_links_fail_together_but_span_sets() {
+        let base = planetlab_base(7);
+        let config = ScenarioConfig {
+            mislabeled_fraction: 0.5,
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let scenario = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(8))
+            .unwrap();
+        assert!(!scenario.mislabeled_links.is_empty());
+        // They come from distinct correlation sets of the visible
+        // partition.
+        let sets: std::collections::BTreeSet<_> = scenario
+            .mislabeled_links
+            .iter()
+            .map(|&l| scenario.instance.correlation.set_of(l))
+            .collect();
+        assert_eq!(sets.len(), scenario.mislabeled_links.len());
+        // And they fail together in the ground truth: sample states and
+        // check they are always jointly congested or jointly good... except
+        // that each also belongs to no other group, so equality holds.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let state = scenario.model.sample_state(&mut rng);
+            let values: std::collections::BTreeSet<bool> = scenario
+                .mislabeled_links
+                .iter()
+                .map(|l| state[l.index()])
+                .collect();
+            assert_eq!(values.len(), 1, "mislabeled links must fail together");
+        }
+    }
+
+    #[test]
+    fn unidentifiable_scenarios_break_assumption_4_around_nodes() {
+        let base = planetlab_base(11);
+        let config = ScenarioConfig {
+            unidentifiable_fraction: 0.5,
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let scenario = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(12))
+            .unwrap();
+        assert!(!scenario.unidentifiable_links.is_empty());
+        // The visible partition is coarser than the original one.
+        assert!(scenario.instance.correlation.num_sets() < base.correlation.num_sets());
+        // The structural heuristic of Section 3.3 confirms that some node
+        // now violates Assumption 4.
+        assert!(!node_heuristic_violations(&scenario.instance).is_empty());
+        // Unidentifiable links are congested links.
+        for link in &scenario.unidentifiable_links {
+            assert!(scenario.congested_links.contains(link));
+        }
+    }
+
+    #[test]
+    fn fractions_are_validated() {
+        let bad = ScenarioConfig {
+            congested_fraction: 1.5,
+            ..ScenarioConfig::default()
+        };
+        assert!(ScenarioBuilder::new(bad).is_err());
+        let bad = ScenarioConfig {
+            mislabeled_fraction: -0.1,
+            ..ScenarioConfig::default()
+        };
+        assert!(ScenarioBuilder::new(bad).is_err());
+        let bad = ScenarioConfig {
+            congestion_probability_range: (0.8, 0.2),
+            ..ScenarioConfig::default()
+        };
+        assert!(ScenarioBuilder::new(bad).is_err());
+        let bad = ScenarioConfig {
+            congested_fraction: 0.0,
+            ..ScenarioConfig::default()
+        };
+        assert!(ScenarioBuilder::new(bad).is_err());
+    }
+
+    #[test]
+    fn scenario_generation_is_deterministic_per_seed() {
+        let base = planetlab_base(13);
+        let config = ScenarioConfig::default();
+        let a = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(14))
+            .unwrap();
+        let b = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(14))
+            .unwrap();
+        assert_eq!(a.congested_links, b.congested_links);
+        assert_eq!(a.true_marginals, b.true_marginals);
+        assert_eq!(a.mislabeled_links, b.mislabeled_links);
+    }
+
+    #[test]
+    fn probability_range_is_respected() {
+        let base = planetlab_base(15);
+        let config = ScenarioConfig {
+            congestion_probability_range: (0.3, 0.3),
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let scenario = ScenarioBuilder::new(config)
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(16))
+            .unwrap();
+        for &link in &scenario.congested_links {
+            assert!((scenario.true_marginals[link.index()] - 0.3).abs() < 1e-9);
+        }
+    }
+}

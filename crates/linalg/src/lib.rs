@@ -1,0 +1,60 @@
+//! # netcorr-linalg — dense numerical substrate
+//!
+//! The tomography algorithms in `netcorr-core` reduce the inference problem
+//! to (possibly under-determined) systems of linear equations over the
+//! log-probabilities of links being good (paper, Section 4):
+//!
+//! ```text
+//! y_i  = Σ_{e_k ∈ P_i}        x_k          (single-path equations)
+//! y_ij = Σ_{e_k ∈ P_i ∪ P_j}  x_k          (path-pair equations)
+//! ```
+//!
+//! This crate provides everything required to build and solve those systems
+//! without any external numerical dependency:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual algebra.
+//! * [`lu`] — LU factorisation with partial pivoting (square solves,
+//!   determinants, inverses).
+//! * [`qr`] — Householder QR factorisation (least-squares solves).
+//! * [`lstsq`] — a driver that picks the right solver for the shape/rank of
+//!   the system.
+//! * [`rank`] — numerical rank estimation and greedy selection of a
+//!   linearly-independent subset of rows (used by the equation builder to
+//!   keep only independent measurements).
+//! * [`simplex`] — a two-phase primal simplex solver for linear programs in
+//!   standard form.
+//! * [`l1`] — minimum-L1-norm solutions of under-determined systems
+//!   (`min ‖x‖₁ s.t. Ax = b`), via the LP formulation; this is the fallback
+//!   used by the paper's practical algorithm when fewer than `|E|`
+//!   independent equations are available.
+//! * [`norms`] — vector norms and small helpers.
+//!
+//! All routines are deterministic and allocate only `Vec<f64>` storage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod l1;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+pub mod qr;
+pub mod rank;
+pub mod simplex;
+pub mod sparse;
+
+pub use error::LinalgError;
+pub use l1::{min_l1_norm_solution, min_l1_norm_solution_nonneg};
+pub use lstsq::{solve_least_squares, LeastSquaresSolution};
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use qr::QrDecomposition;
+pub use rank::{numerical_rank, select_independent_rows};
+pub use simplex::{LinearProgram, LpSolution, LpStatus};
+pub use sparse::{cgls, CglsSolution, SparseMatrix};
+
+/// Default relative tolerance used across the crate when comparing floating
+/// point magnitudes (rank decisions, pivot checks, ...).
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;

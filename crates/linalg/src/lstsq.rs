@@ -1,0 +1,195 @@
+//! Least-squares driver.
+//!
+//! [`solve_least_squares`] accepts a system of any shape and picks an
+//! appropriate method:
+//!
+//! * over-determined (or square), full column rank → Householder QR;
+//! * over-determined but rank-deficient → ridge-regularised normal
+//!   equations (a tiny Tikhonov term keeps the solve well-posed);
+//! * under-determined → minimum-L2-norm solution through the normal
+//!   equations of the adjoint system (`A Aᵀ w = b`, `x = Aᵀ w`), again with
+//!   a ridge fallback when the rows are dependent.
+//!
+//! The tomography algorithms use this driver for the determined /
+//! over-determined case and switch to [`crate::l1`] when the system is
+//! under-determined, matching the paper.
+
+use crate::error::LinalgError;
+use crate::lu::LuDecomposition;
+use crate::matrix::Matrix;
+use crate::norms::{l2_norm, sub};
+use crate::qr::QrDecomposition;
+
+/// Which numerical path produced a [`LeastSquaresSolution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeastSquaresMethod {
+    /// Householder QR on a full-column-rank system.
+    Qr,
+    /// Ridge-regularised normal equations (rank-deficient, rows ≥ cols).
+    RidgeNormalEquations,
+    /// Minimum-L2-norm solution of an under-determined system.
+    MinimumNorm,
+}
+
+/// The result of a least-squares solve.
+#[derive(Debug, Clone)]
+pub struct LeastSquaresSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Euclidean norm of the residual `‖Ax − b‖₂`.
+    pub residual: f64,
+    /// The method that was used.
+    pub method: LeastSquaresMethod,
+}
+
+/// Ridge parameter used when a system is numerically rank-deficient.
+const RIDGE: f64 = 1e-8;
+
+/// Solves `min_x ‖A x − b‖₂`, choosing the method according to the shape
+/// and rank of `A`. See the module documentation for details.
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<LeastSquaresSolution, LinalgError> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "solve_least_squares",
+            expected: a.rows(),
+            actual: b.len(),
+        });
+    }
+    if !a.all_finite() || !crate::norms::all_finite(b) {
+        return Err(LinalgError::NotFinite);
+    }
+
+    let (x, method) = if a.rows() >= a.cols() {
+        let qr = QrDecomposition::new(a)?;
+        if qr.is_rank_deficient() {
+            (ridge_normal_equations(a, b)?, LeastSquaresMethod::RidgeNormalEquations)
+        } else {
+            (qr.solve_least_squares(b)?, LeastSquaresMethod::Qr)
+        }
+    } else {
+        (minimum_norm_solution(a, b)?, LeastSquaresMethod::MinimumNorm)
+    };
+
+    let residual = l2_norm(&sub(&a.matvec(&x)?, b));
+    Ok(LeastSquaresSolution {
+        x,
+        residual,
+        method,
+    })
+}
+
+/// Solves `(AᵀA + λI) x = Aᵀ b` with a small ridge term `λ`.
+fn ridge_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    let scale = ata.max_abs().max(1.0);
+    for i in 0..ata.rows() {
+        ata[(i, i)] += RIDGE * scale;
+    }
+    let atb = at.matvec(b)?;
+    LuDecomposition::new(&ata)?.solve(&atb)
+}
+
+/// Minimum-L2-norm solution of an under-determined system: `x = Aᵀ w`
+/// where `A Aᵀ w = b` (ridge-regularised if the rows are dependent).
+fn minimum_norm_solution(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let at = a.transpose();
+    let mut aat = a.matmul(&at)?;
+    let lu = LuDecomposition::new(&aat)?;
+    let w = if lu.is_singular() {
+        let scale = aat.max_abs().max(1.0);
+        for i in 0..aat.rows() {
+            aat[(i, i)] += RIDGE * scale;
+        }
+        LuDecomposition::new(&aat)?.solve(b)?
+    } else {
+        lu.solve(b)?
+    };
+    at.matvec(&w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::approx_eq;
+
+    #[test]
+    fn square_full_rank_uses_qr() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let sol = solve_least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert_eq!(sol.method, LeastSquaresMethod::Qr);
+        assert!(approx_eq(&sol.x, &[1.0, 3.0], 1e-9));
+        assert!(sol.residual < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let b = [2.0, 3.0, 5.0];
+        let sol = solve_least_squares(&a, &b).unwrap();
+        assert!(approx_eq(&sol.x, &[2.0, 3.0], 1e-9));
+        assert!(sol.residual < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_overdetermined_falls_back_to_ridge() {
+        // Columns are identical: infinitely many LS solutions; ridge picks
+        // a finite one that still fits.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        let b = [2.0, 4.0, 6.0];
+        let sol = solve_least_squares(&a, &b).unwrap();
+        assert_eq!(sol.method, LeastSquaresMethod::RidgeNormalEquations);
+        assert!(sol.residual < 1e-3);
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn underdetermined_returns_minimum_norm_solution() {
+        // x1 + x2 = 2: minimum-L2-norm solution is (1, 1).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let sol = solve_least_squares(&a, &[2.0]).unwrap();
+        assert_eq!(sol.method, LeastSquaresMethod::MinimumNorm);
+        assert!(approx_eq(&sol.x, &[1.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn underdetermined_with_dependent_rows_still_solves() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0], vec![2.0, 2.0, 0.0]]).unwrap();
+        let sol = solve_least_squares(&a, &[2.0, 4.0]).unwrap();
+        assert!(sol.residual < 1e-3);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(matches!(
+            solve_least_squares(&Matrix::zeros(0, 0), &[]),
+            Err(LinalgError::Empty)
+        ));
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            solve_least_squares(&a, &[1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            solve_least_squares(&a, &[f64::NAN, 1.0]),
+            Err(LinalgError::NotFinite)
+        ));
+    }
+
+    #[test]
+    fn residual_is_reported_for_inconsistent_system() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let sol = solve_least_squares(&a, &[0.0, 2.0]).unwrap();
+        // LS solution is x = 1, residual = sqrt(2).
+        assert!(approx_eq(&sol.x, &[1.0], 1e-9));
+        assert!((sol.residual - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

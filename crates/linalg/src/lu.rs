@@ -1,0 +1,278 @@
+//! LU factorisation with partial pivoting.
+//!
+//! Used to solve the square, fully-determined systems that arise when the
+//! equation builder collects exactly `|E|` linearly-independent
+//! measurements, and as the building block for matrix inverses and
+//! determinants in tests.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::DEFAULT_TOLERANCE;
+
+/// The result of an LU factorisation `P·A = L·U` with partial pivoting.
+///
+/// The factors are stored compactly: the strictly lower triangle of `lu`
+/// holds `L` (with an implicit unit diagonal) and the upper triangle holds
+/// `U`. `perm` records the row permutation.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Number of row swaps performed (determines the sign of the
+    /// determinant).
+    swaps: usize,
+    singular: bool,
+}
+
+impl LuDecomposition {
+    /// Factorises a square matrix.
+    ///
+    /// Returns an error if the matrix is not square or is empty. A singular
+    /// matrix is *not* an error at factorisation time; it is reported by
+    /// [`LuDecomposition::is_singular`] and by `solve`.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LuDecomposition::new",
+                expected: a.rows(),
+                actual: a.cols(),
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+        let mut singular = false;
+
+        for k in 0..n {
+            // Find the pivot: the row with the largest absolute value in
+            // column k at or below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= DEFAULT_TOLERANCE {
+                singular = true;
+                continue;
+            }
+            if pivot_row != k {
+                lu.swap_rows(k, pivot_row);
+                perm.swap(k, pivot_row);
+                swaps += 1;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            swaps,
+            singular,
+        })
+    }
+
+    /// Returns `true` if the matrix was detected to be singular to working
+    /// precision.
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        if self.singular {
+            return 0.0;
+        }
+        let n = self.lu.rows();
+        let mut det = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Solves `A x = b` for `x`.
+    ///
+    /// Returns an error if the matrix is singular or `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LuDecomposition::solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        if self.singular {
+            return Err(LinalgError::Singular);
+        }
+        // Apply the permutation: y = P b.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with the unit lower triangle.
+        for i in 1..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution with the upper triangle.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse of the original matrix.
+    ///
+    /// Returns an error if the matrix is singular.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        if self.singular {
+            return Err(LinalgError::Singular);
+        }
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience wrapper: solves the square system `A x = b`.
+pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::approx_eq;
+
+    #[test]
+    fn solves_simple_system() {
+        // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3
+        let a = Matrix::from_row_slice(2, 2, &[2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve_square(&a, &[5.0, 10.0]).unwrap();
+        assert!(approx_eq(&x, &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot is zero; partial pivoting must kick in.
+        let a = Matrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve_square(&a, &[2.0, 3.0]).unwrap();
+        assert!(approx_eq(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_row_slice(2, 2, &[1.0, 2.0, 2.0, 4.0]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.is_singular());
+        assert_eq!(lu.determinant(), 0.0);
+        assert_eq!(lu.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        let i = Matrix::identity(4);
+        assert!((LuDecomposition::new(&i).unwrap().determinant() - 1.0).abs() < 1e-12);
+
+        let a = Matrix::from_row_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det - (-2.0)).abs() < 1e-12);
+
+        let b = Matrix::from_row_slice(3, 3, &[2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0])
+            .unwrap();
+        assert!((LuDecomposition::new(&b).unwrap().determinant() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a =
+            Matrix::from_row_slice(3, 3, &[4.0, 2.0, 1.0, 2.0, 5.0, 3.0, 1.0, 3.0, 6.0]).unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(matches!(
+            LuDecomposition::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LuDecomposition::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotFinite)
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solves_larger_random_like_system() {
+        // Deterministic, diagonally-dominant 10x10 system.
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                20.0 + i as f64
+            } else {
+                ((i * 7 + j * 3) % 5) as f64 - 2.0
+            }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 4.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_square(&a, &b).unwrap();
+        assert!(approx_eq(&x, &x_true, 1e-8));
+    }
+}

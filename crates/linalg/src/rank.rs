@@ -1,0 +1,239 @@
+//! Numerical rank estimation and greedy selection of independent rows.
+//!
+//! The equation builder in `netcorr-core` enumerates candidate measurement
+//! equations (one per usable path and per usable path pair) and must keep
+//! only a linearly-independent subset — the paper's `N1` single-path
+//! equations and `N2` pair equations. [`select_independent_rows`] performs
+//! that selection incrementally with a Gram–Schmidt sweep so that candidate
+//! rows can be considered in a caller-chosen priority order.
+
+use crate::matrix::Matrix;
+use crate::norms::{dot, l2_norm};
+
+/// Estimates the numerical rank of a matrix by Gaussian elimination with
+/// partial pivoting and the relative tolerance `tol`.
+pub fn numerical_rank(a: &Matrix, tol: f64) -> usize {
+    if a.is_empty() {
+        return 0;
+    }
+    let mut m = a.clone();
+    let rows = m.rows();
+    let cols = m.cols();
+    let scale = m.max_abs();
+    if scale == 0.0 {
+        return 0;
+    }
+    let threshold = tol * scale;
+    let mut rank = 0;
+    let mut pivot_row = 0;
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Find the largest entry in this column at or below pivot_row.
+        let mut best = pivot_row;
+        let mut best_val = m[(pivot_row, col)].abs();
+        for i in (pivot_row + 1)..rows {
+            let v = m[(i, col)].abs();
+            if v > best_val {
+                best_val = v;
+                best = i;
+            }
+        }
+        if best_val <= threshold {
+            continue;
+        }
+        m.swap_rows(pivot_row, best);
+        let pivot = m[(pivot_row, col)];
+        for i in (pivot_row + 1)..rows {
+            let factor = m[(i, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..cols {
+                let delta = factor * m[(pivot_row, j)];
+                m[(i, j)] -= delta;
+            }
+        }
+        rank += 1;
+        pivot_row += 1;
+    }
+    rank
+}
+
+/// Incremental selector of linearly-independent rows.
+///
+/// Rows are offered one at a time (in priority order); a row is accepted if
+/// it is not (numerically) in the span of the rows accepted so far. The
+/// selector keeps an orthonormal basis of the accepted rows, so each offer
+/// costs `O(k·n)` where `k` is the number of rows accepted so far.
+#[derive(Debug, Clone)]
+pub struct IndependentRowSelector {
+    dim: usize,
+    tol: f64,
+    basis: Vec<Vec<f64>>,
+}
+
+impl IndependentRowSelector {
+    /// Creates a selector for rows of length `dim` with relative tolerance
+    /// `tol` (a row is rejected if, after orthogonalisation against the
+    /// accepted rows, its norm falls below `tol` times its original norm).
+    pub fn new(dim: usize, tol: f64) -> Self {
+        IndependentRowSelector {
+            dim,
+            tol,
+            basis: Vec::new(),
+        }
+    }
+
+    /// Number of rows accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Returns `true` when the accepted rows already span the full space.
+    pub fn is_complete(&self) -> bool {
+        self.basis.len() >= self.dim
+    }
+
+    /// Offers a row; returns `true` if it was accepted (linearly
+    /// independent from the rows accepted so far).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong length.
+    pub fn offer(&mut self, row: &[f64]) -> bool {
+        assert_eq!(row.len(), self.dim, "row has wrong length");
+        if self.is_complete() {
+            return false;
+        }
+        let original_norm = l2_norm(row);
+        if original_norm == 0.0 {
+            return false;
+        }
+        let mut v = row.to_vec();
+        // Two passes of modified Gram–Schmidt for numerical robustness.
+        for _ in 0..2 {
+            for b in &self.basis {
+                let proj = dot(&v, b);
+                for (vi, bi) in v.iter_mut().zip(b.iter()) {
+                    *vi -= proj * bi;
+                }
+            }
+        }
+        let remaining = l2_norm(&v);
+        if remaining <= self.tol * original_norm {
+            return false;
+        }
+        for vi in &mut v {
+            *vi /= remaining;
+        }
+        self.basis.push(v);
+        true
+    }
+}
+
+/// Selects a maximal linearly-independent subset of the rows of `a`,
+/// considering rows in the order given by `priority` (indices into the rows
+/// of `a`). Returns the indices of the accepted rows, in acceptance order.
+///
+/// # Panics
+///
+/// Panics if any priority index is out of bounds.
+pub fn select_independent_rows(a: &Matrix, priority: &[usize], tol: f64) -> Vec<usize> {
+    let mut selector = IndependentRowSelector::new(a.cols(), tol);
+    let mut accepted = Vec::new();
+    for &i in priority {
+        if selector.is_complete() {
+            break;
+        }
+        if selector.offer(a.row_slice(i)) {
+            accepted.push(i);
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_simple_matrices() {
+        assert_eq!(numerical_rank(&Matrix::identity(3), 1e-10), 3);
+        assert_eq!(numerical_rank(&Matrix::zeros(3, 3), 1e-10), 0);
+
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(numerical_rank(&a, 1e-10), 1);
+
+        let b = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        // Third row is the sum of the first two.
+        assert_eq!(numerical_rank(&b, 1e-10), 2);
+    }
+
+    #[test]
+    fn rank_of_wide_and_tall_matrices() {
+        let wide = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(numerical_rank(&wide, 1e-10), 2);
+        let tall = wide.transpose();
+        assert_eq!(numerical_rank(&tall, 1e-10), 2);
+    }
+
+    #[test]
+    fn selector_accepts_only_independent_rows() {
+        let mut sel = IndependentRowSelector::new(3, 1e-9);
+        assert!(sel.offer(&[1.0, 0.0, 0.0]));
+        assert!(sel.offer(&[1.0, 1.0, 0.0]));
+        // In the span of the first two.
+        assert!(!sel.offer(&[3.0, 5.0, 0.0]));
+        assert!(!sel.offer(&[0.0, 0.0, 0.0]));
+        assert!(sel.offer(&[0.0, 0.0, 7.0]));
+        assert!(sel.is_complete());
+        // Once complete, everything is rejected.
+        assert!(!sel.offer(&[1.0, 2.0, 3.0]));
+        assert_eq!(sel.accepted(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn selector_panics_on_wrong_length() {
+        let mut sel = IndependentRowSelector::new(3, 1e-9);
+        sel.offer(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_independent_rows_respects_priority() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0], // 0
+            vec![2.0, 0.0], // 1 (dependent on 0)
+            vec![0.0, 1.0], // 2
+            vec![1.0, 1.0], // 3 (dependent on 0, 2)
+        ])
+        .unwrap();
+        // Priority order prefers row 1 over row 0.
+        let chosen = select_independent_rows(&a, &[1, 0, 3, 2], 1e-9);
+        assert_eq!(chosen, vec![1, 3]);
+        let chosen2 = select_independent_rows(&a, &[0, 1, 2, 3], 1e-9);
+        assert_eq!(chosen2, vec![0, 2]);
+    }
+
+    #[test]
+    fn selection_count_matches_rank() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0, 0.0],
+            vec![1.0, 2.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let order: Vec<usize> = (0..a.rows()).collect();
+        let chosen = select_independent_rows(&a, &order, 1e-9);
+        assert_eq!(chosen.len(), numerical_rank(&a, 1e-10));
+    }
+}

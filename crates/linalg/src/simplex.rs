@@ -1,0 +1,443 @@
+//! Two-phase primal simplex solver for linear programs in standard form.
+//!
+//! The solver handles programs of the form
+//!
+//! ```text
+//! minimise    cᵀ x
+//! subject to  A x = b
+//!             x ≥ 0
+//! ```
+//!
+//! which is exactly what the minimum-L1-norm reformulation in [`crate::l1`]
+//! produces. The implementation uses a dense tableau and Bland's rule to
+//! guarantee termination, which is more than fast enough for the problem
+//! sizes that arise in the tomography equations (a few thousand variables).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A linear program in standard form: minimise `cᵀx` subject to `Ax = b`,
+/// `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients `c` (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Constraint matrix `A` (`m × n`).
+    pub constraints: Matrix,
+    /// Right-hand side `b` (length `m`).
+    pub rhs: Vec<f64>,
+}
+
+/// Status of a solved linear program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+/// The result of solving a [`LinearProgram`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Optimal primal solution (meaningful only when `status == Optimal`;
+    /// empty otherwise).
+    pub x: Vec<f64>,
+    /// Optimal objective value (meaningful only when `status == Optimal`).
+    pub objective_value: f64,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+/// Numerical tolerance used for feasibility / optimality tests inside the
+/// simplex iterations.
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Creates a new standard-form linear program.
+    ///
+    /// Returns an error if the dimensions are inconsistent or any input is
+    /// non-finite.
+    pub fn new(objective: Vec<f64>, constraints: Matrix, rhs: Vec<f64>) -> Result<Self, LinalgError> {
+        if constraints.cols() != objective.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LinearProgram::new (objective length)",
+                expected: constraints.cols(),
+                actual: objective.len(),
+            });
+        }
+        if constraints.rows() != rhs.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LinearProgram::new (rhs length)",
+                expected: constraints.rows(),
+                actual: rhs.len(),
+            });
+        }
+        if !constraints.all_finite()
+            || !crate::norms::all_finite(&objective)
+            || !crate::norms::all_finite(&rhs)
+        {
+            return Err(LinalgError::NotFinite);
+        }
+        Ok(LinearProgram {
+            objective,
+            constraints,
+            rhs,
+        })
+    }
+
+    /// Number of decision variables.
+    pub fn num_variables(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of equality constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Solves the program with the two-phase primal simplex method.
+    pub fn solve(&self) -> Result<LpSolution, LinalgError> {
+        let m = self.num_constraints();
+        let n = self.num_variables();
+        if n == 0 {
+            // Degenerate: no variables. Feasible iff b = 0.
+            let feasible = self.rhs.iter().all(|v| v.abs() <= EPS);
+            return Ok(LpSolution {
+                status: if feasible {
+                    LpStatus::Optimal
+                } else {
+                    LpStatus::Infeasible
+                },
+                x: Vec::new(),
+                objective_value: 0.0,
+                iterations: 0,
+            });
+        }
+
+        // Build the phase-1 tableau with artificial variables. Columns:
+        // [x_0..x_{n-1}, a_0..a_{m-1} | rhs]. Rows are the constraints with
+        // the sign flipped where needed so that rhs >= 0.
+        let total = n + m;
+        let mut tableau = Matrix::zeros(m, total + 1);
+        for i in 0..m {
+            let flip = if self.rhs[i] < 0.0 { -1.0 } else { 1.0 };
+            for j in 0..n {
+                tableau[(i, j)] = flip * self.constraints[(i, j)];
+            }
+            tableau[(i, n + i)] = 1.0;
+            tableau[(i, total)] = flip * self.rhs[i];
+        }
+        let mut basis: Vec<usize> = (n..n + m).collect();
+        let mut iterations = 0;
+
+        // ---- Phase 1: minimise the sum of artificial variables. ----
+        let phase1_cost: Vec<f64> = (0..total)
+            .map(|j| if j >= n { 1.0 } else { 0.0 })
+            .collect();
+        let phase1_value =
+            simplex_iterate(&mut tableau, &mut basis, &phase1_cost, &mut iterations)?;
+        if phase1_value > 1e-7 {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                x: Vec::new(),
+                objective_value: f64::NAN,
+                iterations,
+            });
+        }
+
+        // Drive any artificial variables that remain in the basis out of it
+        // (they must be at zero level).
+        for row in 0..m {
+            if basis[row] >= n {
+                // Find a non-artificial column with a non-zero entry in this
+                // row to pivot on.
+                let mut pivot_col = None;
+                for j in 0..n {
+                    if tableau[(row, j)].abs() > EPS {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(col) = pivot_col {
+                    pivot(&mut tableau, &mut basis, row, col);
+                    iterations += 1;
+                }
+                // If no pivot column exists the row is redundant (all-zero
+                // over the original variables); leave the artificial basic
+                // variable at zero.
+            }
+        }
+
+        // Remove redundant rows (artificial variables stuck in the basis at
+        // zero level on all-zero rows) and drop the artificial columns
+        // entirely, so phase 2 works on the original variables only.
+        let keep: Vec<usize> = (0..m).filter(|&i| basis[i] < n).collect();
+        let mut reduced = Matrix::zeros(keep.len(), n + 1);
+        let mut reduced_basis = Vec::with_capacity(keep.len());
+        for (new_i, &i) in keep.iter().enumerate() {
+            for j in 0..n {
+                reduced[(new_i, j)] = tableau[(i, j)];
+            }
+            reduced[(new_i, n)] = tableau[(i, total)];
+            reduced_basis.push(basis[i]);
+        }
+        let mut tableau = reduced;
+        let mut basis = reduced_basis;
+
+        // ---- Phase 2: minimise the true objective over x. ----
+        let objective_value = match simplex_iterate(
+            &mut tableau,
+            &mut basis,
+            &self.objective,
+            &mut iterations,
+        ) {
+            Ok(v) => v,
+            Err(LinalgError::Unbounded) => {
+                return Ok(LpSolution {
+                    status: LpStatus::Unbounded,
+                    x: Vec::new(),
+                    objective_value: f64::NEG_INFINITY,
+                    iterations,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Extract the solution.
+        let mut x = vec![0.0; n];
+        let rhs_col = tableau.cols() - 1;
+        for (row, &b) in basis.iter().enumerate() {
+            if b < n {
+                x[b] = tableau[(row, rhs_col)];
+            }
+        }
+        Ok(LpSolution {
+            status: LpStatus::Optimal,
+            x,
+            objective_value,
+            iterations,
+        })
+    }
+}
+
+/// Performs simplex pivoting on `tableau` (rows = constraints, last column =
+/// rhs) with the reduced costs computed from `cost`, until optimality or
+/// unboundedness. Returns the objective value of the basic solution at
+/// termination.
+fn simplex_iterate(
+    tableau: &mut Matrix,
+    basis: &mut [usize],
+    cost: &[f64],
+    iterations: &mut usize,
+) -> Result<f64, LinalgError> {
+    let m = tableau.rows();
+    let total = tableau.cols() - 1;
+    // A very generous iteration budget; Bland's rule guarantees finiteness
+    // but we guard against pathological numerical behaviour anyway.
+    let max_iterations = 50 * (total + m) * (total + m).max(64);
+
+    loop {
+        // Compute the simplex multipliers implicitly: reduced cost of
+        // column j is c_j - c_B · B^{-1} A_j; since the tableau is kept in
+        // canonical form (basic columns are unit vectors), the reduced cost
+        // is c_j - Σ_i c_{basis[i]} * tableau[i][j].
+        let mut entering = None;
+        for j in 0..total {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut reduced = cost[j];
+            for i in 0..m {
+                reduced -= cost[basis[i]] * tableau[(i, j)];
+            }
+            if reduced < -EPS {
+                // Bland's rule: pick the lowest-index improving column.
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            // Optimal: compute the objective value.
+            let mut value = 0.0;
+            for i in 0..m {
+                value += cost[basis[i]] * tableau[(i, total)];
+            }
+            return Ok(value);
+        };
+
+        // Ratio test: choose the leaving row (Bland's rule on ties).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tableau[(i, col)];
+            if a > EPS {
+                let ratio = tableau[(i, total)] / a;
+                if ratio < best_ratio - EPS
+                    || ((ratio - best_ratio).abs() <= EPS
+                        && leaving.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return Err(LinalgError::Unbounded);
+        };
+
+        pivot(tableau, basis, row, col);
+        *iterations += 1;
+        if *iterations > max_iterations {
+            return Err(LinalgError::DidNotConverge {
+                iterations: *iterations,
+            });
+        }
+    }
+}
+
+/// Pivots the tableau on `(row, col)`: scales the pivot row so the pivot
+/// entry becomes 1 and eliminates the column from every other row.
+fn pivot(tableau: &mut Matrix, basis: &mut [usize], row: usize, col: usize) {
+    let cols = tableau.cols();
+    let pivot_val = tableau[(row, col)];
+    debug_assert!(pivot_val.abs() > 0.0, "pivot on a zero entry");
+    for j in 0..cols {
+        tableau[(row, j)] /= pivot_val;
+    }
+    for i in 0..tableau.rows() {
+        if i == row {
+            continue;
+        }
+        let factor = tableau[(i, col)];
+        if factor == 0.0 {
+            continue;
+        }
+        for j in 0..cols {
+            let delta = factor * tableau[(row, j)];
+            tableau[(i, j)] -= delta;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::approx_eq;
+
+    fn lp(c: &[f64], a_rows: &[Vec<f64>], b: &[f64]) -> LinearProgram {
+        LinearProgram::new(c.to_vec(), Matrix::from_rows(a_rows).unwrap(), b.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn solves_trivial_feasibility_problem() {
+        // min x1 + x2 s.t. x1 + x2 = 1, x >= 0 -> optimum 1.
+        let p = lp(&[1.0, 1.0], &[vec![1.0, 1.0]], &[1.0]);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective_value - 1.0).abs() < 1e-8);
+        assert!((sol.x[0] + sol.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solves_textbook_lp() {
+        // min -3x - 5y s.t. x + s1 = 4, 2y + s2 = 12, 3x + 2y + s3 = 18,
+        // all vars >= 0. Classic problem: optimum at x=2, y=6, objective -36.
+        let p = lp(
+            &[-3.0, -5.0, 0.0, 0.0, 0.0],
+            &[
+                vec![1.0, 0.0, 1.0, 0.0, 0.0],
+                vec![0.0, 2.0, 0.0, 1.0, 0.0],
+                vec![3.0, 2.0, 0.0, 0.0, 1.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        );
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective_value + 36.0).abs() < 1e-7);
+        assert!((sol.x[0] - 2.0).abs() < 1e-7);
+        assert!((sol.x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x1 + x2 = 1 and x1 + x2 = 3 cannot both hold.
+        let p = lp(
+            &[1.0, 1.0],
+            &[vec![1.0, 1.0], vec![1.0, 1.0]],
+            &[1.0, 3.0],
+        );
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // min -x1 s.t. x1 - x2 = 0: x1 = x2 can grow without bound.
+        let p = lp(&[-1.0, 0.0], &[vec![1.0, -1.0]], &[0.0]);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn handles_negative_rhs_by_row_flip() {
+        // -x1 = -2 means x1 = 2.
+        let p = lp(&[1.0], &[vec![-1.0]], &[-2.0]);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(approx_eq(&sol.x, &[2.0], 1e-8));
+    }
+
+    #[test]
+    fn handles_redundant_constraints() {
+        // Duplicate constraint rows; still optimal.
+        let p = lp(
+            &[1.0, 2.0],
+            &[vec![1.0, 1.0], vec![1.0, 1.0]],
+            &[1.0, 1.0],
+        );
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective_value - 1.0).abs() < 1e-8);
+        assert!((sol.x[0] - 1.0).abs() < 1e-8, "should prefer the cheap variable");
+    }
+
+    #[test]
+    fn zero_variable_program() {
+        let p = LinearProgram::new(vec![], Matrix::zeros(1, 0), vec![0.0]).unwrap();
+        assert_eq!(p.solve().unwrap().status, LpStatus::Optimal);
+        let q = LinearProgram::new(vec![], Matrix::zeros(1, 0), vec![1.0]).unwrap();
+        assert_eq!(q.solve().unwrap().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatches() {
+        assert!(LinearProgram::new(vec![1.0], Matrix::zeros(1, 2), vec![1.0]).is_err());
+        assert!(LinearProgram::new(vec![1.0, 2.0], Matrix::zeros(1, 2), vec![1.0, 2.0]).is_err());
+        assert!(LinearProgram::new(
+            vec![f64::NAN, 2.0],
+            Matrix::zeros(1, 2),
+            vec![1.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A problem with degenerate vertices; Bland's rule must terminate.
+        let p = lp(
+            &[1.0, 1.0, 1.0],
+            &[vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0], vec![1.0, 0.0, 0.0]],
+            &[1.0, 1.0, 1.0],
+        );
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective_value - 1.0).abs() < 1e-8);
+        assert!(approx_eq(&sol.x, &[1.0, 0.0, 0.0], 1e-8));
+    }
+}

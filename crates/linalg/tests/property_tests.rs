@@ -1,0 +1,160 @@
+//! Property-based tests for the numerical substrate.
+//!
+//! These check structural invariants of the solvers on randomly generated,
+//! well-conditioned inputs: solutions actually satisfy the systems they
+//! were produced from, factorisations reproduce the original matrices, and
+//! the minimum-L1 solution never has a larger L1 norm than any other
+//! feasible point we can construct.
+
+use netcorr_linalg::{
+    l1::min_l1_norm_solution,
+    lstsq::solve_least_squares,
+    lu::LuDecomposition,
+    matrix::Matrix,
+    norms::{l1_norm, l2_norm, sub},
+    qr::QrDecomposition,
+    rank::{numerical_rank, select_independent_rows},
+    simplex::{LinearProgram, LpStatus},
+};
+use proptest::prelude::*;
+
+/// Strategy: a diagonally dominant square matrix of size `n` (always
+/// invertible and well conditioned).
+fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::from_row_slice(n, n, &vals).unwrap();
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        m
+    })
+}
+
+/// Strategy: an arbitrary vector of length `n` with moderate entries.
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solution_satisfies_system(a in diag_dominant_matrix(6), x_true in vector(6)) {
+        let b = a.matvec(&x_true).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        prop_assert!(!lu.is_singular());
+        let x = lu.solve(&b).unwrap();
+        let residual = l2_norm(&sub(&a.matvec(&x).unwrap(), &b));
+        prop_assert!(residual < 1e-6, "residual {residual}");
+    }
+
+    #[test]
+    fn lu_inverse_is_two_sided(a in diag_dominant_matrix(5)) {
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let eye = Matrix::identity(5);
+        prop_assert!(a.matmul(&inv).unwrap().approx_eq(&eye, 1e-7));
+        prop_assert!(inv.matmul(&a).unwrap().approx_eq(&eye, 1e-7));
+    }
+
+    #[test]
+    fn determinant_sign_flips_with_row_swap(a in diag_dominant_matrix(4)) {
+        let d1 = LuDecomposition::new(&a).unwrap().determinant();
+        let mut swapped = a.clone();
+        swapped.swap_rows(0, 1);
+        let d2 = LuDecomposition::new(&swapped).unwrap().determinant();
+        prop_assert!((d1 + d2).abs() < 1e-6 * d1.abs().max(1.0), "d1={d1}, d2={d2}");
+    }
+
+    #[test]
+    fn qr_least_squares_recovers_exact_solution_of_consistent_system(
+        a in diag_dominant_matrix(5),
+        x_true in vector(5),
+    ) {
+        // Stack the square system on top of a duplicate of its first row to
+        // get a consistent over-determined system.
+        let mut rows: Vec<Vec<f64>> = (0..5).map(|i| a.row(i)).collect();
+        rows.push(a.row(0));
+        let tall = Matrix::from_rows(&rows).unwrap();
+        let mut b = a.matvec(&x_true).unwrap();
+        b.push(b[0]);
+        let qr = QrDecomposition::new(&tall).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            prop_assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn lstsq_driver_residual_never_exceeds_zero_vector_residual(
+        a in diag_dominant_matrix(5),
+        b in vector(5),
+    ) {
+        let sol = solve_least_squares(&a, &b).unwrap();
+        // The zero vector is always a candidate, so the LS residual can be
+        // at most ‖b‖.
+        prop_assert!(sol.residual <= l2_norm(&b) + 1e-9);
+    }
+
+    #[test]
+    fn rank_is_bounded_by_dimensions(vals in prop::collection::vec(-1.0f64..1.0, 30)) {
+        let m = Matrix::from_row_slice(5, 6, &vals).unwrap();
+        let r = numerical_rank(&m, 1e-10);
+        prop_assert!(r <= 5);
+    }
+
+    #[test]
+    fn selected_rows_count_equals_rank(vals in prop::collection::vec(-1.0f64..1.0, 24)) {
+        let m = Matrix::from_row_slice(6, 4, &vals).unwrap();
+        let order: Vec<usize> = (0..6).collect();
+        let selected = select_independent_rows(&m, &order, 1e-9);
+        // The number of independent rows selected greedily equals the rank.
+        prop_assert_eq!(selected.len(), numerical_rank(&m, 1e-9));
+    }
+
+    #[test]
+    fn min_l1_solution_is_feasible_and_no_worse_than_reference(
+        vals in prop::collection::vec(-1.0f64..1.0, 12),
+        x_ref in vector(6),
+    ) {
+        // 2 x 6 under-determined system with a known feasible point x_ref.
+        let a = Matrix::from_row_slice(2, 6, &vals).unwrap();
+        if numerical_rank(&a, 1e-8) < 2 {
+            // Skip nearly-degenerate instances.
+            return Ok(());
+        }
+        let b = a.matvec(&x_ref).unwrap();
+        let x = min_l1_norm_solution(&a, &b).unwrap();
+        let residual = l2_norm(&sub(&a.matvec(&x).unwrap(), &b));
+        prop_assert!(residual < 1e-5, "residual {residual}");
+        prop_assert!(l1_norm(&x) <= l1_norm(&x_ref) + 1e-5);
+    }
+
+    #[test]
+    fn simplex_optimum_is_feasible(
+        vals in prop::collection::vec(0.1f64..1.0, 8),
+        b in prop::collection::vec(0.5f64..2.0, 2),
+        cost in prop::collection::vec(0.1f64..5.0, 4),
+    ) {
+        // A x = b with positive A and b: always feasible (scale a column).
+        let a = Matrix::from_row_slice(2, 4, &vals).unwrap();
+        let lp = LinearProgram::new(cost, a.clone(), b.clone()).unwrap();
+        let sol = lp.solve().unwrap();
+        if sol.status == LpStatus::Optimal {
+            let ax = a.matvec(&sol.x).unwrap();
+            for (l, r) in ax.iter().zip(b.iter()) {
+                prop_assert!((l - r).abs() < 1e-6, "constraint violated: {l} vs {r}");
+            }
+            prop_assert!(sol.x.iter().all(|&v| v >= -1e-9));
+        }
+    }
+}
+
+#[test]
+fn matrix_add_sub_roundtrip() {
+    let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+    let b = Matrix::from_fn(4, 4, |i, j| ((i as i64) - (j as i64)) as f64);
+    let sum = &a + &b;
+    let back = &sum - &b;
+    assert!(back.approx_eq(&a, 1e-12));
+}

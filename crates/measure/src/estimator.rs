@@ -1,0 +1,259 @@
+//! Empirical estimators of path-level probabilities.
+//!
+//! Everything the tomography algorithms need from the measurements is a
+//! probability of some *path-level* event, estimated as a relative
+//! frequency over the snapshots of an experiment:
+//!
+//! * `P(Y_i = 0)` — path `P_i` is good (single-path equations, Eq. 9);
+//! * `P(Y_i = 0, Y_j = 0)` — paths `P_i` and `P_j` are both good
+//!   (path-pair equations, Eq. 10);
+//! * `P(ψ(S) = ∅)` — all paths are good (Eq. 3 / Eq. 14);
+//! * `P(ψ(S) = ψ(A))` — the paths covered by a correlation subset `A` are
+//!   exactly the congested paths (the left-hand side of Eq. 18, used by the
+//!   exact theorem algorithm).
+//!
+//! Estimated probabilities of zero are problematic for the log-linear
+//! equations (log 0 = −∞), so [`ProbabilityEstimator::log_prob_paths_good`]
+//! clamps frequencies to a floor of `1/(2·N)` where `N` is the number of
+//! snapshots — the usual "half a count" correction for unobserved events.
+
+use std::collections::BTreeSet;
+
+use netcorr_topology::path::PathId;
+
+use crate::error::MeasureError;
+use crate::observation::PathObservations;
+
+/// Empirical probability estimator over a set of recorded observations.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbabilityEstimator<'a> {
+    observations: &'a PathObservations,
+}
+
+impl<'a> ProbabilityEstimator<'a> {
+    /// Creates an estimator over `observations`.
+    ///
+    /// Returns an error if no snapshots have been recorded.
+    pub fn new(observations: &'a PathObservations) -> Result<Self, MeasureError> {
+        if observations.is_empty() {
+            return Err(MeasureError::NoSnapshots);
+        }
+        Ok(ProbabilityEstimator { observations })
+    }
+
+    /// The underlying observations.
+    pub fn observations(&self) -> &PathObservations {
+        self.observations
+    }
+
+    /// Number of snapshots backing every estimate.
+    pub fn num_snapshots(&self) -> usize {
+        self.observations.num_snapshots()
+    }
+
+    /// The probability floor used when clamping zero frequencies before
+    /// taking logarithms: `1 / (2 N)`.
+    pub fn probability_floor(&self) -> f64 {
+        1.0 / (2.0 * self.num_snapshots() as f64)
+    }
+
+    fn check_path(&self, path: PathId) -> Result<(), MeasureError> {
+        if path.index() >= self.observations.num_paths() {
+            return Err(MeasureError::UnknownPath {
+                index: path.index(),
+                num_paths: self.observations.num_paths(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Empirical `P(Y_i = 0)`: the fraction of snapshots in which `path`
+    /// was good.
+    pub fn prob_path_good(&self, path: PathId) -> Result<f64, MeasureError> {
+        Ok(1.0 - self.observations.congestion_frequency(path)?)
+    }
+
+    /// Empirical `P(Y_i = 1)`.
+    pub fn prob_path_congested(&self, path: PathId) -> Result<f64, MeasureError> {
+        self.observations.congestion_frequency(path)
+    }
+
+    /// Empirical probability that *all* the given paths were good in the
+    /// same snapshot (`P(Y_{i1} = 0, ..., Y_{ik} = 0)`).
+    pub fn prob_paths_good(&self, paths: &[PathId]) -> Result<f64, MeasureError> {
+        for &p in paths {
+            self.check_path(p)?;
+        }
+        let n = self.num_snapshots();
+        let mut good = 0usize;
+        for snapshot in self.observations.snapshots() {
+            if paths.iter().all(|p| !snapshot[p.index()]) {
+                good += 1;
+            }
+        }
+        Ok(good as f64 / n as f64)
+    }
+
+    /// Empirical `P(ψ(S) = ∅)`: the fraction of snapshots in which every
+    /// path was good.
+    pub fn prob_all_paths_good(&self) -> f64 {
+        let n = self.num_snapshots();
+        let good = self
+            .observations
+            .snapshots()
+            .filter(|snapshot| snapshot.iter().all(|&c| !c))
+            .count();
+        good as f64 / n as f64
+    }
+
+    /// Empirical `P(ψ(S) = ψ(A))`: the fraction of snapshots in which the
+    /// congested paths were *exactly* the given set.
+    pub fn prob_exactly_congested(&self, congested: &BTreeSet<PathId>) -> Result<f64, MeasureError> {
+        for &p in congested {
+            self.check_path(p)?;
+        }
+        let n = self.num_snapshots();
+        let mut matches = 0usize;
+        for snapshot in self.observations.snapshots() {
+            let exact = snapshot
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| c == congested.contains(&PathId(i)));
+            if exact {
+                matches += 1;
+            }
+        }
+        Ok(matches as f64 / n as f64)
+    }
+
+    /// `log P(all given paths good)`, clamped below by the probability
+    /// floor so the result is always finite. This is the right-hand side
+    /// `y` of the log-linear equations in Section 4.
+    pub fn log_prob_paths_good(&self, paths: &[PathId]) -> Result<f64, MeasureError> {
+        let p = self.prob_paths_good(paths)?;
+        Ok(p.max(self.probability_floor()).ln())
+    }
+
+    /// Paths that were congested during at least one snapshot.
+    pub fn ever_congested_paths(&self) -> Vec<PathId> {
+        self.observations.ever_congested_paths()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8 snapshots over 3 paths with a known pattern.
+    fn observations() -> PathObservations {
+        let mut obs = PathObservations::new(3);
+        let snapshots = [
+            [false, false, false],
+            [true, false, false],
+            [true, true, false],
+            [false, false, false],
+            [false, true, false],
+            [true, true, false],
+            [false, false, false],
+            [false, false, true],
+        ];
+        for s in &snapshots {
+            obs.record_snapshot(s).unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn single_path_probabilities() {
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        assert_eq!(est.num_snapshots(), 8);
+        // Path 0 congested in 3 of 8 snapshots.
+        assert!((est.prob_path_congested(PathId(0)).unwrap() - 3.0 / 8.0).abs() < 1e-12);
+        assert!((est.prob_path_good(PathId(0)).unwrap() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((est.prob_path_good(PathId(2)).unwrap() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_probabilities() {
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        // Paths 0 and 1 both good in snapshots 0, 3, 6, 7 -> 4/8.
+        assert!((est.prob_paths_good(&[PathId(0), PathId(1)]).unwrap() - 0.5).abs() < 1e-12);
+        // All three paths good in snapshots 0, 3, 6 -> 3/8.
+        assert!(
+            (est.prob_paths_good(&[PathId(0), PathId(1), PathId(2)]).unwrap() - 3.0 / 8.0).abs()
+                < 1e-12
+        );
+        assert!((est.prob_all_paths_good() - 3.0 / 8.0).abs() < 1e-12);
+        // The joint probability with an empty path list is 1 (vacuous).
+        assert_eq!(est.prob_paths_good(&[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn exact_congestion_pattern_probabilities() {
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        // Exactly {P1} congested: snapshot 1 only -> 1/8.
+        let p = est
+            .prob_exactly_congested(&BTreeSet::from([PathId(0)]))
+            .unwrap();
+        assert!((p - 1.0 / 8.0).abs() < 1e-12);
+        // Exactly {P1, P2}: snapshots 2 and 5 -> 2/8.
+        let p = est
+            .prob_exactly_congested(&BTreeSet::from([PathId(0), PathId(1)]))
+            .unwrap();
+        assert!((p - 2.0 / 8.0).abs() < 1e-12);
+        // Exactly nothing congested: snapshots 0, 3, 6 -> 3/8, matching
+        // prob_all_paths_good.
+        let p = est.prob_exactly_congested(&BTreeSet::new()).unwrap();
+        assert!((p - est.prob_all_paths_good()).abs() < 1e-12);
+        // A pattern that never occurred.
+        let p = est
+            .prob_exactly_congested(&BTreeSet::from([PathId(2), PathId(1)]))
+            .unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn log_probabilities_are_clamped() {
+        let mut obs = PathObservations::new(2);
+        for _ in 0..10 {
+            obs.record_snapshot(&[true, false]).unwrap();
+        }
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        // Path 0 was never good: probability 0 must be clamped to 1/(2N).
+        let log_p = est.log_prob_paths_good(&[PathId(0)]).unwrap();
+        assert!((log_p - (1.0 / 20.0f64).ln()).abs() < 1e-12);
+        assert!(log_p.is_finite());
+        // Path 1 was always good: log 1 = 0.
+        assert_eq!(est.log_prob_paths_good(&[PathId(1)]).unwrap(), 0.0);
+        assert!((est.probability_floor() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_empty_or_unknown() {
+        let empty = PathObservations::new(2);
+        assert_eq!(
+            ProbabilityEstimator::new(&empty).unwrap_err(),
+            MeasureError::NoSnapshots
+        );
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        assert!(est.prob_path_good(PathId(9)).is_err());
+        assert!(est.prob_paths_good(&[PathId(9)]).is_err());
+        assert!(est
+            .prob_exactly_congested(&BTreeSet::from([PathId(9)]))
+            .is_err());
+    }
+
+    #[test]
+    fn ever_congested_paths_passthrough() {
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        assert_eq!(
+            est.ever_congested_paths(),
+            vec![PathId(0), PathId(1), PathId(2)]
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # netcorr-measure — end-to-end measurements and estimators
+//!
+//! The tomography algorithms never see link states directly; all they get
+//! is, for every *snapshot* (time slot), which measurement paths were
+//! observed to be congested. This crate provides:
+//!
+//! * [`PathObservations`] — the compact container of those per-snapshot
+//!   Boolean path observations, produced by the simulator (or, in a real
+//!   deployment, by an active-probing measurement system).
+//! * [`ProbabilityEstimator`] — empirical estimators of every probability
+//!   the algorithms need: `P(Y_i = 0)` (a path is good), joint
+//!   `P(Y_i = 0, Y_j = 0)`, `P(ψ(S) = ∅)` (all paths good) and
+//!   `P(ψ(S) = ψ(A))` (a given set of paths are the only congested ones).
+//!
+//! The estimators are plain relative frequencies over the snapshots; the
+//! number of snapshots controls their accuracy, exactly as in the paper's
+//! experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod estimator;
+pub mod observation;
+
+pub use error::MeasureError;
+pub use estimator::ProbabilityEstimator;
+pub use observation::PathObservations;

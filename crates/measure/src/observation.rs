@@ -1,0 +1,244 @@
+//! Per-snapshot path observations.
+
+use serde::{Deserialize, Serialize};
+
+use netcorr_topology::path::PathId;
+
+use crate::error::MeasureError;
+
+/// The outcome of an experiment: for every snapshot, the congestion status
+/// (`true` = congested) of every measurement path.
+///
+/// Data is stored snapshot-major in one flat vector, so an experiment with
+/// 1500 paths and a few thousand snapshots occupies only a few megabytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathObservations {
+    num_paths: usize,
+    data: Vec<bool>,
+}
+
+impl PathObservations {
+    /// Creates an empty observation container for `num_paths` paths.
+    pub fn new(num_paths: usize) -> Self {
+        PathObservations {
+            num_paths,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty container with capacity pre-allocated for
+    /// `snapshots` snapshots.
+    pub fn with_capacity(num_paths: usize, snapshots: usize) -> Self {
+        PathObservations {
+            num_paths,
+            data: Vec::with_capacity(num_paths * snapshots),
+        }
+    }
+
+    /// Number of paths per snapshot.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+
+    /// Number of snapshots recorded so far.
+    pub fn num_snapshots(&self) -> usize {
+        if self.num_paths == 0 {
+            0
+        } else {
+            self.data.len() / self.num_paths
+        }
+    }
+
+    /// Returns `true` if no snapshots have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Records one snapshot: `congested[i]` is the status of path `i`.
+    pub fn record_snapshot(&mut self, congested: &[bool]) -> Result<(), MeasureError> {
+        if congested.len() != self.num_paths {
+            return Err(MeasureError::WrongSnapshotWidth {
+                expected: self.num_paths,
+                actual: congested.len(),
+            });
+        }
+        self.data.extend_from_slice(congested);
+        Ok(())
+    }
+
+    /// The observations of snapshot `snapshot` (one entry per path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot index is out of range.
+    pub fn snapshot(&self, snapshot: usize) -> &[bool] {
+        assert!(
+            snapshot < self.num_snapshots(),
+            "snapshot {snapshot} out of range ({} recorded)",
+            self.num_snapshots()
+        );
+        &self.data[snapshot * self.num_paths..(snapshot + 1) * self.num_paths]
+    }
+
+    /// Whether `path` was congested during `snapshot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn is_congested(&self, snapshot: usize, path: PathId) -> bool {
+        assert!(
+            path.index() < self.num_paths,
+            "path {} out of range ({} paths)",
+            path.index(),
+            self.num_paths
+        );
+        self.snapshot(snapshot)[path.index()]
+    }
+
+    /// The set of congested paths during `snapshot`, in increasing path
+    /// order.
+    pub fn congested_paths(&self, snapshot: usize) -> Vec<PathId> {
+        self.snapshot(snapshot)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| PathId(i))
+            .collect()
+    }
+
+    /// Fraction of snapshots during which `path` was congested (its
+    /// empirical `P(Y = 1)`).
+    pub fn congestion_frequency(&self, path: PathId) -> Result<f64, MeasureError> {
+        if self.is_empty() {
+            return Err(MeasureError::NoSnapshots);
+        }
+        if path.index() >= self.num_paths {
+            return Err(MeasureError::UnknownPath {
+                index: path.index(),
+                num_paths: self.num_paths,
+            });
+        }
+        let n = self.num_snapshots();
+        let congested = (0..n)
+            .filter(|&s| self.data[s * self.num_paths + path.index()])
+            .count();
+        Ok(congested as f64 / n as f64)
+    }
+
+    /// Iterates over snapshots as slices.
+    pub fn snapshots(&self) -> impl Iterator<Item = &[bool]> {
+        self.data.chunks_exact(self.num_paths.max(1))
+    }
+
+    /// Paths that were congested during at least one snapshot — the
+    /// "potentially congested" notion is defined over *links*, but this
+    /// per-path view is what it is derived from.
+    pub fn ever_congested_paths(&self) -> Vec<PathId> {
+        let mut ever = vec![false; self.num_paths];
+        for snapshot in self.snapshots() {
+            for (i, &c) in snapshot.iter().enumerate() {
+                if c {
+                    ever[i] = true;
+                }
+            }
+        }
+        ever.iter()
+            .enumerate()
+            .filter(|&(_, &e)| e)
+            .map(|(i, _)| PathId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_observations() -> PathObservations {
+        let mut obs = PathObservations::new(3);
+        obs.record_snapshot(&[false, false, false]).unwrap();
+        obs.record_snapshot(&[true, false, false]).unwrap();
+        obs.record_snapshot(&[true, true, false]).unwrap();
+        obs.record_snapshot(&[false, false, false]).unwrap();
+        obs
+    }
+
+    #[test]
+    fn recording_and_counting_snapshots() {
+        let obs = sample_observations();
+        assert_eq!(obs.num_paths(), 3);
+        assert_eq!(obs.num_snapshots(), 4);
+        assert!(!obs.is_empty());
+        assert_eq!(obs.snapshot(2), &[true, true, false]);
+    }
+
+    #[test]
+    fn rejects_snapshots_of_the_wrong_width() {
+        let mut obs = PathObservations::new(3);
+        let err = obs.record_snapshot(&[true, false]).unwrap_err();
+        assert_eq!(
+            err,
+            MeasureError::WrongSnapshotWidth {
+                expected: 3,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn per_path_queries() {
+        let obs = sample_observations();
+        assert!(obs.is_congested(1, PathId(0)));
+        assert!(!obs.is_congested(1, PathId(1)));
+        assert_eq!(obs.congested_paths(2), vec![PathId(0), PathId(1)]);
+        assert_eq!(obs.congested_paths(0), Vec::<PathId>::new());
+        assert_eq!(obs.congestion_frequency(PathId(0)).unwrap(), 0.5);
+        assert_eq!(obs.congestion_frequency(PathId(2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn frequency_errors() {
+        let empty = PathObservations::new(2);
+        assert_eq!(
+            empty.congestion_frequency(PathId(0)),
+            Err(MeasureError::NoSnapshots)
+        );
+        let obs = sample_observations();
+        assert_eq!(
+            obs.congestion_frequency(PathId(7)),
+            Err(MeasureError::UnknownPath {
+                index: 7,
+                num_paths: 3
+            })
+        );
+    }
+
+    #[test]
+    fn ever_congested_paths_are_reported() {
+        let obs = sample_observations();
+        assert_eq!(obs.ever_congested_paths(), vec![PathId(0), PathId(1)]);
+    }
+
+    #[test]
+    fn snapshots_iterator_matches_accessor() {
+        let obs = sample_observations();
+        let collected: Vec<&[bool]> = obs.snapshots().collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[1], obs.snapshot(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn snapshot_accessor_panics_out_of_range() {
+        let obs = sample_observations();
+        let _ = obs.snapshot(10);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut obs = PathObservations::with_capacity(2, 100);
+        assert_eq!(obs.num_snapshots(), 0);
+        obs.record_snapshot(&[true, false]).unwrap();
+        assert_eq!(obs.num_snapshots(), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! The snapshot simulation engine.
+//!
+//! A [`Simulator`] binds a topology instance, a congestion model and a
+//! simulation configuration, and turns them into end-to-end measurements:
+//! for every snapshot it draws link states from the model, assigns
+//! packet-loss rates, sends probe packets along every path and classifies
+//! each path as good or congested by comparing its measured loss rate to
+//! the path threshold `t_p = 1 − (1 − t_l)^d`.
+
+use rand::{Rng, RngExt};
+
+use netcorr_measure::PathObservations;
+use netcorr_topology::TopologyInstance;
+
+use crate::config::{SimulationConfig, TransmissionModel};
+use crate::congestion::CongestionModel;
+use crate::error::SimError;
+use crate::loss::{path_delivery_probability, sample_binomial, sample_loss_rate};
+
+/// A simulation run that also kept the ground-truth link states of every
+/// snapshot (useful for validation and for studying the separability
+/// assumption; the inference algorithms never see this information).
+#[derive(Debug, Clone)]
+pub struct SimulationTrace {
+    /// The end-to-end observations (what the algorithms consume).
+    pub observations: PathObservations,
+    /// For every snapshot, the congestion state of every link.
+    pub link_states: Vec<Vec<bool>>,
+}
+
+/// The snapshot simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    instance: &'a TopologyInstance,
+    model: &'a CongestionModel,
+    config: SimulationConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator, validating that the model covers exactly the
+    /// instance's links and that the configuration is sane.
+    pub fn new(
+        instance: &'a TopologyInstance,
+        model: &'a CongestionModel,
+        config: SimulationConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if model.num_links() != instance.num_links() {
+            return Err(SimError::InvalidConfig(format!(
+                "congestion model covers {} links, topology has {}",
+                model.num_links(),
+                instance.num_links()
+            )));
+        }
+        Ok(Simulator {
+            instance,
+            model,
+            config,
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs `snapshots` snapshots and returns the path observations.
+    pub fn run(&self, snapshots: usize, rng: &mut impl Rng) -> PathObservations {
+        let mut observations =
+            PathObservations::with_capacity(self.instance.num_paths(), snapshots);
+        for _ in 0..snapshots {
+            let (_, path_congested) = self.simulate_snapshot(rng);
+            observations
+                .record_snapshot(&path_congested)
+                .expect("snapshot width matches the path count");
+        }
+        observations
+    }
+
+    /// Runs `snapshots` snapshots and returns both the observations and the
+    /// ground-truth link states.
+    pub fn run_detailed(&self, snapshots: usize, rng: &mut impl Rng) -> SimulationTrace {
+        let mut observations =
+            PathObservations::with_capacity(self.instance.num_paths(), snapshots);
+        let mut link_states = Vec::with_capacity(snapshots);
+        for _ in 0..snapshots {
+            let (links, path_congested) = self.simulate_snapshot(rng);
+            observations
+                .record_snapshot(&path_congested)
+                .expect("snapshot width matches the path count");
+            link_states.push(links);
+        }
+        SimulationTrace {
+            observations,
+            link_states,
+        }
+    }
+
+    /// Simulates a single snapshot: returns the link congestion states and
+    /// the per-path congestion observations.
+    pub fn simulate_snapshot(&self, rng: &mut impl Rng) -> (Vec<bool>, Vec<bool>) {
+        // 1. Draw link states from the congestion model.
+        let link_states = self.model.sample_state(rng);
+        // 2. Assign loss rates according to the loss model.
+        let loss_rates: Vec<f64> = link_states
+            .iter()
+            .map(|&congested| sample_loss_rate(rng, congested, &self.config))
+            .collect();
+        // 3. Send probes along every path and classify it.
+        let path_congested: Vec<bool> = self
+            .instance
+            .paths
+            .paths()
+            .map(|path| {
+                let path_losses: Vec<f64> =
+                    path.links.iter().map(|l| loss_rates[l.index()]).collect();
+                let threshold = self.config.path_congestion_threshold(path.len());
+                let measured_loss = self.measure_path_loss(&path_losses, rng);
+                measured_loss > threshold
+            })
+            .collect();
+        (link_states, path_congested)
+    }
+
+    /// Measures the loss rate of one path according to the configured
+    /// transmission model.
+    fn measure_path_loss(&self, link_losses: &[f64], rng: &mut impl Rng) -> f64 {
+        let delivery = path_delivery_probability(link_losses);
+        match self.config.transmission {
+            TransmissionModel::Exact => 1.0 - delivery,
+            TransmissionModel::Binomial => {
+                let n = self.config.packets_per_path;
+                let delivered = sample_binomial(rng, n, delivery);
+                1.0 - delivered as f64 / n as f64
+            }
+            TransmissionModel::PerPacket => {
+                let n = self.config.packets_per_path;
+                let mut delivered = 0usize;
+                for _ in 0..n {
+                    let survived = link_losses
+                        .iter()
+                        .all(|&loss| !(loss > 0.0 && rng.random_bool(loss.min(1.0))));
+                    if survived {
+                        delivered += 1;
+                    }
+                }
+                1.0 - delivered as f64 / n as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionModelBuilder;
+    use netcorr_measure::ProbabilityEstimator;
+    use netcorr_topology::graph::LinkId;
+    use netcorr_topology::path::PathId;
+    use netcorr_topology::toy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    fn fig1a_setup() -> (netcorr_topology::TopologyInstance, CongestionModel) {
+        let inst = toy::figure_1a();
+        let model = CongestionModelBuilder::new(&inst.correlation)
+            .joint_group(&[LinkId(0), LinkId(1)], 0.2)
+            .independent(LinkId(2), 0.1)
+            .independent(LinkId(3), 0.1)
+            .build()
+            .unwrap();
+        (inst, model)
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let (inst, model) = fig1a_setup();
+        assert!(Simulator::new(&inst, &model, SimulationConfig::default()).is_ok());
+        // Model with the wrong number of links.
+        let other = toy::figure_1b();
+        let small_model = CongestionModelBuilder::new(&other.correlation)
+            .independent(LinkId(0), 0.1)
+            .build()
+            .unwrap();
+        assert!(Simulator::new(&inst, &small_model, SimulationConfig::default()).is_err());
+        // Invalid configuration.
+        let bad = SimulationConfig {
+            link_congestion_threshold: 0.0,
+            ..SimulationConfig::default()
+        };
+        assert!(Simulator::new(&inst, &model, bad).is_err());
+    }
+
+    #[test]
+    fn run_produces_the_requested_number_of_snapshots() {
+        let (inst, model) = fig1a_setup();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = sim.run(50, &mut rng);
+        assert_eq!(obs.num_snapshots(), 50);
+        assert_eq!(obs.num_paths(), 3);
+    }
+
+    #[test]
+    fn all_good_links_imply_good_paths_in_exact_mode() {
+        let inst = toy::figure_1a();
+        // Nothing is ever congested.
+        let model = CongestionModelBuilder::new(&inst.correlation).build().unwrap();
+        let config = SimulationConfig {
+            transmission: TransmissionModel::Exact,
+            ..SimulationConfig::default()
+        };
+        let sim = Simulator::new(&inst, &model, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let obs = sim.run(500, &mut rng);
+        for snapshot in obs.snapshots() {
+            assert!(snapshot.iter().all(|&c| !c), "a path was congested with all links good");
+        }
+    }
+
+    #[test]
+    fn path_congestion_frequencies_track_the_model_in_exact_mode() {
+        let (inst, model) = fig1a_setup();
+        let config = SimulationConfig {
+            transmission: TransmissionModel::Exact,
+            ..SimulationConfig::default()
+        };
+        let sim = Simulator::new(&inst, &model, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs = sim.run(20_000, &mut rng);
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        // P1 = {e3, e1}: good iff both good. P(good) = 0.9 * 0.8 = 0.72, so
+        // P(congested) ≈ 0.28 (slightly lower because a barely-congested
+        // link does not always push the path over the threshold).
+        let p1 = est.prob_path_congested(PathId(0)).unwrap();
+        assert!((p1 - 0.28).abs() < 0.04, "P1 congestion frequency {p1}");
+        // P3 = {e4, e2}: P(congested) ≈ 1 − 0.9 · 0.8 = 0.28.
+        let p3 = est.prob_path_congested(PathId(2)).unwrap();
+        assert!((p3 - 0.28).abs() < 0.04, "P3 congestion frequency {p3}");
+    }
+
+    #[test]
+    fn binomial_and_per_packet_models_agree_statistically() {
+        let (inst, model) = fig1a_setup();
+        let mut freqs = Vec::new();
+        for transmission in [TransmissionModel::Binomial, TransmissionModel::PerPacket] {
+            let config = SimulationConfig {
+                transmission,
+                packets_per_path: 200,
+                ..SimulationConfig::default()
+            };
+            let sim = Simulator::new(&inst, &model, config).unwrap();
+            let mut rng = StdRng::seed_from_u64(4);
+            let obs = sim.run(3000, &mut rng);
+            let est = ProbabilityEstimator::new(&obs).unwrap();
+            freqs.push(est.prob_path_congested(PathId(0)).unwrap());
+        }
+        assert!(
+            (freqs[0] - freqs[1]).abs() < 0.03,
+            "binomial {} vs per-packet {}",
+            freqs[0],
+            freqs[1]
+        );
+    }
+
+    #[test]
+    fn detailed_run_exposes_consistent_link_states() {
+        let (inst, model) = fig1a_setup();
+        let config = SimulationConfig {
+            transmission: TransmissionModel::Exact,
+            ..SimulationConfig::default()
+        };
+        let sim = Simulator::new(&inst, &model, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = sim.run_detailed(2000, &mut rng);
+        assert_eq!(trace.link_states.len(), 2000);
+        for (snapshot_idx, links) in trace.link_states.iter().enumerate() {
+            // The joint group is all-or-nothing in every snapshot.
+            assert_eq!(links[0], links[1]);
+            // Separability, one direction: if every link of a path is good,
+            // the path must be observed good (exact transmission).
+            for (path_idx, path) in inst.paths.paths().enumerate() {
+                let all_good = path.links.iter().all(|l| !links[l.index()]);
+                if all_good {
+                    assert!(
+                        !trace.observations.snapshot(snapshot_idx)[path_idx],
+                        "path {path_idx} congested although all its links are good"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let (inst, model) = fig1a_setup();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let a = sim.run(100, &mut StdRng::seed_from_u64(9));
+        let b = sim.run(100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = sim.run(100, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_packet_loss_measurement_is_exact_for_degenerate_rates() {
+        let (inst, model) = fig1a_setup();
+        let config = SimulationConfig {
+            transmission: TransmissionModel::PerPacket,
+            packets_per_path: 50,
+            ..SimulationConfig::default()
+        };
+        let sim = Simulator::new(&inst, &model, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        // Loss rate 0 on every link: every packet survives.
+        assert_eq!(sim.measure_path_loss(&[0.0, 0.0], &mut rng), 0.0);
+        // Loss rate 1 on some link: every packet dies.
+        assert_eq!(sim.measure_path_loss(&[0.0, 1.0], &mut rng), 1.0);
+        // Probabilistic case stays within [0, 1].
+        let loss = sim.measure_path_loss(&[0.3, 0.2], &mut rng);
+        assert!((0.0..=1.0).contains(&loss));
+        let _ = rng.random::<f64>();
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for the simulator.
+
+use netcorr_topology::graph::LinkId;
+use std::fmt;
+
+/// Errors produced when building congestion models or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// What the probability was describing.
+        context: &'static str,
+    },
+    /// A link id does not exist in the model.
+    UnknownLink(LinkId),
+    /// A link was given more than one congestion specification.
+    DuplicateLink(LinkId),
+    /// The links of a joint group do not all belong to the same correlation
+    /// set.
+    GroupSpansCorrelationSets {
+        /// The first offending link.
+        link: LinkId,
+    },
+    /// A joint group must contain at least one link.
+    EmptyGroup,
+    /// A correlation set is too large for an explicit joint distribution
+    /// (more than 63 links, or more outcome combinations than the supported
+    /// limit).
+    SetTooLarge {
+        /// Number of links in the set.
+        size: usize,
+    },
+    /// An explicit distribution's probabilities do not sum to (at most) 1.
+    DistributionNotNormalized {
+        /// The probability mass that was supplied.
+        total: f64,
+    },
+    /// The simulation configuration is invalid.
+    InvalidConfig(String),
+    /// The substrate model's link dependencies reference a non-existent
+    /// substrate element.
+    UnknownSubstrateElement {
+        /// The offending index.
+        index: usize,
+        /// Number of substrate elements available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} for {context}")
+            }
+            SimError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            SimError::DuplicateLink(l) => {
+                write!(f, "link {l} was given more than one congestion specification")
+            }
+            SimError::GroupSpansCorrelationSets { link } => write!(
+                f,
+                "joint group spans correlation sets (link {link} is in a different set)"
+            ),
+            SimError::EmptyGroup => write!(f, "a joint group must contain at least one link"),
+            SimError::SetTooLarge { size } => write!(
+                f,
+                "correlation set with {size} links is too large for an explicit joint distribution"
+            ),
+            SimError::DistributionNotNormalized { total } => {
+                write!(f, "distribution probabilities sum to {total}, expected at most 1")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+            SimError::UnknownSubstrateElement { index, available } => write!(
+                f,
+                "substrate element {index} out of range (have {available})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_relevant_values() {
+        assert!(SimError::InvalidProbability {
+            value: 1.5,
+            context: "link congestion"
+        }
+        .to_string()
+        .contains("1.5"));
+        assert!(SimError::UnknownLink(LinkId(3)).to_string().contains("e4"));
+        assert!(SimError::DuplicateLink(LinkId(0)).to_string().contains("e1"));
+        assert!(SimError::SetTooLarge { size: 80 }.to_string().contains("80"));
+        assert!(SimError::DistributionNotNormalized { total: 1.4 }
+            .to_string()
+            .contains("1.4"));
+        assert!(SimError::EmptyGroup.to_string().contains("group"));
+        assert!(SimError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(SimError::UnknownSubstrateElement {
+            index: 9,
+            available: 3
+        }
+        .to_string()
+        .contains('9'));
+        assert!(SimError::GroupSpansCorrelationSets { link: LinkId(1) }
+            .to_string()
+            .contains("e2"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The packet-loss model of the paper's evaluation.
+//!
+//! Following the loss model of Padmanabhan et al. \[13\] (also used in
+//! \[11, 16\]), in every snapshot each link is assigned a packet-loss rate
+//! drawn uniformly from `[0, t_l]` if the link is good and from `(t_l, 1]`
+//! if it is congested, with `t_l = 0.01` by default.
+
+use rand::{Rng, RngExt};
+
+use crate::config::SimulationConfig;
+
+/// Draws a packet-loss rate for a link with the given congestion status.
+pub fn sample_loss_rate(rng: &mut impl Rng, congested: bool, config: &SimulationConfig) -> f64 {
+    let tl = config.link_congestion_threshold;
+    if congested {
+        // Uniform in (t_l, 1].
+        tl + (1.0 - tl) * rng.random::<f64>()
+    } else {
+        // Uniform in [0, t_l].
+        tl * rng.random::<f64>()
+    }
+}
+
+/// End-to-end delivery probability of a path whose links have the given
+/// loss rates: every packet must survive every link.
+pub fn path_delivery_probability(loss_rates: &[f64]) -> f64 {
+    loss_rates.iter().map(|l| 1.0 - l).product()
+}
+
+/// End-to-end loss probability of a path (`1 −` delivery probability).
+pub fn path_loss_probability(loss_rates: &[f64]) -> f64 {
+    1.0 - path_delivery_probability(loss_rates)
+}
+
+/// Draws the number of successes of a Binomial(`n`, `p`) variable.
+///
+/// Small `n` uses direct Bernoulli summation; large `n` uses the normal
+/// approximation (clamped and rounded), which is indistinguishable for the
+/// probe-count regimes used in the experiments (hundreds to thousands of
+/// packets per path).
+pub fn sample_binomial(rng: &mut impl Rng, n: usize, p: f64) -> usize {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 128 {
+        return (0..n).filter(|_| rng.random_bool(p)).count();
+    }
+    let mean = n as f64 * p;
+    let variance = n as f64 * p * (1.0 - p);
+    if variance < 9.0 {
+        // The normal approximation is poor in this regime; fall back to
+        // Bernoulli summation over the rarer outcome for efficiency.
+        if p <= 0.5 {
+            return (0..n).filter(|_| rng.random_bool(p)).count();
+        }
+        return n - (0..n).filter(|_| rng.random_bool(1.0 - p)).count();
+    }
+    // Box–Muller standard normal.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let sample = mean + z * variance.sqrt();
+    sample.round().clamp(0.0, n as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_rates_fall_in_the_prescribed_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SimulationConfig::default();
+        for _ in 0..2000 {
+            let good = sample_loss_rate(&mut rng, false, &config);
+            assert!((0.0..=0.01).contains(&good), "good loss {good}");
+            let congested = sample_loss_rate(&mut rng, true, &config);
+            assert!(
+                congested > 0.01 && congested <= 1.0,
+                "congested loss {congested}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_ranges_follow_the_configured_threshold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = SimulationConfig {
+            link_congestion_threshold: 0.2,
+            ..SimulationConfig::default()
+        };
+        for _ in 0..500 {
+            assert!(sample_loss_rate(&mut rng, false, &config) <= 0.2);
+            assert!(sample_loss_rate(&mut rng, true, &config) > 0.2);
+        }
+    }
+
+    #[test]
+    fn path_delivery_probability_multiplies_link_survival() {
+        assert!((path_delivery_probability(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((path_delivery_probability(&[0.5]) - 0.5).abs() < 1e-12);
+        assert!((path_delivery_probability(&[0.5, 0.5]) - 0.25).abs() < 1e-12);
+        assert!((path_loss_probability(&[0.1, 0.1]) - (1.0 - 0.81)).abs() < 1e-12);
+        // Empty path: everything delivered.
+        assert_eq!(path_delivery_probability(&[]), 1.0);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        for _ in 0..100 {
+            let s = sample_binomial(&mut rng, 10, 0.5);
+            assert!(s <= 10);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_is_close_to_np_small_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 4000;
+        let sum: usize = (0..trials).map(|_| sample_binomial(&mut rng, 50, 0.3)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 15.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_is_close_to_np_large_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 2000;
+        let n = 1000;
+        let p = 0.95;
+        let sum: usize = (0..trials).map(|_| sample_binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 950.0).abs() < 2.0, "mean {mean}");
+        // And all samples are within range.
+        for _ in 0..100 {
+            assert!(sample_binomial(&mut rng, n, p) <= n);
+        }
+    }
+
+    #[test]
+    fn binomial_low_variance_regime_uses_exact_sampling() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // n large but p tiny: variance < 9, exercised the Bernoulli branch.
+        let trials = 3000;
+        let n = 1000;
+        let p = 0.002;
+        let sum: usize = (0..trials).map(|_| sample_binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 2.0).abs() < 0.2, "mean {mean}");
+        // Symmetric high-p branch.
+        let sum: usize = (0..trials)
+            .map(|_| sample_binomial(&mut rng, n, 1.0 - p))
+            .sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 998.0).abs() < 0.2, "mean {mean}");
+    }
+}

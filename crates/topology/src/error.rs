@@ -1,0 +1,109 @@
+//! Error types for the topology crate.
+
+use crate::graph::{LinkId, NodeId};
+use std::fmt;
+
+/// Errors produced when building or validating topologies, path sets and
+/// correlation partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node id does not exist in the topology.
+    UnknownNode(NodeId),
+    /// A link id does not exist in the topology.
+    UnknownLink(LinkId),
+    /// A link from a node to itself was requested; the model has no
+    /// self-loops.
+    SelfLoop(NodeId),
+    /// A path is empty, which the model forbids.
+    EmptyPath,
+    /// A path crosses the same link more than once ("a path never crosses a
+    /// link more than once", Section 2.1).
+    PathHasLoop(LinkId),
+    /// Two consecutive links of a path are not adjacent in the graph.
+    PathNotContiguous {
+        /// The link whose target does not match the next link's source.
+        previous: LinkId,
+        /// The offending next link.
+        next: LinkId,
+    },
+    /// A link does not participate in any path ("all links participate in
+    /// at least one path", Section 2.1).
+    UnusedLink(LinkId),
+    /// The correlation sets do not form a partition of the link set: a link
+    /// is missing or appears in more than one set.
+    NotAPartition {
+        /// The offending link.
+        link: LinkId,
+        /// How many correlation sets contain it.
+        occurrences: usize,
+    },
+    /// A correlation set is empty.
+    EmptyCorrelationSet,
+    /// A subset enumeration was requested on a correlation set that is too
+    /// large for exhaustive enumeration.
+    CorrelationSetTooLarge {
+        /// Size of the offending set.
+        size: usize,
+        /// Maximum size supported by the requested operation.
+        limit: usize,
+    },
+    /// Generator configuration is invalid (e.g. zero nodes requested).
+    InvalidConfig(String),
+    /// The graph's internal indexes are inconsistent (programming error).
+    Inconsistent(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
+            TopologyError::EmptyPath => write!(f, "a path must traverse at least one link"),
+            TopologyError::PathHasLoop(l) => {
+                write!(f, "path crosses link {l} more than once")
+            }
+            TopologyError::PathNotContiguous { previous, next } => write!(
+                f,
+                "path is not contiguous: link {next} does not start where link {previous} ends"
+            ),
+            TopologyError::UnusedLink(l) => {
+                write!(f, "link {l} does not participate in any path")
+            }
+            TopologyError::NotAPartition { link, occurrences } => write!(
+                f,
+                "correlation sets are not a partition: link {link} appears in {occurrences} sets"
+            ),
+            TopologyError::EmptyCorrelationSet => write!(f, "correlation sets must be non-empty"),
+            TopologyError::CorrelationSetTooLarge { size, limit } => write!(
+                f,
+                "correlation set of size {size} exceeds the enumeration limit of {limit}"
+            ),
+            TopologyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TopologyError::Inconsistent(msg) => write!(f, "inconsistent topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relevant_entity() {
+        assert!(TopologyError::UnknownNode(NodeId(3)).to_string().contains("v4"));
+        assert!(TopologyError::UnknownLink(LinkId(0)).to_string().contains("e1"));
+        assert!(TopologyError::PathHasLoop(LinkId(1)).to_string().contains("e2"));
+        assert!(TopologyError::UnusedLink(LinkId(4)).to_string().contains("e5"));
+        let e = TopologyError::NotAPartition {
+            link: LinkId(2),
+            occurrences: 2,
+        };
+        assert!(e.to_string().contains("e3"));
+        let e = TopologyError::CorrelationSetTooLarge { size: 40, limit: 24 };
+        assert!(e.to_string().contains("40"));
+        assert!(TopologyError::InvalidConfig("boom".into()).to_string().contains("boom"));
+    }
+}

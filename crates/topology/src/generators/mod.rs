@@ -1,0 +1,23 @@
+//! Synthetic topology generators.
+//!
+//! The paper evaluates on two families of topologies:
+//!
+//! * **BRITE topologies** — pairs of AS-level and router-level graphs
+//!   produced by the BRITE generator, where the hidden router-level graph
+//!   induces the correlation structure among AS-level links (two AS-level
+//!   links are correlated iff they share a router-level link).
+//! * **PlanetLab topologies** — traceroute-derived router graphs between
+//!   PlanetLab vantage points, with correlation sets formed by contiguous
+//!   clusters of links (modelling LANs / administrative domains).
+//!
+//! Neither BRITE itself nor live PlanetLab traceroutes are available to
+//! this crate, so [`brite`] and [`planetlab`] synthesise topologies with
+//! the same structural properties (see DESIGN.md for the substitution
+//! rationale). [`random`] contains the shared random-graph primitives.
+
+pub mod brite;
+pub mod planetlab;
+pub mod random;
+
+pub use brite::{BriteConfig, BriteTopology};
+pub use planetlab::PlanetLabConfig;

@@ -1,0 +1,487 @@
+//! PlanetLab-style traceroute-derived topology generator.
+//!
+//! The paper's PlanetLab topologies are obtained by running traceroute
+//! between PlanetLab nodes, keeping the complete routes, and assigning
+//! links to correlation sets such that each set is a contiguous cluster of
+//! links — modelling correlation inside a local-area network or an
+//! administrative domain. The reported scale is roughly 2000 links and
+//! 1500 paths.
+//!
+//! Live traceroutes are not available here, so this generator synthesises a
+//! topology with the same structural properties: a connected random router
+//! graph, a set of vantage routers (the "PlanetLab nodes"), shortest-path
+//! routes between vantage pairs standing in for traceroute output, and
+//! correlation sets built from *router domains*: the routers are grouped
+//! into contiguous domains of a configurable size, and all links whose
+//! source router belongs to one domain form one correlation set — they
+//! plausibly share the domain's physical infrastructure and management
+//! processes. A link-level clustering helper
+//! ([`contiguous_link_clusters`]) is also provided as an alternative
+//! strategy.
+
+use rand::Rng;
+
+use crate::correlation::CorrelationPartition;
+use crate::error::TopologyError;
+use crate::graph::{LinkId, NodeId, Topology};
+use crate::path::PathSet;
+use crate::routing::{paths_between_vantage_points, restrict_to_paths};
+use crate::TopologyInstance;
+
+use super::random::{connected_random_edges, sample_distinct, topology_from_undirected_edges};
+
+/// How correlation sets are derived from the generated router graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringStrategy {
+    /// Group routers into contiguous domains of the given size; all links
+    /// originating in one domain form one correlation set. This models
+    /// LANs / administrative domains and lets most paths cross each
+    /// correlation set only once.
+    RouterDomains {
+        /// Number of routers per domain.
+        routers_per_domain: usize,
+    },
+    /// Group links directly into contiguous clusters of the given size
+    /// (breadth-first over the "links sharing an endpoint" adjacency).
+    ContiguousLinks {
+        /// Number of links per cluster.
+        cluster_size: usize,
+    },
+}
+
+/// Configuration of the PlanetLab-style generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanetLabConfig {
+    /// Number of routers in the underlying graph.
+    pub num_routers: usize,
+    /// Extra undirected edges added on top of the random spanning tree,
+    /// expressed as a fraction of `num_routers` (0.5 ⇒ 50% extra edges).
+    pub extra_edge_fraction: f64,
+    /// Number of vantage routers (the PlanetLab nodes running traceroute).
+    pub num_vantage: usize,
+    /// Number of measurement paths to generate (the paper uses ~1500).
+    pub target_paths: usize,
+    /// How correlation sets are formed.
+    pub clustering: ClusteringStrategy,
+}
+
+impl Default for PlanetLabConfig {
+    fn default() -> Self {
+        PlanetLabConfig {
+            num_routers: 700,
+            extra_edge_fraction: 0.6,
+            num_vantage: 55,
+            target_paths: 1500,
+            clustering: ClusteringStrategy::RouterDomains {
+                routers_per_domain: 1,
+            },
+        }
+    }
+}
+
+impl PlanetLabConfig {
+    /// A small configuration used by unit tests and quick examples.
+    pub fn small() -> Self {
+        PlanetLabConfig {
+            num_routers: 60,
+            extra_edge_fraction: 0.5,
+            num_vantage: 14,
+            target_paths: 120,
+            clustering: ClusteringStrategy::RouterDomains {
+                routers_per_domain: 1,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.num_routers < 4 {
+            return Err(TopologyError::InvalidConfig(
+                "need at least four routers".to_string(),
+            ));
+        }
+        if self.num_vantage < 2 {
+            return Err(TopologyError::InvalidConfig(
+                "need at least two vantage routers".to_string(),
+            ));
+        }
+        if self.num_vantage > self.num_routers {
+            return Err(TopologyError::InvalidConfig(format!(
+                "num_vantage ({}) exceeds num_routers ({})",
+                self.num_vantage, self.num_routers
+            )));
+        }
+        if self.target_paths == 0 {
+            return Err(TopologyError::InvalidConfig(
+                "target_paths must be at least 1".to_string(),
+            ));
+        }
+        match self.clustering {
+            ClusteringStrategy::RouterDomains { routers_per_domain } => {
+                if routers_per_domain == 0 {
+                    return Err(TopologyError::InvalidConfig(
+                        "routers_per_domain must be at least 1".to_string(),
+                    ));
+                }
+            }
+            ClusteringStrategy::ContiguousLinks { cluster_size } => {
+                if cluster_size == 0 {
+                    return Err(TopologyError::InvalidConfig(
+                        "cluster_size must be at least 1".to_string(),
+                    ));
+                }
+            }
+        }
+        if !(0.0..=10.0).contains(&self.extra_edge_fraction) {
+            return Err(TopologyError::InvalidConfig(format!(
+                "extra_edge_fraction ({}) out of range",
+                self.extra_edge_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Generates a PlanetLab-style instance.
+pub fn generate(
+    config: &PlanetLabConfig,
+    rng: &mut impl Rng,
+) -> Result<TopologyInstance, TopologyError> {
+    config.validate()?;
+
+    // 1. Connected random router graph.
+    let extra_edges = (config.num_routers as f64 * config.extra_edge_fraction).round() as usize;
+    let edges = connected_random_edges(rng, config.num_routers, extra_edges)?;
+    let full = topology_from_undirected_edges(&edges, config.num_routers, "r")?;
+
+    // 2. Vantage routers and traceroute-like shortest paths between them.
+    let vantage_indices = sample_distinct(rng, config.num_routers, config.num_vantage);
+    let vantage: Vec<NodeId> = vantage_indices.into_iter().map(NodeId).collect();
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for &s in &vantage {
+        for &t in &vantage {
+            if s != t {
+                pairs.push((s, t));
+            }
+        }
+    }
+    let order = sample_distinct(rng, pairs.len(), pairs.len());
+    let shuffled: Vec<(NodeId, NodeId)> = order.into_iter().map(|i| pairs[i]).collect();
+    let path_links = paths_between_vantage_points(&full, &shuffled, config.target_paths);
+    if path_links.is_empty() {
+        return Err(TopologyError::InvalidConfig(
+            "no measurement paths could be generated".to_string(),
+        ));
+    }
+
+    // 3. Keep only the links traversed by some path.
+    let restricted = restrict_to_paths(&full, &path_links)?;
+    let paths = PathSet::new(&restricted.topology, restricted.path_links.clone())?;
+
+    // 4. Correlation sets.
+    let correlation = match config.clustering {
+        ClusteringStrategy::RouterDomains { routers_per_domain } => router_domain_correlation(
+            &restricted.topology,
+            &edges,
+            config.num_routers,
+            routers_per_domain,
+        )?,
+        ClusteringStrategy::ContiguousLinks { cluster_size } => {
+            contiguous_link_clusters(&restricted.topology, cluster_size)?
+        }
+    };
+
+    TopologyInstance::new(restricted.topology, paths, correlation)
+}
+
+/// Groups routers into contiguous domains of `routers_per_domain` routers
+/// (breadth-first over the undirected router graph) and returns the
+/// correlation partition in which all links originating in one domain form
+/// one correlation set.
+fn router_domain_correlation(
+    topology: &Topology,
+    undirected_edges: &[(usize, usize)],
+    num_routers: usize,
+    routers_per_domain: usize,
+) -> Result<CorrelationPartition, TopologyError> {
+    // Build the undirected adjacency over routers.
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); num_routers];
+    for &(a, b) in undirected_edges {
+        adjacency[a].push(b);
+        adjacency[b].push(a);
+    }
+    // Greedy BFS clustering of routers into domains.
+    let mut domain_of: Vec<Option<usize>> = vec![None; num_routers];
+    let mut next_domain = 0;
+    for start in 0..num_routers {
+        if domain_of[start].is_some() {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        domain_of[start] = Some(next_domain);
+        let mut size = 1;
+        while let Some(node) = queue.pop_front() {
+            if size >= routers_per_domain {
+                break;
+            }
+            for &n in &adjacency[node] {
+                if size >= routers_per_domain {
+                    break;
+                }
+                if domain_of[n].is_none() {
+                    domain_of[n] = Some(next_domain);
+                    size += 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        next_domain += 1;
+    }
+    // Correlation set of a link = domain of its source router.
+    let mut sets_by_domain: std::collections::BTreeMap<usize, Vec<LinkId>> =
+        std::collections::BTreeMap::new();
+    for link in topology.links() {
+        let domain = domain_of[link.source.index()].expect("all routers assigned to a domain");
+        sets_by_domain.entry(domain).or_default().push(link.id);
+    }
+    CorrelationPartition::from_sets(
+        topology.num_links(),
+        sets_by_domain.into_values().collect(),
+    )
+}
+
+/// Groups the links of a topology into contiguous clusters of at most
+/// `cluster_size` links: starting from the lowest-numbered unassigned link,
+/// a breadth-first search over the "links sharing an endpoint node"
+/// adjacency collects links into the cluster until it is full.
+///
+/// Every cluster is a connected (through shared nodes) group of links, so
+/// it is a plausible stand-in for "all links of one LAN / one domain".
+pub fn contiguous_link_clusters(
+    topology: &Topology,
+    cluster_size: usize,
+) -> Result<CorrelationPartition, TopologyError> {
+    if cluster_size == 0 {
+        return Err(TopologyError::InvalidConfig(
+            "cluster_size must be at least 1".to_string(),
+        ));
+    }
+    let num_links = topology.num_links();
+    let mut assigned: Vec<bool> = vec![false; num_links];
+    let mut sets: Vec<Vec<LinkId>> = Vec::new();
+
+    for start in 0..num_links {
+        if assigned[start] {
+            continue;
+        }
+        let mut cluster = Vec::with_capacity(cluster_size);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(LinkId(start));
+        assigned[start] = true;
+        while let Some(link) = queue.pop_front() {
+            cluster.push(link);
+            if cluster.len() >= cluster_size {
+                break;
+            }
+            // Neighbouring links: those sharing either endpoint.
+            let l = topology.link(link);
+            let mut neighbours: Vec<LinkId> = Vec::new();
+            for node in [l.source, l.target] {
+                neighbours.extend(topology.out_links(node).iter().copied());
+                neighbours.extend(topology.in_links(node).iter().copied());
+            }
+            neighbours.sort_unstable();
+            neighbours.dedup();
+            for n in neighbours {
+                if !assigned[n.index()] && cluster.len() + queue.len() < cluster_size {
+                    assigned[n.index()] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        // Flush anything still queued (cluster reached its size limit while
+        // items were queued): they stay in this cluster too, keeping the
+        // partition property.
+        while let Some(link) = queue.pop_front() {
+            cluster.push(link);
+        }
+        sets.push(cluster);
+    }
+    CorrelationPartition::from_sets(num_links, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_config_generates_a_consistent_instance() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = generate(&PlanetLabConfig::small(), &mut rng).unwrap();
+        inst.validate().unwrap();
+        assert!(inst.num_paths() > 0);
+        assert!(inst.num_paths() <= PlanetLabConfig::small().target_paths);
+        assert!(inst.num_links() > 0);
+        assert!(inst.num_correlation_sets() > 1);
+    }
+
+    #[test]
+    fn router_domain_sets_group_links_by_source_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = generate(&PlanetLabConfig::small(), &mut rng).unwrap();
+        // With routers_per_domain = 1, all links of a correlation set share
+        // their source router.
+        for (_, links) in inst.correlation.sets() {
+            let mut sources: Vec<usize> = links
+                .iter()
+                .map(|&l| inst.topology.link(l).source.index())
+                .collect();
+            sources.sort_unstable();
+            sources.dedup();
+            assert_eq!(
+                sources.len(),
+                1,
+                "correlation set spans {} source routers",
+                sources.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_router_domains_make_every_path_usable() {
+        // With one router per domain, a correlation set is the set of
+        // egress links of one router; a loop-free path never uses two of
+        // them, so every single-path equation of the practical algorithm is
+        // usable.
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = generate(&PlanetLabConfig::small(), &mut rng).unwrap();
+        let usable = inst
+            .paths
+            .paths()
+            .filter(|p| inst.correlation.mutually_uncorrelated(&p.links))
+            .count();
+        assert_eq!(usable, inst.num_paths());
+    }
+
+    #[test]
+    fn larger_router_domains_introduce_intra_path_correlation() {
+        // With multi-router domains some paths do traverse two links of the
+        // same correlation set; the generator still produces a valid
+        // instance, it just leaves fewer usable equations (the "harder"
+        // variant used by the ablation benchmarks).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut config = PlanetLabConfig::small();
+        config.clustering = ClusteringStrategy::RouterDomains {
+            routers_per_domain: 3,
+        };
+        let inst = generate(&config, &mut rng).unwrap();
+        inst.validate().unwrap();
+        let usable = inst
+            .paths
+            .paths()
+            .filter(|p| inst.correlation.mutually_uncorrelated(&p.links))
+            .count();
+        assert!(usable < inst.num_paths());
+        assert!(usable > 0);
+    }
+
+    #[test]
+    fn contiguous_link_clustering_strategy_is_supported() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut config = PlanetLabConfig::small();
+        config.clustering = ClusteringStrategy::ContiguousLinks { cluster_size: 4 };
+        let inst = generate(&config, &mut rng).unwrap();
+        inst.validate().unwrap();
+        for (_, links) in inst.correlation.sets() {
+            assert!(links.len() <= 8, "cluster of size {} exceeds bound", links.len());
+        }
+    }
+
+    #[test]
+    fn contiguous_clusters_are_contiguous() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let edges = connected_random_edges(&mut rng, 30, 15).unwrap();
+        let topo = topology_from_undirected_edges(&edges, 30, "r").unwrap();
+        let partition = contiguous_link_clusters(&topo, 5).unwrap();
+        assert_eq!(partition.num_links(), topo.num_links());
+        for (_, links) in partition.sets() {
+            if links.len() < 2 {
+                continue;
+            }
+            // Connected through shared endpoints.
+            let mut reached = vec![false; links.len()];
+            reached[0] = true;
+            let mut frontier = vec![0usize];
+            while let Some(i) = frontier.pop() {
+                let li = topo.link(links[i]);
+                for (j, &other) in links.iter().enumerate() {
+                    if reached[j] {
+                        continue;
+                    }
+                    let lj = topo.link(other);
+                    let shares_node = li.source == lj.source
+                        || li.source == lj.target
+                        || li.target == lj.source
+                        || li.target == lj.target;
+                    if shares_node {
+                        reached[j] = true;
+                        frontier.push(j);
+                    }
+                }
+            }
+            assert!(reached.iter().all(|&r| r), "cluster {links:?} is not contiguous");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&PlanetLabConfig::small(), &mut StdRng::seed_from_u64(77)).unwrap();
+        let b = generate(&PlanetLabConfig::small(), &mut StdRng::seed_from_u64(77)).unwrap();
+        assert_eq!(a.num_links(), b.num_links());
+        assert_eq!(a.num_paths(), b.num_paths());
+        let c = generate(&PlanetLabConfig::small(), &mut StdRng::seed_from_u64(78)).unwrap();
+        // Different seeds produce different instances (extremely likely).
+        assert!(a.num_links() != c.num_links() || a.num_paths() != c.num_paths() || {
+            let pa: Vec<usize> = a.paths.paths().map(|p| p.len()).collect();
+            let pc: Vec<usize> = c.paths.paths().map(|p| p.len()).collect();
+            pa != pc
+        });
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = PlanetLabConfig::small();
+        c.num_routers = 2;
+        assert!(generate(&c, &mut rng).is_err());
+        let mut c = PlanetLabConfig::small();
+        c.num_vantage = 1;
+        assert!(generate(&c, &mut rng).is_err());
+        let mut c = PlanetLabConfig::small();
+        c.num_vantage = c.num_routers + 1;
+        assert!(generate(&c, &mut rng).is_err());
+        let mut c = PlanetLabConfig::small();
+        c.clustering = ClusteringStrategy::RouterDomains {
+            routers_per_domain: 0,
+        };
+        assert!(generate(&c, &mut rng).is_err());
+        let mut c = PlanetLabConfig::small();
+        c.clustering = ClusteringStrategy::ContiguousLinks { cluster_size: 0 };
+        assert!(generate(&c, &mut rng).is_err());
+        let mut c = PlanetLabConfig::small();
+        c.target_paths = 0;
+        assert!(generate(&c, &mut rng).is_err());
+        let mut c = PlanetLabConfig::small();
+        c.extra_edge_fraction = -1.0;
+        assert!(generate(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        let c = PlanetLabConfig::default();
+        assert_eq!(c.target_paths, 1500);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,237 @@
+//! Random-graph primitives shared by the topology generators.
+//!
+//! All functions are deterministic given the caller-supplied random number
+//! generator, so every experiment in the evaluation harness can be
+//! reproduced from its seed.
+
+use rand::{Rng, RngExt};
+
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+
+/// Generates an undirected edge list with the Barabási–Albert preferential
+/// attachment model: the graph starts from a small clique of `m + 1` nodes
+/// and every subsequent node attaches to `m` distinct existing nodes chosen
+/// with probability proportional to their current degree.
+///
+/// This is the model BRITE uses for AS-level topologies, and it produces
+/// the heavy-tailed degree distributions observed in the Internet's AS
+/// graph.
+pub fn barabasi_albert_edges(
+    rng: &mut impl Rng,
+    num_nodes: usize,
+    edges_per_node: usize,
+) -> Result<Vec<(usize, usize)>, TopologyError> {
+    let m = edges_per_node;
+    if m == 0 {
+        return Err(TopologyError::InvalidConfig(
+            "edges_per_node must be at least 1".to_string(),
+        ));
+    }
+    if num_nodes < m + 1 {
+        return Err(TopologyError::InvalidConfig(format!(
+            "need at least {} nodes for {} edges per node",
+            m + 1,
+            m
+        )));
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // `attachment` holds one entry per edge endpoint, so sampling a uniform
+    // element of it is sampling a node with probability proportional to its
+    // degree.
+    let mut attachment: Vec<usize> = Vec::new();
+
+    // Seed clique over the first m + 1 nodes.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            edges.push((i, j));
+            attachment.push(i);
+            attachment.push(j);
+        }
+    }
+
+    for new_node in (m + 1)..num_nodes {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m {
+            let target = attachment[rng.random_range(0..attachment.len())];
+            if !targets.contains(&target) {
+                targets.push(target);
+            }
+            guard += 1;
+            if guard > 100 * m + 100 {
+                // Extremely unlikely; fall back to the lowest-degree nodes.
+                for candidate in 0..new_node {
+                    if targets.len() >= m {
+                        break;
+                    }
+                    if !targets.contains(&candidate) {
+                        targets.push(candidate);
+                    }
+                }
+            }
+        }
+        for &t in &targets {
+            edges.push((new_node, t));
+            attachment.push(new_node);
+            attachment.push(t);
+        }
+    }
+    Ok(edges)
+}
+
+/// Generates a connected undirected edge list over `num_nodes` nodes: a
+/// uniformly random spanning tree (random attachment order) plus
+/// `extra_edges` additional random edges (self-loops and duplicates are
+/// skipped, so the actual number of extra edges may be slightly lower).
+pub fn connected_random_edges(
+    rng: &mut impl Rng,
+    num_nodes: usize,
+    extra_edges: usize,
+) -> Result<Vec<(usize, usize)>, TopologyError> {
+    if num_nodes < 2 {
+        return Err(TopologyError::InvalidConfig(
+            "need at least two nodes".to_string(),
+        ));
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Random tree: each node (after the first) attaches to a uniformly
+    // random earlier node.
+    for node in 1..num_nodes {
+        let parent = rng.random_range(0..node);
+        edges.push((parent, node));
+    }
+    for _ in 0..extra_edges {
+        let a = rng.random_range(0..num_nodes);
+        let b = rng.random_range(0..num_nodes);
+        if a == b {
+            continue;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        if edges.contains(&(lo, hi)) || edges.contains(&(hi, lo)) {
+            continue;
+        }
+        edges.push((lo, hi));
+    }
+    Ok(edges)
+}
+
+/// Builds a directed [`Topology`] from an undirected edge list by adding
+/// two directed links (one per direction) for every undirected edge. Node
+/// labels are `prefix1, prefix2, ...`.
+pub fn topology_from_undirected_edges(
+    edges: &[(usize, usize)],
+    num_nodes: usize,
+    prefix: &str,
+) -> Result<Topology, TopologyError> {
+    let mut topology = Topology::new();
+    for i in 0..num_nodes {
+        topology.add_node(format!("{prefix}{}", i + 1));
+    }
+    for &(a, b) in edges {
+        if a >= num_nodes || b >= num_nodes {
+            return Err(TopologyError::InvalidConfig(format!(
+                "edge ({a}, {b}) references a node beyond {num_nodes}"
+            )));
+        }
+        topology.add_link(NodeId(a), NodeId(b))?;
+        topology.add_link(NodeId(b), NodeId(a))?;
+    }
+    Ok(topology)
+}
+
+/// Chooses `count` distinct indices from `0..n` uniformly at random
+/// (Fisher–Yates over an index vector, truncated).
+pub fn sample_distinct(rng: &mut impl Rng, n: usize, count: usize) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let take = count.min(n);
+    for i in 0..take {
+        let j = rng.random_range(i..n);
+        indices.swap(i, j);
+    }
+    indices.truncate(take);
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::all_reachable_from;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn barabasi_albert_has_expected_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40;
+        let m = 2;
+        let edges = barabasi_albert_edges(&mut rng, n, m).unwrap();
+        // Seed clique: C(3, 2) = 3 edges; then (n - m - 1) * m more.
+        assert_eq!(edges.len(), 3 + (n - m - 1) * m);
+        // No self-loops.
+        assert!(edges.iter().all(|&(a, b)| a != b));
+        // Every node appears.
+        let mut seen = vec![false; n];
+        for &(a, b) in &edges {
+            seen[a] = true;
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_configs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(barabasi_albert_edges(&mut rng, 3, 0).is_err());
+        assert!(barabasi_albert_edges(&mut rng, 2, 2).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_is_deterministic_for_a_seed() {
+        let e1 = barabasi_albert_edges(&mut StdRng::seed_from_u64(7), 30, 2).unwrap();
+        let e2 = barabasi_albert_edges(&mut StdRng::seed_from_u64(7), 30, 2).unwrap();
+        assert_eq!(e1, e2);
+        let e3 = barabasi_albert_edges(&mut StdRng::seed_from_u64(8), 30, 2).unwrap();
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn connected_random_graph_is_connected_in_both_directions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50;
+        let edges = connected_random_edges(&mut rng, n, 20).unwrap();
+        assert!(edges.len() >= n - 1);
+        let topo = topology_from_undirected_edges(&edges, n, "r").unwrap();
+        // Since each undirected edge becomes two directed links and the
+        // tree is connected, every node reaches every other node.
+        assert!(all_reachable_from(&topo, NodeId(0)));
+        assert!(all_reachable_from(&topo, NodeId(n - 1)));
+        assert_eq!(topo.num_links(), edges.len() * 2);
+    }
+
+    #[test]
+    fn connected_random_graph_rejects_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(connected_random_edges(&mut rng, 1, 0).is_err());
+    }
+
+    #[test]
+    fn topology_from_edges_validates_node_indices() {
+        let err = topology_from_undirected_edges(&[(0, 5)], 3, "x").unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_indices() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample = sample_distinct(&mut rng, 20, 8);
+        assert_eq!(sample.len(), 8);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(sorted.iter().all(|&i| i < 20));
+        // Requesting more than available clamps.
+        assert_eq!(sample_distinct(&mut rng, 3, 10).len(), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! # netcorr-topology — the network model substrate
+//!
+//! This crate implements the network model of Section 2 of *"Network
+//! Tomography on Correlated Links"* (Ghita et al., IMC 2010) and everything
+//! needed to construct realistic instances of it:
+//!
+//! * [`graph`] — directed graphs of nodes and *logical* links.
+//! * [`path`] — measurement paths and the coverage function ψ.
+//! * [`correlation`] — correlation sets / subsets (the partition `C` and
+//!   the family `C̃`).
+//! * [`identifiability`] — Assumption 4 analysis: which correlation subsets
+//!   (and therefore which links) are identifiable from end-to-end
+//!   measurements.
+//! * [`merge`] — the merging transformation of Section 3.3 that collapses
+//!   unidentifiable consecutive correlation subsets into merged links.
+//! * [`routing`] — shortest-path helpers used to build path sets.
+//! * [`toy`] — the paper's toy topologies (Figures 1(a), 1(b), 2(a)).
+//! * [`generators`] — synthetic topology generators standing in for the
+//!   paper's BRITE and PlanetLab topologies.
+//!
+//! The central convenience type is [`TopologyInstance`], which bundles a
+//! topology, its path set and its correlation partition — the three inputs
+//! every tomography algorithm takes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod correlation;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod identifiability;
+pub mod merge;
+pub mod path;
+pub mod routing;
+pub mod toy;
+
+pub use correlation::{CorrelationPartition, CorrelationSetId};
+pub use error::TopologyError;
+pub use graph::{Link, LinkId, Node, NodeId, Topology};
+pub use path::{Path, PathId, PathSet};
+
+use serde::{Deserialize, Serialize};
+
+/// A complete problem instance: the network graph, the measurement paths
+/// over it, and the correlation partition of its links.
+///
+/// This is the triple `(G, P, C)` that the feasibility result (Theorem 1)
+/// and both inference algorithms operate on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyInstance {
+    /// The network graph `G = (V, E)`.
+    pub topology: Topology,
+    /// The measurement paths `P`.
+    pub paths: PathSet,
+    /// The correlation partition `C` of the links.
+    pub correlation: CorrelationPartition,
+}
+
+impl TopologyInstance {
+    /// Builds an instance, validating that the three components agree on
+    /// the number of links.
+    pub fn new(
+        topology: Topology,
+        paths: PathSet,
+        correlation: CorrelationPartition,
+    ) -> Result<Self, TopologyError> {
+        let instance = TopologyInstance {
+            topology,
+            paths,
+            correlation,
+        };
+        instance.validate()?;
+        Ok(instance)
+    }
+
+    /// Number of links `|E|`.
+    pub fn num_links(&self) -> usize {
+        self.topology.num_links()
+    }
+
+    /// Number of paths `|P|`.
+    pub fn num_paths(&self) -> usize {
+        self.paths.num_paths()
+    }
+
+    /// Number of correlation sets `|C|`.
+    pub fn num_correlation_sets(&self) -> usize {
+        self.correlation.num_sets()
+    }
+
+    /// Checks that the graph, paths and correlation partition are mutually
+    /// consistent.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        self.topology.validate()?;
+        if self.paths.num_links() != self.topology.num_links() {
+            return Err(TopologyError::Inconsistent(format!(
+                "path set built over {} links, topology has {}",
+                self.paths.num_links(),
+                self.topology.num_links()
+            )));
+        }
+        if self.correlation.num_links() != self.topology.num_links() {
+            return Err(TopologyError::Inconsistent(format!(
+                "correlation partition over {} links, topology has {}",
+                self.correlation.num_links(),
+                self.topology.num_links()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Replaces the correlation partition (e.g. to compare the
+    /// correlation-aware algorithm against the independence baseline on the
+    /// same topology).
+    pub fn with_correlation(
+        &self,
+        correlation: CorrelationPartition,
+    ) -> Result<Self, TopologyError> {
+        TopologyInstance::new(self.topology.clone(), self.paths.clone(), correlation)
+    }
+
+    /// Convenience: the partition in which every link is independent
+    /// (what the independence baseline assumes).
+    pub fn with_singleton_correlation(&self) -> Self {
+        TopologyInstance {
+            topology: self.topology.clone(),
+            paths: self.paths.clone(),
+            correlation: CorrelationPartition::singletons(self.topology.num_links()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_validation_catches_mismatched_components() {
+        let good = toy::figure_1a();
+        assert!(good.validate().is_ok());
+
+        // Correlation partition over the wrong number of links.
+        let bad = TopologyInstance {
+            topology: good.topology.clone(),
+            paths: good.paths.clone(),
+            correlation: CorrelationPartition::singletons(2),
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(TopologyError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn with_singleton_correlation_makes_every_link_independent() {
+        let inst = toy::figure_1a();
+        let indep = inst.with_singleton_correlation();
+        assert_eq!(indep.num_correlation_sets(), indep.num_links());
+        assert!(indep.validate().is_ok());
+    }
+
+    #[test]
+    fn with_correlation_validates_the_new_partition() {
+        let inst = toy::figure_1a();
+        let ok = inst.with_correlation(CorrelationPartition::single_set(4));
+        assert!(ok.is_ok());
+        let err = inst.with_correlation(CorrelationPartition::single_set(3));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn counts_are_exposed() {
+        let inst = toy::figure_1a();
+        assert_eq!(inst.num_links(), 4);
+        assert_eq!(inst.num_paths(), 3);
+        assert_eq!(inst.num_correlation_sets(), 3);
+    }
+}

@@ -1,0 +1,264 @@
+//! Routing helpers: shortest paths and path-set construction.
+//!
+//! The network model treats paths as given (they are whatever the routing
+//! protocol produced and traceroute observed). The generators in this crate
+//! synthesise realistic path sets by computing shortest paths between
+//! vantage points, which is also how the paper's simulated topologies are
+//! built (BRITE AS-level routes, PlanetLab traceroute paths).
+
+use std::collections::VecDeque;
+
+use crate::error::TopologyError;
+use crate::graph::{LinkId, NodeId, Topology};
+
+/// Computes a shortest (minimum-hop) path from `source` to `target` as a
+/// sequence of links, using breadth-first search over the directed graph.
+/// Ties are broken deterministically by link insertion order.
+///
+/// Returns `None` if `target` is unreachable from `source` or if
+/// `source == target` (paths must traverse at least one link).
+pub fn shortest_path(topology: &Topology, source: NodeId, target: NodeId) -> Option<Vec<LinkId>> {
+    if source == target {
+        return None;
+    }
+    let n = topology.num_nodes();
+    if source.index() >= n || target.index() >= n {
+        return None;
+    }
+    let mut predecessor: Vec<Option<LinkId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(node) = queue.pop_front() {
+        if node == target {
+            break;
+        }
+        for &link in topology.out_links(node) {
+            let next = topology.link(link).target;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                predecessor[next.index()] = Some(link);
+                queue.push_back(next);
+            }
+        }
+    }
+    if !visited[target.index()] {
+        return None;
+    }
+    // Walk the predecessors back from the target.
+    let mut links = Vec::new();
+    let mut current = target;
+    while current != source {
+        let link = predecessor[current.index()]?;
+        links.push(link);
+        current = topology.link(link).source;
+    }
+    links.reverse();
+    Some(links)
+}
+
+/// Computes the hop distance from `source` to every node (`None` when
+/// unreachable). Useful for picking well-separated vantage points.
+pub fn hop_distances(topology: &Topology, source: NodeId) -> Vec<Option<usize>> {
+    let n = topology.num_nodes();
+    let mut dist = vec![None; n];
+    if source.index() >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(node) = queue.pop_front() {
+        let d = dist[node.index()].expect("queued nodes have a distance");
+        for &link in topology.out_links(node) {
+            let next = topology.link(link).target;
+            if dist[next.index()].is_none() {
+                dist[next.index()] = Some(d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns `true` if every node is reachable from `source` following
+/// directed links.
+pub fn all_reachable_from(topology: &Topology, source: NodeId) -> bool {
+    hop_distances(topology, source).iter().all(Option::is_some)
+}
+
+/// Enumerates shortest paths between ordered pairs of vantage nodes, in the
+/// order the pairs are listed, skipping unreachable pairs and duplicate
+/// link sequences, until `max_paths` paths have been collected.
+pub fn paths_between_vantage_points(
+    topology: &Topology,
+    vantage_pairs: &[(NodeId, NodeId)],
+    max_paths: usize,
+) -> Vec<Vec<LinkId>> {
+    let mut paths: Vec<Vec<LinkId>> = Vec::new();
+    for &(s, t) in vantage_pairs {
+        if paths.len() >= max_paths {
+            break;
+        }
+        if let Some(links) = shortest_path(topology, s, t) {
+            if !paths.contains(&links) {
+                paths.push(links);
+            }
+        }
+    }
+    paths
+}
+
+/// The result of restricting a topology to the links actually used by a set
+/// of paths. Needed because the network model requires that every link
+/// participates in at least one path, while generated graphs usually have
+/// links that no measurement path happens to traverse.
+#[derive(Debug, Clone)]
+pub struct RestrictedTopology {
+    /// The restricted topology (same nodes, only the used links, re-indexed
+    /// densely in order of first use).
+    pub topology: Topology,
+    /// The paths, rewritten in terms of the new link ids.
+    pub path_links: Vec<Vec<LinkId>>,
+    /// For each new link id (by index), the link id it had in the original
+    /// topology.
+    pub new_to_old: Vec<LinkId>,
+    /// For each original link id (by index), its new id if it was kept.
+    pub old_to_new: Vec<Option<LinkId>>,
+}
+
+/// Restricts `topology` to the links traversed by `path_links`,
+/// renumbering links densely. Nodes are kept as-is (isolated nodes are
+/// harmless).
+pub fn restrict_to_paths(
+    topology: &Topology,
+    path_links: &[Vec<LinkId>],
+) -> Result<RestrictedTopology, TopologyError> {
+    let mut old_to_new: Vec<Option<LinkId>> = vec![None; topology.num_links()];
+    let mut new_to_old: Vec<LinkId> = Vec::new();
+    let mut restricted = Topology::new();
+    for node in topology.nodes() {
+        restricted.add_node(node.name.clone());
+    }
+    let mut new_paths = Vec::with_capacity(path_links.len());
+    for links in path_links {
+        let mut new_links = Vec::with_capacity(links.len());
+        for &old in links {
+            if old.index() >= topology.num_links() {
+                return Err(TopologyError::UnknownLink(old));
+            }
+            let new_id = match old_to_new[old.index()] {
+                Some(id) => id,
+                None => {
+                    let link = topology.link(old);
+                    let id = restricted.add_link(link.source, link.target)?;
+                    old_to_new[old.index()] = Some(id);
+                    new_to_old.push(old);
+                    id
+                }
+            };
+            new_links.push(new_id);
+        }
+        new_paths.push(new_links);
+    }
+    Ok(RestrictedTopology {
+        topology: restricted,
+        path_links: new_paths,
+        new_to_old,
+        old_to_new,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond: v1 -> v2 -> v4 and v1 -> v3 -> v4, plus a long detour
+    /// v1 -> v5 -> v6 -> v4.
+    fn diamond() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let v = t.add_nodes(6);
+        t.add_link(v[0], v[1]).unwrap(); // e1
+        t.add_link(v[1], v[3]).unwrap(); // e2
+        t.add_link(v[0], v[2]).unwrap(); // e3
+        t.add_link(v[2], v[3]).unwrap(); // e4
+        t.add_link(v[0], v[4]).unwrap(); // e5
+        t.add_link(v[4], v[5]).unwrap(); // e6
+        t.add_link(v[5], v[3]).unwrap(); // e7
+        (t, v)
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops() {
+        let (t, v) = diamond();
+        let p = shortest_path(&t, v[0], v[3]).unwrap();
+        assert_eq!(p.len(), 2, "the detour has 3 hops, the direct routes 2");
+        // Deterministic tie-break: the first inserted route (via v2).
+        assert_eq!(p, vec![LinkId(0), LinkId(1)]);
+    }
+
+    #[test]
+    fn shortest_path_handles_unreachable_and_trivial_cases() {
+        let (t, v) = diamond();
+        // Nothing points back to v1.
+        assert_eq!(shortest_path(&t, v[3], v[0]), None);
+        assert_eq!(shortest_path(&t, v[0], v[0]), None);
+        assert_eq!(shortest_path(&t, NodeId(99), v[0]), None);
+    }
+
+    #[test]
+    fn hop_distances_and_reachability() {
+        let (t, v) = diamond();
+        let d = hop_distances(&t, v[0]);
+        assert_eq!(d[v[0].index()], Some(0));
+        assert_eq!(d[v[1].index()], Some(1));
+        assert_eq!(d[v[3].index()], Some(2));
+        assert_eq!(d[v[5].index()], Some(2));
+        assert!(!all_reachable_from(&t, v[3]));
+        assert!(all_reachable_from(&t, v[0]));
+    }
+
+    #[test]
+    fn vantage_pair_paths_are_unique_and_bounded() {
+        let (t, v) = diamond();
+        let pairs = vec![(v[0], v[3]), (v[0], v[3]), (v[0], v[5]), (v[3], v[0])];
+        let paths = paths_between_vantage_points(&t, &pairs, 10);
+        assert_eq!(paths.len(), 2, "duplicate and unreachable pairs are skipped");
+        let capped = paths_between_vantage_points(&t, &pairs, 1);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn restriction_drops_unused_links_and_remaps_paths() {
+        let (t, v) = diamond();
+        let p1 = shortest_path(&t, v[0], v[3]).unwrap();
+        let p2 = vec![LinkId(4), LinkId(5), LinkId(6)]; // the detour
+        let restricted = restrict_to_paths(&t, &[p1.clone(), p2.clone()]).unwrap();
+        assert_eq!(restricted.topology.num_links(), 5);
+        assert_eq!(restricted.path_links.len(), 2);
+        // Every new link maps back to an original link with the same
+        // endpoints.
+        for (new_idx, &old) in restricted.new_to_old.iter().enumerate() {
+            let new_link = restricted.topology.link(LinkId(new_idx));
+            let old_link = t.link(old);
+            assert_eq!(new_link.source, old_link.source);
+            assert_eq!(new_link.target, old_link.target);
+        }
+        // Unused links (the v1->v3->v4 branch) are gone.
+        assert!(restricted.old_to_new[2].is_none());
+        assert!(restricted.old_to_new[3].is_none());
+        // The remapped paths can build a valid PathSet (all links used).
+        let ps = crate::path::PathSet::new(&restricted.topology, restricted.path_links.clone());
+        assert!(ps.is_ok());
+    }
+
+    #[test]
+    fn restriction_rejects_unknown_links() {
+        let (t, _) = diamond();
+        assert!(matches!(
+            restrict_to_paths(&t, &[vec![LinkId(42)]]),
+            Err(TopologyError::UnknownLink(LinkId(42)))
+        ));
+    }
+}

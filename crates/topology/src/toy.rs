@@ -1,0 +1,324 @@
+//! The toy topologies of the paper (Figures 1(a), 1(b) and 2).
+//!
+//! These small fixtures are used throughout the test suites and examples
+//! because every quantity of interest — coverage tables, correlation
+//! subsets, congestion factors, per-link probabilities — can be worked out
+//! by hand and compared against the paper's own walk-through (Sections 3.1
+//! and 3.2).
+
+use crate::correlation::CorrelationPartition;
+use crate::graph::{LinkId, Topology};
+use crate::path::PathSet;
+use crate::TopologyInstance;
+
+/// Builds the topology of **Figure 1(a)**: the example where Assumption 4
+/// *holds*.
+///
+/// * Nodes `v1..v5`.
+/// * Links: `e1: v3→v1`, `e2: v3→v2`, `e3: v4→v3`, `e4: v5→v3`
+///   (`LinkId(0)..LinkId(3)` respectively).
+/// * Paths: `P1 = ⟨e3, e1⟩` (v4→v1), `P2 = ⟨e3, e2⟩` (v4→v2),
+///   `P3 = ⟨e4, e2⟩` (v5→v2).
+/// * Correlation sets: `C = {{e1, e2}, {e3}, {e4}}` — links e1 and e2 may
+///   be correlated (they share a hidden physical resource), e3 and e4 are
+///   independent of everything.
+///
+/// The resulting coverage table matches the paper:
+///
+/// | A ∈ C̃        | ψ(A)            |
+/// |---------------|-----------------|
+/// | {e1}          | {P1}            |
+/// | {e2}          | {P2, P3}        |
+/// | {e1, e2}      | {P1, P2, P3}    |
+/// | {e3}          | {P1, P2}        |
+/// | {e4}          | {P3}            |
+pub fn figure_1a() -> TopologyInstance {
+    let mut topology = Topology::new();
+    let v = topology.add_nodes(5);
+    let e1 = topology.add_link(v[2], v[0]).expect("valid link"); // v3 -> v1
+    let e2 = topology.add_link(v[2], v[1]).expect("valid link"); // v3 -> v2
+    let e3 = topology.add_link(v[3], v[2]).expect("valid link"); // v4 -> v3
+    let e4 = topology.add_link(v[4], v[2]).expect("valid link"); // v5 -> v3
+    let paths = PathSet::new(
+        &topology,
+        vec![vec![e3, e1], vec![e3, e2], vec![e4, e2]],
+    )
+    .expect("figure 1(a) paths are valid");
+    let correlation = CorrelationPartition::from_sets(
+        topology.num_links(),
+        vec![vec![e1, e2], vec![e3], vec![e4]],
+    )
+    .expect("figure 1(a) correlation sets are a partition");
+    TopologyInstance {
+        topology,
+        paths,
+        correlation,
+    }
+}
+
+/// Builds the topology of **Figure 1(b)**: the example where Assumption 4
+/// does *not* hold.
+///
+/// * Nodes `v1..v4` (the paper labels them v1, v2, v3, v4; the "missing"
+///   v5 is the node one would add to obtain Figure 1(a)).
+/// * Links: `e1: v3→v1`, `e2: v3→v2`, `e3: v4→v3`
+///   (`LinkId(0)..LinkId(2)`).
+/// * Paths: `P1 = ⟨e3, e1⟩` (v4→v1), `P2 = ⟨e3, e2⟩` (v4→v2).
+/// * Correlation sets: `C = {{e1, e2}, {e3}}`.
+///
+/// Correlation subsets `{e1, e2}` and `{e3}` both cover `{P1, P2}`, so the
+/// probability that e3 is congested cannot be told apart from the
+/// probability that e1 and e2 are both congested.
+pub fn figure_1b() -> TopologyInstance {
+    let mut topology = Topology::new();
+    let v = topology.add_nodes(4);
+    let e1 = topology.add_link(v[2], v[0]).expect("valid link"); // v3 -> v1
+    let e2 = topology.add_link(v[2], v[1]).expect("valid link"); // v3 -> v2
+    let e3 = topology.add_link(v[3], v[2]).expect("valid link"); // v4 -> v3
+    let paths = PathSet::new(&topology, vec![vec![e3, e1], vec![e3, e2]])
+        .expect("figure 1(b) paths are valid");
+    let correlation = CorrelationPartition::from_sets(
+        topology.num_links(),
+        vec![vec![e1, e2], vec![e3]],
+    )
+    .expect("figure 1(b) correlation sets are a partition");
+    TopologyInstance {
+        topology,
+        paths,
+        correlation,
+    }
+}
+
+/// Builds the Figure 1(a) topology but with **all four links in a single
+/// correlation set**, the extreme discussed in Section 3.3 ("Why not assign
+/// all links to one correlation set?"). Assumption 4 fails everywhere and
+/// the merging transformation collapses the graph to one link per
+/// end-to-end path.
+pub fn figure_1a_single_set() -> TopologyInstance {
+    let base = figure_1a();
+    let correlation = CorrelationPartition::single_set(base.topology.num_links());
+    TopologyInstance {
+        topology: base.topology,
+        paths: base.paths,
+        correlation,
+    }
+}
+
+/// A small local-area-network scenario in the spirit of **Figure 2(a)**:
+/// four IP routers discovered by traceroute surround an undiscovered
+/// Ethernet switch, so the logical links between the routers all share the
+/// switch's physical links and belong to one correlation set; the access
+/// links of the measurement hosts are independent.
+///
+/// * Nodes: `r1..r4` (discovered routers), `a`, `b`, `c`, `d` (measurement
+///   hosts).
+/// * Logical links crossing the hidden switch (one correlation set):
+///   `l1: r1→r2`, `l2: r1→r3`, `l3: r4→r2`, `l4: r4→r3`.
+/// * Access links (each its own correlation set): `l5: a→r1`, `l6: b→r4`,
+///   `l7: c→r1`, `l8: d→r4`.
+/// * Paths: every host reaches both r2 and r3 (8 paths in total).
+///
+/// With two hosts behind each ingress router, every correlation subset of
+/// the LAN covers a distinct set of paths, so Assumption 4 holds and all
+/// LAN links are identifiable despite being mutually correlated.
+pub fn figure_2a_lan() -> TopologyInstance {
+    let mut topology = Topology::new();
+    let r1 = topology.add_node("r1");
+    let r2 = topology.add_node("r2");
+    let r3 = topology.add_node("r3");
+    let r4 = topology.add_node("r4");
+    let a = topology.add_node("a");
+    let b = topology.add_node("b");
+    let c = topology.add_node("c");
+    let d = topology.add_node("d");
+    let l1 = topology.add_link(r1, r2).expect("valid link");
+    let l2 = topology.add_link(r1, r3).expect("valid link");
+    let l3 = topology.add_link(r4, r2).expect("valid link");
+    let l4 = topology.add_link(r4, r3).expect("valid link");
+    let l5 = topology.add_link(a, r1).expect("valid link");
+    let l6 = topology.add_link(b, r4).expect("valid link");
+    let l7 = topology.add_link(c, r1).expect("valid link");
+    let l8 = topology.add_link(d, r4).expect("valid link");
+    let paths = PathSet::new(
+        &topology,
+        vec![
+            vec![l5, l1],
+            vec![l5, l2],
+            vec![l7, l1],
+            vec![l7, l2],
+            vec![l6, l3],
+            vec![l6, l4],
+            vec![l8, l3],
+            vec![l8, l4],
+        ],
+    )
+    .expect("figure 2(a) paths are valid");
+    let correlation = CorrelationPartition::from_sets(
+        topology.num_links(),
+        vec![
+            vec![l1, l2, l3, l4],
+            vec![l5],
+            vec![l6],
+            vec![l7],
+            vec![l8],
+        ],
+    )
+    .expect("figure 2(a) correlation sets are a partition");
+    TopologyInstance {
+        topology,
+        paths,
+        correlation,
+    }
+}
+
+/// A small "domain chain" scenario in which one measurement path crosses
+/// **two links of the same correlation set** — the situation that makes the
+/// independence baseline go wrong even on its own single-path equations.
+///
+/// * Nodes: `u`, `v`, `a`, `b`, `w`, `x`.
+/// * Links: `l1: u→a`, `l2: a→b`, `l3: b→w`, `l4: v→b`, `l5: a→x`
+///   (`LinkId(0)..LinkId(4)`).
+/// * Correlation sets: `{l2, l3}` (both inside domain `a–b–w`), and
+///   singletons for `l1`, `l4`, `l5`.
+/// * Paths: `P1 = ⟨l1, l2, l3⟩`, `P2 = ⟨l1, l2⟩`, `P3 = ⟨l4, l3⟩`,
+///   `P4 = ⟨l1, l5⟩`, `P5 = ⟨l4⟩`.
+///
+/// Assumption 4 holds (every correlation subset covers a distinct set of
+/// paths), so the correlation algorithm identifies every link; but `P1`
+/// traverses both `l2` and `l3`, so any algorithm that multiplies their
+/// marginals — the independence baseline — mis-reads `P1`'s measurements
+/// when `l2` and `l3` are congested together.
+pub fn correlated_chain() -> TopologyInstance {
+    let mut topology = Topology::new();
+    let u = topology.add_node("u");
+    let v = topology.add_node("v");
+    let a = topology.add_node("a");
+    let b = topology.add_node("b");
+    let w = topology.add_node("w");
+    let x = topology.add_node("x");
+    let l1 = topology.add_link(u, a).expect("valid link");
+    let l2 = topology.add_link(a, b).expect("valid link");
+    let l3 = topology.add_link(b, w).expect("valid link");
+    let l4 = topology.add_link(v, b).expect("valid link");
+    let l5 = topology.add_link(a, x).expect("valid link");
+    let paths = PathSet::new(
+        &topology,
+        vec![
+            vec![l1, l2, l3],
+            vec![l1, l2],
+            vec![l4, l3],
+            vec![l1, l5],
+            vec![l4],
+        ],
+    )
+    .expect("correlated-chain paths are valid");
+    let correlation = CorrelationPartition::from_sets(
+        topology.num_links(),
+        vec![vec![l2, l3], vec![l1], vec![l4], vec![l5]],
+    )
+    .expect("correlated-chain correlation sets are a partition");
+    TopologyInstance {
+        topology,
+        paths,
+        correlation,
+    }
+}
+
+/// Returns the canonical link names of Figure 1(a) (`e1..e4`) keyed by
+/// [`LinkId`] index — convenient for printing paper-style tables in the
+/// examples.
+pub fn figure_1a_link_names() -> Vec<(&'static str, LinkId)> {
+    vec![
+        ("e1", LinkId(0)),
+        ("e2", LinkId(1)),
+        ("e3", LinkId(2)),
+        ("e4", LinkId(3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathId;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn figure_1a_matches_paper_description() {
+        let inst = figure_1a();
+        assert_eq!(inst.topology.num_nodes(), 5);
+        assert_eq!(inst.topology.num_links(), 4);
+        assert_eq!(inst.paths.num_paths(), 3);
+        assert_eq!(inst.correlation.num_sets(), 3);
+        inst.validate().expect("instance is consistent");
+
+        // Coverage table from Section 3.1.
+        let cov = |links: &[usize]| -> BTreeSet<PathId> {
+            inst.paths
+                .coverage(&links.iter().map(|&i| LinkId(i)).collect::<Vec<_>>())
+        };
+        assert_eq!(cov(&[0]), BTreeSet::from([PathId(0)]));
+        assert_eq!(cov(&[1]), BTreeSet::from([PathId(1), PathId(2)]));
+        assert_eq!(cov(&[0, 1]), BTreeSet::from([PathId(0), PathId(1), PathId(2)]));
+        assert_eq!(cov(&[2]), BTreeSet::from([PathId(0), PathId(1)]));
+        assert_eq!(cov(&[3]), BTreeSet::from([PathId(2)]));
+    }
+
+    #[test]
+    fn figure_1b_matches_paper_description() {
+        let inst = figure_1b();
+        assert_eq!(inst.topology.num_links(), 3);
+        assert_eq!(inst.paths.num_paths(), 2);
+        inst.validate().expect("instance is consistent");
+
+        // {e1,e2} and {e3} cover the same paths — the identifiability
+        // failure highlighted by the paper.
+        let both = inst.paths.coverage(&[LinkId(0), LinkId(1)]);
+        let e3 = inst.paths.coverage(&[LinkId(2)]);
+        assert_eq!(both, e3);
+    }
+
+    #[test]
+    fn figure_1a_single_set_uses_one_correlation_set() {
+        let inst = figure_1a_single_set();
+        assert_eq!(inst.correlation.num_sets(), 1);
+        assert_eq!(inst.correlation.set_links(crate::correlation::CorrelationSetId(0)).len(), 4);
+        inst.validate().expect("instance is consistent");
+    }
+
+    #[test]
+    fn figure_2a_lan_is_consistent() {
+        let inst = figure_2a_lan();
+        inst.validate().expect("instance is consistent");
+        assert_eq!(inst.paths.num_paths(), 8);
+        assert_eq!(inst.correlation.num_sets(), 5);
+        assert_eq!(inst.correlation.max_set_size(), 4);
+    }
+
+    #[test]
+    fn correlated_chain_is_consistent_and_identifiable_in_structure() {
+        let inst = correlated_chain();
+        inst.validate().expect("instance is consistent");
+        assert_eq!(inst.num_links(), 5);
+        assert_eq!(inst.num_paths(), 5);
+        assert_eq!(inst.num_correlation_sets(), 4);
+        // P1 traverses two links of the same correlation set.
+        let p1 = inst.paths.path(PathId(0));
+        assert!(!inst.correlation.mutually_uncorrelated(&p1.links));
+        // Every correlation subset covers a distinct set of paths.
+        let subsets = inst.correlation.all_correlation_subsets(16).unwrap();
+        let coverages: Vec<BTreeSet<PathId>> =
+            subsets.iter().map(|s| inst.paths.coverage(s)).collect();
+        for i in 0..coverages.len() {
+            for j in (i + 1)..coverages.len() {
+                assert_ne!(coverages[i], coverages[j], "{:?} vs {:?}", subsets[i], subsets[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn link_names_cover_all_links() {
+        let names = figure_1a_link_names();
+        assert_eq!(names.len(), figure_1a().topology.num_links());
+        assert_eq!(names[0], ("e1", LinkId(0)));
+    }
+}

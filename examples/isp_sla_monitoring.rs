@@ -1,0 +1,128 @@
+//! Inter-domain SLA monitoring (the scenario of Figure 2(b)).
+//!
+//! The operator of one administrative domain wants to know whether its
+//! neighbouring domains honour their service-level agreements, without any
+//! visibility into their internals (they run MPLS). The network graph is a
+//! BRITE-style AS-level topology; links that share hidden router-level
+//! infrastructure inside a domain form one correlation set.
+//!
+//! The example generates such a topology, injects congestion into a few
+//! domains, infers every AS-level link's congestion probability from
+//! end-to-end measurements, and reports which links would violate an SLA
+//! that caps the congestion probability at 5%.
+//!
+//! Run with `cargo run --release --example isp_sla_monitoring`.
+
+use netcorr::eval::metrics::{absolute_errors, potentially_congested_links, ErrorSummary};
+use netcorr::eval::scenario::{CorrelationLevel, ScenarioBuilder, ScenarioConfig};
+use netcorr::prelude::*;
+use netcorr::topology::generators::brite::{generate, BriteConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Generate the AS-level topology with its hidden router level. ---
+    let mut rng = StdRng::seed_from_u64(99);
+    let brite = generate(&BriteConfig::small(), &mut rng).expect("topology generation succeeds");
+    let base = brite.instance;
+    println!("Inter-domain monitoring scenario (BRITE-style topology)");
+    println!(
+        "  {} AS-level links, {} measurement paths, {} correlation sets, {} hidden router-level links",
+        base.num_links(),
+        base.num_paths(),
+        base.num_correlation_sets(),
+        brite.num_router_links
+    );
+
+    // --- Congestion scenario: 10% of the links congested, highly
+    // correlated inside their domains. ---
+    let scenario_config = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        ..ScenarioConfig::default()
+    };
+    let scenario = ScenarioBuilder::new(scenario_config)
+        .expect("valid scenario config")
+        .build(&base, &mut rng)
+        .expect("scenario can be instantiated");
+    println!(
+        "  {} links are congested (ground truth), spread over the domains' correlation sets",
+        scenario.congested_links.len()
+    );
+
+    // --- Simulate end-to-end measurements and infer. ---
+    let simulator = Simulator::new(
+        &scenario.instance,
+        &scenario.model,
+        SimulationConfig::default(),
+    )
+    .expect("valid simulator");
+    let observations = simulator.run(1500, &mut rng);
+    let correlation = CorrelationAlgorithm::new(&scenario.instance)
+        .infer(&observations)
+        .expect("correlation algorithm succeeds");
+    let independence = IndependenceAlgorithm::new(&scenario.instance)
+        .infer(&observations)
+        .expect("independence baseline succeeds");
+
+    // --- Accuracy over the potentially congested links. ---
+    let links = potentially_congested_links(&scenario.instance, &observations);
+    let corr_summary = ErrorSummary::from_errors(&absolute_errors(
+        &correlation,
+        &scenario.true_marginals,
+        &links,
+    ));
+    let indep_summary = ErrorSummary::from_errors(&absolute_errors(
+        &independence,
+        &scenario.true_marginals,
+        &links,
+    ));
+    println!(
+        "\nAccuracy over {} potentially congested links:",
+        links.len()
+    );
+    println!(
+        "  correlation algorithm: mean error {:.3}, 90th percentile {:.3}",
+        corr_summary.mean, corr_summary.p90
+    );
+    println!(
+        "  independence baseline: mean error {:.3}, 90th percentile {:.3}",
+        indep_summary.mean, indep_summary.p90
+    );
+
+    // --- SLA verdicts. ---
+    let sla_threshold = 0.05;
+    let mut true_violations = 0usize;
+    let mut detected = 0usize;
+    let mut false_alarms = 0usize;
+    for link in scenario.instance.topology.link_ids() {
+        let truly_violating = scenario.true_marginals[link.index()] > sla_threshold;
+        let flagged = correlation.congestion_probability(link) > sla_threshold;
+        if truly_violating {
+            true_violations += 1;
+            if flagged {
+                detected += 1;
+            }
+        } else if flagged {
+            false_alarms += 1;
+        }
+    }
+    println!("\nSLA check (congestion probability must stay below {sla_threshold}):");
+    println!(
+        "  {true_violations} links truly violate the SLA; {detected} of them detected; {false_alarms} false alarms"
+    );
+    let endpoints: Vec<String> = scenario
+        .congested_links
+        .iter()
+        .take(5)
+        .map(|&l| {
+            let link = scenario.instance.topology.link(l);
+            format!(
+                "{} -> {}",
+                scenario.instance.topology.node(link.source).name,
+                scenario.instance.topology.node(link.target).name
+            )
+        })
+        .collect();
+    println!("  example congested inter-domain links: {endpoints:?}");
+}

@@ -1,0 +1,123 @@
+//! Property-based integration tests: on randomly drawn congestion models
+//! over the toy topologies, the algorithms agree with each other and with
+//! the ground truth within the tolerance implied by the number of
+//! snapshots.
+
+use netcorr::prelude::*;
+use netcorr::topology::toy;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Simulates Figure 1(a) with the given probabilities and returns
+/// (instance, observations, true marginals).
+fn simulate_fig1a(
+    joint: f64,
+    e3: f64,
+    e4: f64,
+    snapshots: usize,
+    seed: u64,
+) -> (netcorr::topology::TopologyInstance, PathObservations, Vec<f64>) {
+    let instance = toy::figure_1a();
+    let model = CongestionModelBuilder::new(&instance.correlation)
+        .joint_group(&[LinkId(0), LinkId(1)], joint)
+        .independent(LinkId(2), e3)
+        .independent(LinkId(3), e4)
+        .build()
+        .unwrap();
+    let truth = model.marginals();
+    let config = SimulationConfig {
+        transmission: netcorr::sim::TransmissionModel::Exact,
+        ..SimulationConfig::default()
+    };
+    let simulator = Simulator::new(&instance, &model, config).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let observations = simulator.run(snapshots, &mut rng);
+    (instance, observations, truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The correlation algorithm recovers the marginals of arbitrary
+    /// Figure 1(a) models (correlated pair + two independent links).
+    #[test]
+    fn correlation_algorithm_recovers_random_models(
+        joint in 0.05f64..0.6,
+        e3 in 0.05f64..0.5,
+        e4 in 0.05f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let (instance, observations, truth) = simulate_fig1a(joint, e3, e4, 12_000, seed);
+        let estimate = CorrelationAlgorithm::new(&instance).infer(&observations).unwrap();
+        for link in instance.topology.link_ids() {
+            let err = (estimate.congestion_probability(link) - truth[link.index()]).abs();
+            prop_assert!(err < 0.08, "link {link}: error {err}");
+        }
+    }
+
+    /// The exact theorem algorithm and the practical correlation algorithm
+    /// agree on identifiable instances.
+    #[test]
+    fn theorem_and_practical_algorithms_agree(
+        joint in 0.05f64..0.6,
+        e3 in 0.05f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let (instance, observations, _) = simulate_fig1a(joint, e3, 0.1, 12_000, seed);
+        let practical = CorrelationAlgorithm::new(&instance).infer(&observations).unwrap();
+        let exact = TheoremAlgorithm::new(&instance).infer(&observations).unwrap();
+        for link in instance.topology.link_ids() {
+            let a = practical.congestion_probability(link);
+            let b = exact.estimate.congestion_probability(link);
+            prop_assert!((a - b).abs() < 0.08, "link {link}: practical {a}, exact {b}");
+        }
+    }
+
+    /// Inferred probabilities are always valid probabilities, whatever the
+    /// model.
+    #[test]
+    fn estimates_are_always_in_the_unit_interval(
+        joint in 0.0f64..0.9,
+        e3 in 0.0f64..0.9,
+        e4 in 0.0f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let (instance, observations, _) = simulate_fig1a(joint, e3, e4, 2_000, seed);
+        for estimate in [
+            CorrelationAlgorithm::new(&instance).infer(&observations).unwrap(),
+            IndependenceAlgorithm::new(&instance).infer(&observations).unwrap(),
+        ] {
+            for link in instance.topology.link_ids() {
+                let p = estimate.congestion_probability(link);
+                prop_assert!((0.0..=1.0).contains(&p), "link {link}: {p}");
+            }
+        }
+    }
+}
+
+/// The independence baseline and the correlation algorithm coincide when
+/// the declared correlation sets are all singletons (then "respecting
+/// correlation" excludes nothing).
+#[test]
+fn algorithms_coincide_without_correlation_sets() {
+    let instance = toy::figure_1a().with_singleton_correlation();
+    let model = CongestionModelBuilder::new(&instance.correlation)
+        .independent(LinkId(0), 0.2)
+        .independent(LinkId(1), 0.3)
+        .independent(LinkId(2), 0.1)
+        .independent(LinkId(3), 0.15)
+        .build()
+        .unwrap();
+    let simulator = Simulator::new(&instance, &model, SimulationConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let observations = simulator.run(10_000, &mut rng);
+    let corr = CorrelationAlgorithm::new(&instance).infer(&observations).unwrap();
+    let indep = IndependenceAlgorithm::new(&instance).infer(&observations).unwrap();
+    for link in instance.topology.link_ids() {
+        assert!(
+            (corr.congestion_probability(link) - indep.congestion_probability(link)).abs() < 1e-9,
+            "link {link}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration test: the full pipeline on a PlanetLab-style topology — the
+//! smoke-scale versions of the paper's Figure 4(c)/(d) and 5(c)/(d)
+//! experiments.
+
+use netcorr::eval::figures::{base_instance, Scale, TopologyFamily};
+use netcorr::eval::runner::{run_experiment, ExperimentConfig};
+use netcorr::eval::scenario::{CorrelationLevel, ScenarioBuilder, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        trials: 2,
+        snapshots: 500,
+        base_seed: 77,
+        parallel: true,
+        ..ExperimentConfig::smoke()
+    }
+}
+
+#[test]
+fn unidentifiable_scenario_on_planetlab() {
+    let base = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, 77).unwrap();
+    let scenario = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        unidentifiable_fraction: 0.5,
+        ..ScenarioConfig::default()
+    };
+    let result = run_experiment(&base, &scenario, &experiment_config()).unwrap();
+    let corr = result.correlation_summary();
+    let indep = result.independence_summary();
+    assert!(corr.count > 10);
+    assert!(
+        corr.mean <= indep.mean + 0.02,
+        "correlation {} vs independence {}",
+        corr.mean,
+        indep.mean
+    );
+    // Even with half the congested links unidentifiable, most links are
+    // still characterised with a small error.
+    assert!(corr.median < 0.15, "correlation median error {}", corr.median);
+}
+
+#[test]
+fn mislabeled_scenario_on_planetlab() {
+    let base = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, 78).unwrap();
+    let scenario = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        mislabeled_fraction: 0.5,
+        ..ScenarioConfig::default()
+    };
+    let result = run_experiment(&base, &scenario, &experiment_config()).unwrap();
+    let corr = result.correlation_summary();
+    let indep = result.independence_summary();
+    assert!(
+        corr.mean <= indep.mean + 0.02,
+        "correlation {} vs independence {}",
+        corr.mean,
+        indep.mean
+    );
+}
+
+#[test]
+fn scenario_bookkeeping_matches_the_instance_handed_to_the_algorithms() {
+    // The scenario's instance must stay consistent with the base topology
+    // (same links and paths), only the correlation partition may differ.
+    let base = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, 79).unwrap();
+    let config = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        unidentifiable_fraction: 0.25,
+        mislabeled_fraction: 0.25,
+        ..ScenarioConfig::default()
+    };
+    let scenario = ScenarioBuilder::new(config)
+        .unwrap()
+        .build(&base, &mut StdRng::seed_from_u64(80))
+        .unwrap();
+    assert_eq!(scenario.instance.num_links(), base.num_links());
+    assert_eq!(scenario.instance.num_paths(), base.num_paths());
+    scenario.instance.validate().unwrap();
+    // Ground truth and model agree on the marginals.
+    for link in base.topology.link_ids() {
+        assert!(
+            (scenario.model.marginal(link) - scenario.true_marginals[link.index()]).abs() < 1e-12
+        );
+    }
+    // Unidentifiable and mislabeled links are congested links, and the two
+    // mechanisms target different links.
+    for l in &scenario.unidentifiable_links {
+        assert!(scenario.congested_links.contains(l));
+    }
+    for l in &scenario.mislabeled_links {
+        assert!(scenario.congested_links.contains(l));
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration test: the merging transformation of Section 3.3 restores
+//! identifiability at a coarser granularity, and tomography on the merged
+//! graph recovers the merged links' congestion probabilities.
+
+use netcorr::prelude::*;
+use netcorr::topology::identifiability::{check_identifiability, IdentifiabilityConfig};
+use netcorr::topology::merge::merge_indistinguishable;
+use netcorr::topology::toy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn merged_figure_1b_becomes_identifiable_and_measurable() {
+    // Figure 1(b) is not identifiable...
+    let original = toy::figure_1b();
+    let before = check_identifiability(&original, IdentifiabilityConfig::default());
+    assert!(!before.holds);
+
+    // ...but after the merging transformation it is.
+    let merged = merge_indistinguishable(&original).unwrap();
+    let after = check_identifiability(&merged.instance, IdentifiabilityConfig::default());
+    assert!(after.holds);
+    assert_eq!(merged.instance.num_links(), 2);
+
+    // Ground truth on the ORIGINAL topology: e1 and e2 fail together 30% of
+    // the time, e3 fails independently 10% of the time.
+    let model = CongestionModelBuilder::new(&original.correlation)
+        .joint_group(&[LinkId(0), LinkId(1)], 0.3)
+        .independent(LinkId(2), 0.1)
+        .build()
+        .unwrap();
+    let config = SimulationConfig {
+        transmission: netcorr::sim::TransmissionModel::Exact,
+        ..SimulationConfig::default()
+    };
+    let simulator = Simulator::new(&original, &model, config).unwrap();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let observations = simulator.run(40_000, &mut rng);
+
+    // The merged instance has the same paths (P1, P2), so the observations
+    // carry over verbatim; run tomography on the merged graph.
+    assert_eq!(merged.instance.num_paths(), original.num_paths());
+    let estimate = CorrelationAlgorithm::new(&merged.instance)
+        .infer(&observations)
+        .unwrap();
+
+    // Each merged link is {e_i, e3}; it is "congested" whenever either
+    // component is congested: P = 1 - (1 - 0.3)(1 - 0.1) = 0.37.
+    // (The threshold model makes the observable slightly smaller because a
+    // barely-congested link does not always push the 2-hop path over t_p.)
+    for merged_link in merged.instance.topology.link_ids() {
+        let p = estimate.congestion_probability(merged_link);
+        assert!(
+            (p - 0.37).abs() < 0.06,
+            "merged link {merged_link}: estimated {p}, expected about 0.37"
+        );
+        // The composition is recorded so the operator knows what the merged
+        // probability refers to.
+        let composition = &merged.merged_from[merged_link.index()];
+        assert_eq!(composition.len(), 2);
+        assert!(composition.contains(&LinkId(2)));
+    }
+}
+
+#[test]
+fn merging_the_single_set_extreme_yields_one_link_per_path() {
+    let instance = toy::figure_1a_single_set();
+    let merged = merge_indistinguishable(&instance).unwrap();
+    assert_eq!(merged.instance.num_links(), merged.instance.num_paths());
+    // Every merged link's congestion probability is directly measurable
+    // from its (single-link) path: tomography degenerates to end-to-end
+    // measurement, exactly as Section 3.3 argues.
+    for path in merged.instance.paths.paths() {
+        assert_eq!(path.links.len(), 1);
+    }
+    // And the merged instance is identifiable.
+    let report = check_identifiability(&merged.instance, IdentifiabilityConfig::default());
+    assert!(report.holds);
+}

@@ -1,0 +1,151 @@
+//! Integration test: the paper's worked example (Sections 3.1, 3.2 and the
+//! Appendix A illustration) on the toy topologies of Figure 1.
+
+use std::collections::BTreeSet;
+
+use netcorr::prelude::*;
+use netcorr::topology::toy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The coverage table of Section 3.1 for Figure 1(a): every correlation
+/// subset covers a distinct set of paths.
+#[test]
+fn figure_1a_coverage_table_matches_the_paper() {
+    let instance = toy::figure_1a();
+    let coverage = |links: &[LinkId]| -> BTreeSet<usize> {
+        instance
+            .paths
+            .coverage(links)
+            .into_iter()
+            .map(|p| p.index())
+            .collect()
+    };
+    assert_eq!(coverage(&[LinkId(0)]), BTreeSet::from([0]));
+    assert_eq!(coverage(&[LinkId(1)]), BTreeSet::from([1, 2]));
+    assert_eq!(coverage(&[LinkId(0), LinkId(1)]), BTreeSet::from([0, 1, 2]));
+    assert_eq!(coverage(&[LinkId(2)]), BTreeSet::from([0, 1]));
+    assert_eq!(coverage(&[LinkId(3)]), BTreeSet::from([2]));
+
+    // All five correlation subsets have distinct coverage (Assumption 4).
+    let subsets = instance.correlation.all_correlation_subsets(16).unwrap();
+    assert_eq!(subsets.len(), 5);
+    let coverages: BTreeSet<Vec<usize>> = subsets
+        .iter()
+        .map(|s| coverage(s).into_iter().collect())
+        .collect();
+    assert_eq!(coverages.len(), 5);
+}
+
+/// The coverage table of Section 3.1 for Figure 1(b): {e1, e2} and {e3}
+/// cover the same paths, so Assumption 4 fails.
+#[test]
+fn figure_1b_coverage_collision_matches_the_paper() {
+    let instance = toy::figure_1b();
+    let both = instance.paths.coverage(&[LinkId(0), LinkId(1)]);
+    let e3 = instance.paths.coverage(&[LinkId(2)]);
+    assert_eq!(both, e3);
+    // And the exact algorithm refuses to run on it.
+    let mut observations = PathObservations::new(2);
+    for i in 0..64 {
+        observations
+            .record_snapshot(&[i % 3 == 0, i % 5 == 0])
+            .unwrap();
+    }
+    let err = TheoremAlgorithm::new(&instance)
+        .infer(&observations)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        netcorr::core::CoreError::Unidentifiable { .. }
+    ));
+}
+
+/// Section 3.2's walk-through, numerically: with the canonical correlated
+/// model on Figure 1(a), the identified congestion factors match their
+/// defining ratios and the per-link probabilities follow by Lemma 3.
+#[test]
+fn figure_1a_congestion_factors_and_marginals() {
+    let instance = toy::figure_1a();
+    let model = CongestionModelBuilder::new(&instance.correlation)
+        .joint_group(&[LinkId(0), LinkId(1)], 0.2)
+        .independent(LinkId(2), 0.1)
+        .independent(LinkId(3), 0.1)
+        .build()
+        .unwrap();
+    let config = SimulationConfig {
+        transmission: netcorr::sim::TransmissionModel::Exact,
+        ..SimulationConfig::default()
+    };
+    let simulator = Simulator::new(&instance, &model, config).unwrap();
+    let mut rng = StdRng::seed_from_u64(321);
+    let observations = simulator.run(60_000, &mut rng);
+
+    let result = TheoremAlgorithm::new(&instance).infer(&observations).unwrap();
+
+    // Step 1 of Section 3.2: α_{e1} is measured directly and is 0 here
+    // (e1 is never congested alone).
+    let alpha = |links: &[LinkId]| -> f64 {
+        let mut sorted = links.to_vec();
+        sorted.sort_unstable();
+        result
+            .factors
+            .iter()
+            .find(|f| f.links == sorted)
+            .expect("factor exists")
+            .alpha
+    };
+    assert!(alpha(&[LinkId(0)]) < 0.05);
+    assert!(alpha(&[LinkId(1)]) < 0.05);
+    // α_{e1,e2} = 0.2 / 0.8 = 0.25, α_{e3} = α_{e4} = 0.1 / 0.9 ≈ 0.111.
+    assert!((alpha(&[LinkId(0), LinkId(1)]) - 0.25).abs() < 0.06);
+    assert!((alpha(&[LinkId(2)]) - 1.0 / 9.0).abs() < 0.04);
+    assert!((alpha(&[LinkId(3)]) - 1.0 / 9.0).abs() < 0.04);
+
+    // Lemma 3: the marginals follow.
+    let truth = model.marginals();
+    for link in instance.topology.link_ids() {
+        assert!(
+            (result.estimate.congestion_probability(link) - truth[link.index()]).abs() < 0.05,
+            "link {link}"
+        );
+    }
+
+    // Step 4 of Section 3.2: joint probabilities across correlation sets
+    // multiply, e.g. P(X_{e1} = 1, X_{e3} = 1) = P(X_{e1} = 1) P(X_{e3} = 1).
+    let joint = result
+        .joint_congestion_probability(&[LinkId(0), LinkId(2)])
+        .unwrap();
+    assert!((joint - 0.02).abs() < 0.02);
+}
+
+/// The practical algorithm forms exactly the four equations of Section 4 on
+/// Figure 1(a) and solves them exactly.
+#[test]
+fn figure_1a_practical_algorithm_uses_the_papers_equations() {
+    let instance = toy::figure_1a();
+    let model = CongestionModelBuilder::new(&instance.correlation)
+        .joint_group(&[LinkId(0), LinkId(1)], 0.25)
+        .independent(LinkId(2), 0.1)
+        .independent(LinkId(3), 0.2)
+        .build()
+        .unwrap();
+    let simulator = Simulator::new(&instance, &model, SimulationConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let observations = simulator.run(20_000, &mut rng);
+    let estimate = CorrelationAlgorithm::new(&instance)
+        .infer(&observations)
+        .unwrap();
+    assert_eq!(estimate.diagnostics.num_single_path_equations, 3);
+    assert_eq!(estimate.diagnostics.num_pair_equations, 1);
+    assert!(!estimate.diagnostics.underdetermined);
+    let truth = model.marginals();
+    for link in instance.topology.link_ids() {
+        assert!(
+            (estimate.congestion_probability(link) - truth[link.index()]).abs() < 0.06,
+            "link {link}: {} vs {}",
+            estimate.congestion_probability(link),
+            truth[link.index()]
+        );
+    }
+}
