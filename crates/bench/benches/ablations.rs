@@ -11,14 +11,12 @@
 //!   exists).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 use netcorr_bench::fixture;
-use netcorr_core::{
-    AlgorithmConfig, CorrelationAlgorithm, SolverConfig, TheoremAlgorithm,
-};
+use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, SolverConfig, TheoremAlgorithm};
 use netcorr_eval::figures::TopologyFamily;
 use netcorr_eval::metrics::{absolute_errors, potentially_congested_links, ErrorSummary};
 use netcorr_eval::scenario::CorrelationLevel;
@@ -89,10 +87,12 @@ fn ablation_solver(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     for (name, dense_threshold) in [("dense_exact_l1", usize::MAX), ("sparse_cgls", 0usize)] {
-        let mut config = AlgorithmConfig::default();
-        config.solver = SolverConfig {
-            dense_threshold,
-            ..SolverConfig::default()
+        let config = AlgorithmConfig {
+            solver: SolverConfig {
+                dense_threshold,
+                ..SolverConfig::default()
+            },
+            ..AlgorithmConfig::default()
         };
         let estimate = CorrelationAlgorithm::with_config(&fixture.scenario.instance, config)
             .infer(&fixture.observations)
@@ -182,8 +182,7 @@ fn ablation_theorem(c: &mut Criterion) {
             .joint_group(&lan_links, 0.3)
             .build()
             .unwrap();
-        let simulator =
-            Simulator::new(&instance, &model, SimulationConfig::default()).unwrap();
+        let simulator = Simulator::new(&instance, &model, SimulationConfig::default()).unwrap();
         let observations = simulator.run(400, &mut StdRng::seed_from_u64(lan_size as u64));
 
         group.bench_with_input(

@@ -87,13 +87,17 @@ fn fig3_cdf(c: &mut Criterion) {
             "fig3cd point ({name}): correlation mean {:.4}, independence mean {:.4}",
             corr.mean, indep.mean
         );
-        group.bench_with_input(BenchmarkId::new("both_algorithms", name), &fixture, |b, f| {
-            b.iter(|| {
-                let corr = f.run_correlation();
-                let indep = f.run_independence();
-                (corr, indep)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("both_algorithms", name),
+            &fixture,
+            |b, f| {
+                b.iter(|| {
+                    let corr = f.run_correlation();
+                    let indep = f.run_independence();
+                    (corr, indep)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -2,9 +2,9 @@
 //! throughput, and the numerical solvers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 use netcorr_bench::{bench_instance, fixture};
 use netcorr_eval::figures::TopologyFamily;
@@ -59,9 +59,8 @@ fn simulation_throughput(c: &mut Criterion) {
             packets_per_path: 200,
             ..SimulationConfig::default()
         };
-        let simulator =
-            Simulator::new(&fixture.scenario.instance, &fixture.scenario.model, config)
-                .expect("valid simulator");
+        let simulator = Simulator::new(&fixture.scenario.instance, &fixture.scenario.model, config)
+            .expect("valid simulator");
         group.bench_function(BenchmarkId::new("transmission", name), |b| {
             b.iter(|| simulator.run(100, &mut StdRng::seed_from_u64(3)))
         });

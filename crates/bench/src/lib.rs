@@ -11,7 +11,9 @@ use rand::SeedableRng;
 
 use netcorr_core::{CorrelationAlgorithm, IndependenceAlgorithm};
 use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
-use netcorr_eval::scenario::{CongestionScenario, CorrelationLevel, ScenarioBuilder, ScenarioConfig};
+use netcorr_eval::scenario::{
+    CongestionScenario, CorrelationLevel, ScenarioBuilder, ScenarioConfig,
+};
 use netcorr_measure::PathObservations;
 use netcorr_sim::{SimulationConfig, Simulator};
 use netcorr_topology::TopologyInstance;

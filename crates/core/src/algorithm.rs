@@ -156,7 +156,10 @@ mod tests {
 
     /// Simulates Figure 1(a) with the canonical correlated model and
     /// returns (instance, observations, true marginals).
-    fn simulate_fig1a(snapshots: usize, seed: u64) -> (TopologyInstance, PathObservations, Vec<f64>) {
+    fn simulate_fig1a(
+        snapshots: usize,
+        seed: u64,
+    ) -> (TopologyInstance, PathObservations, Vec<f64>) {
         let inst = toy::figure_1a();
         let model = CongestionModelBuilder::new(&inst.correlation)
             .joint_group(&[LinkId(0), LinkId(1)], 0.3)
@@ -300,7 +303,10 @@ mod tests {
         let indep = IndependenceAlgorithm::with_config(&inst, config);
         assert!(!indep.config().equations.respect_correlation);
         let estimate = indep.infer(&obs).unwrap();
-        assert_eq!(estimate.diagnostics.num_pair_equations, 1, "independent pairs beyond |E| are not needed");
+        assert_eq!(
+            estimate.diagnostics.num_pair_equations, 1,
+            "independent pairs beyond |E| are not needed"
+        );
     }
 
     #[test]

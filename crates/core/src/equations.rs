@@ -163,8 +163,7 @@ pub fn build_equations(
             flags
         };
         // Candidate pairs per link (both paths individually usable).
-        let mut candidates_per_link: Vec<Vec<(PathId, PathId)>> =
-            Vec::with_capacity(num_links);
+        let mut candidates_per_link: Vec<Vec<(PathId, PathId)>> = Vec::with_capacity(num_links);
         let mut candidates_examined = 0usize;
         for link in instance.topology.link_ids() {
             let through = instance.paths.paths_through(link);
@@ -189,17 +188,15 @@ pub fn build_equations(
         // Round-robin over links: the r-th candidate of every link, then
         // the (r+1)-th, and so on.
         let mut seen_pairs = std::collections::BTreeSet::new();
-        let max_rounds = candidates_per_link
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0);
+        let max_rounds = candidates_per_link.iter().map(Vec::len).max().unwrap_or(0);
         'rounds: for round in 0..max_rounds {
             for pairs in &candidates_per_link {
                 if num_pair >= max_pairs {
                     break 'rounds;
                 }
-                let Some(&key) = pairs.get(round) else { continue };
+                let Some(&key) = pairs.get(round) else {
+                    continue;
+                };
                 if !seen_pairs.insert(key) {
                     continue;
                 }

@@ -106,7 +106,9 @@ mod tests {
         let e: CoreError = TopologyError::EmptyPath.into();
         assert!(matches!(e, CoreError::Topology(_)));
 
-        assert!(CoreError::NoUsableEquations.to_string().contains("equations"));
+        assert!(CoreError::NoUsableEquations
+            .to_string()
+            .contains("equations"));
         assert!(CoreError::InsufficientObservations {
             reason: "all-good snapshot never observed"
         }
@@ -124,6 +126,8 @@ mod tests {
         }
         .to_string()
         .contains("10"));
-        assert!(CoreError::InvalidConfig("oops".into()).to_string().contains("oops"));
+        assert!(CoreError::InvalidConfig("oops".into())
+            .to_string()
+            .contains("oops"));
     }
 }

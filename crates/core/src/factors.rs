@@ -244,7 +244,11 @@ mod tests {
         // |C̃| = 5 subsets.
         assert_eq!(enumeration.subsets.len(), 5);
         // Coverage sizes must be non-decreasing.
-        let sizes: Vec<usize> = enumeration.subsets.iter().map(|s| s.coverage.len()).collect();
+        let sizes: Vec<usize> = enumeration
+            .subsets
+            .iter()
+            .map(|s| s.coverage.len())
+            .collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         assert_eq!(sizes, sorted);
@@ -264,7 +268,7 @@ mod tests {
         let err = enumerate_subsets(&inst, &EnumerationLimits::default()).unwrap_err();
         match err {
             CoreError::Unidentifiable { subset_a, subset_b } => {
-                let mut pair = vec![subset_a, subset_b];
+                let mut pair = [subset_a, subset_b];
                 pair.sort();
                 assert_eq!(pair[0], vec![LinkId(0), LinkId(1)]);
                 assert_eq!(pair[1], vec![LinkId(2)]);
@@ -307,15 +311,14 @@ mod tests {
         let ratio = move |coverage: &BTreeSet<PathId>| -> Result<f64, CoreError> {
             let c: Vec<usize> = coverage.iter().map(|p| p.index()).collect();
             let value = match c.as_slice() {
-                [0] => 0.0,                                   // only P1 congested
-                [2] => alpha_4,                               // only P3 congested
-                [0, 1] => alpha_3,                            // P1, P2 congested
-                [1, 2] => 0.0,                                // P2, P3 congested (needs e2 alone)
+                [0] => 0.0,        // only P1 congested
+                [2] => alpha_4,    // only P3 congested
+                [0, 1] => alpha_3, // P1, P2 congested
+                [1, 2] => 0.0,     // P2, P3 congested (needs e2 alone)
                 [0, 1, 2] => {
                     // All paths congested: states from the Appendix A
                     // illustration expressed in congestion factors.
-                    alpha_12 * (1.0 + alpha_3 + alpha_4 + alpha_3 * alpha_4)
-                        + alpha_3 * alpha_4
+                    alpha_12 * (1.0 + alpha_3 + alpha_4 + alpha_3 * alpha_4) + alpha_3 * alpha_4
                 }
                 other => panic!("unexpected coverage {other:?}"),
             };
@@ -344,7 +347,10 @@ mod tests {
         let mut enumeration = enumerate_subsets(&inst, &EnumerationLimits::default()).unwrap();
         // Slightly negative measured ratios (possible with noisy estimates
         // after subtracting Γ_Ā) must not produce negative factors.
-        identify_factors(&mut enumeration, &EnumerationLimits::default(), |_| Ok(-0.01)).unwrap();
+        identify_factors(&mut enumeration, &EnumerationLimits::default(), |_| {
+            Ok(-0.01)
+        })
+        .unwrap();
         assert!(enumeration.subsets.iter().all(|s| s.alpha >= 0.0));
     }
 }

@@ -64,7 +64,10 @@ impl TomographyEstimate {
 
     /// Builds an estimate directly from per-link congestion probabilities
     /// (used by the exact theorem algorithm).
-    pub fn from_congestion_probabilities(probabilities: Vec<f64>, diagnostics: Diagnostics) -> Self {
+    pub fn from_congestion_probabilities(
+        probabilities: Vec<f64>,
+        diagnostics: Diagnostics,
+    ) -> Self {
         TomographyEstimate {
             congestion_probabilities: probabilities
                 .into_iter()
@@ -134,10 +137,8 @@ mod tests {
 
     #[test]
     fn direct_probabilities_are_clamped_to_unit_interval() {
-        let est = TomographyEstimate::from_congestion_probabilities(
-            vec![-0.1, 0.4, 1.7],
-            diagnostics(),
-        );
+        let est =
+            TomographyEstimate::from_congestion_probabilities(vec![-0.1, 0.4, 1.7], diagnostics());
         assert_eq!(est.congestion_probability(LinkId(0)), 0.0);
         assert!((est.congestion_probability(LinkId(1)) - 0.4).abs() < 1e-12);
         assert_eq!(est.congestion_probability(LinkId(2)), 1.0);

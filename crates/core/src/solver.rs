@@ -270,12 +270,7 @@ mod tests {
     /// P(e1 good) = 0.8, P(e2 good) = 0.8, P(e3 good) = 0.9,
     /// P(e4 good) = 0.9.
     fn fig1a_exact_system() -> (EquationSystem, Vec<f64>) {
-        let x_true = vec![
-            (0.8f64).ln(),
-            (0.8f64).ln(),
-            (0.9f64).ln(),
-            (0.9f64).ln(),
-        ];
+        let x_true = vec![(0.8f64).ln(), (0.8f64).ln(), (0.9f64).ln(), (0.9f64).ln()];
         let rows: Vec<Vec<usize>> = vec![
             vec![0, 2],    // P1 = {e1, e3}
             vec![1, 2],    // P2 = {e2, e3}
@@ -315,7 +310,11 @@ mod tests {
         assert_eq!(outcome.used_single, 3);
         assert_eq!(outcome.used_pair, 1);
         assert!(!outcome.underdetermined);
-        assert!(norms::approx_eq(&outcome.x, &x_true, 1e-9), "{:?}", outcome.x);
+        assert!(
+            norms::approx_eq(&outcome.x, &x_true, 1e-9),
+            "{:?}",
+            outcome.x
+        );
         assert!(outcome.residual < 1e-9);
     }
 
@@ -464,7 +463,10 @@ mod tests {
         };
         let outcome = solve_equations(&redundant, 4, &SolverConfig::default()).unwrap();
         assert_eq!(outcome.kind, SolverKind::DenseExact);
-        assert_eq!(outcome.used_single, 3, "the duplicate row must not be counted");
+        assert_eq!(
+            outcome.used_single, 3,
+            "the duplicate row must not be counted"
+        );
         assert!(norms::approx_eq(&outcome.x, &x_true, 1e-8));
     }
 

@@ -163,8 +163,7 @@ impl<'a> TheoremAlgorithm<'a> {
         for subset in &enumeration.subsets {
             alpha_sum[subset.set.index()] += subset.alpha;
         }
-        let prob_set_all_good: Vec<f64> =
-            alpha_sum.iter().map(|&s| 1.0 / (1.0 + s)).collect();
+        let prob_set_all_good: Vec<f64> = alpha_sum.iter().map(|&s| 1.0 / (1.0 + s)).collect();
         let mut marginals = vec![0.0; self.instance.num_links()];
         for subset in &enumeration.subsets {
             let p_state = subset.alpha * prob_set_all_good[subset.set.index()];
@@ -277,7 +276,11 @@ mod tests {
             .iter()
             .find(|f| f.links == vec![LinkId(2)])
             .unwrap();
-        assert!((factor.alpha - 1.0 / 9.0).abs() < 0.04, "alpha {}", factor.alpha);
+        assert!(
+            (factor.alpha - 1.0 / 9.0).abs() < 0.04,
+            "alpha {}",
+            factor.alpha
+        );
         // P(S^p = ∅) per set.
         assert!((result.prob_set_all_good[0] - 0.8).abs() < 0.05);
         assert!((result.prob_set_all_good[1] - 0.9).abs() < 0.05);
@@ -291,7 +294,10 @@ mod tests {
         for link in inst.topology.link_ids() {
             let a = exact.estimate.congestion_probability(link);
             let b = practical.congestion_probability(link);
-            assert!((a - b).abs() < 0.05, "link {link}: exact {a}, practical {b}");
+            assert!(
+                (a - b).abs() < 0.05,
+                "link {link}: exact {a}, practical {b}"
+            );
         }
     }
 

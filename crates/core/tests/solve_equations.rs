@@ -1,0 +1,99 @@
+//! Branch-coverage tests for [`netcorr_core::solver::solve_equations`] on
+//! the paper's toy topology of Figure 1(a).
+//!
+//! With both single-path and path-pair equations enabled, Figure 1(a)
+//! yields exactly `N1 + N2 = 3 + 1 = 4 = |E|` independent equations, so the
+//! solver must take the exact dense QR path. Dropping the pair equations
+//! leaves 3 equations for 4 unknowns and forces the under-determined
+//! minimum-L1-norm path. Both branches must reproduce the ground-truth
+//! congestion probabilities the simulation was driven with.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netcorr_core::equations::{build_equations, EquationConfig};
+use netcorr_core::result::SolverKind;
+use netcorr_core::solver::{solve_equations, SolverConfig};
+use netcorr_measure::ProbabilityEstimator;
+use netcorr_sim::{CongestionModelBuilder, SimulationConfig, Simulator};
+use netcorr_topology::graph::LinkId;
+use netcorr_topology::toy;
+
+const SNAPSHOTS: usize = 6000;
+
+/// Ground truth: e0/e1 jointly congested 20% of the time, e2 and e3
+/// independently congested 10% of the time.
+const TRUE_CONGESTION: [f64; 4] = [0.2, 0.2, 0.1, 0.1];
+
+fn observations_on_figure_1a() -> (
+    netcorr_topology::TopologyInstance,
+    netcorr_measure::PathObservations,
+) {
+    let instance = toy::figure_1a();
+    let model = CongestionModelBuilder::new(&instance.correlation)
+        .joint_group(&[LinkId(0), LinkId(1)], TRUE_CONGESTION[0])
+        .independent(LinkId(2), TRUE_CONGESTION[2])
+        .independent(LinkId(3), TRUE_CONGESTION[3])
+        .build()
+        .expect("valid congestion model");
+    let simulator = Simulator::new(&instance, &model, SimulationConfig::default())
+        .expect("simulator construction succeeds");
+    let observations = simulator.run(SNAPSHOTS, &mut StdRng::seed_from_u64(7));
+    (instance, observations)
+}
+
+#[test]
+fn square_system_takes_exact_qr_path() {
+    let (instance, observations) = observations_on_figure_1a();
+    let estimator = ProbabilityEstimator::new(&observations).expect("non-empty observations");
+    let system = build_equations(&instance, &estimator, &EquationConfig::default())
+        .expect("equation building succeeds");
+    // Figure 1(a): 3 single-path equations plus 1 valid pair equation.
+    assert_eq!(system.num_single, 3);
+    assert_eq!(system.num_pair, 1);
+
+    let outcome = solve_equations(&system, instance.num_links(), &SolverConfig::default())
+        .expect("solve succeeds");
+    assert_eq!(outcome.kind, SolverKind::DenseExact);
+    assert!(!outcome.underdetermined);
+    assert_eq!(
+        outcome.used_single + outcome.used_pair,
+        instance.num_links()
+    );
+    assert!(outcome.residual < 1e-9, "residual {}", outcome.residual);
+
+    // x_k = log P(X_k = 0): the exact path must recover the ground truth up
+    // to estimation noise.
+    for (k, &p_congested) in TRUE_CONGESTION.iter().enumerate() {
+        assert!(outcome.x[k] <= 0.0, "log-probability above 0 for link {k}");
+        let estimated = 1.0 - outcome.x[k].exp();
+        assert!(
+            (estimated - p_congested).abs() < 0.05,
+            "link {k}: estimated {estimated}, truth {p_congested}"
+        );
+    }
+}
+
+#[test]
+fn underdetermined_system_takes_min_l1_path() {
+    let (instance, observations) = observations_on_figure_1a();
+    let estimator = ProbabilityEstimator::new(&observations).expect("non-empty observations");
+    let config = EquationConfig {
+        use_pairs: false,
+        ..EquationConfig::default()
+    };
+    let system =
+        build_equations(&instance, &estimator, &config).expect("equation building succeeds");
+    assert_eq!(system.num_single, 3);
+    assert_eq!(system.num_pair, 0);
+
+    let outcome = solve_equations(&system, instance.num_links(), &SolverConfig::default())
+        .expect("solve succeeds");
+    assert_eq!(outcome.kind, SolverKind::DenseL1);
+    assert!(outcome.underdetermined);
+    assert_eq!(outcome.used_single, 3);
+    assert_eq!(outcome.used_pair, 0);
+    // The minimum-L1 solution still satisfies every kept equation.
+    assert!(outcome.residual < 1e-6, "residual {}", outcome.residual);
+    assert!(outcome.x.iter().all(|&x| x <= 0.0));
+}

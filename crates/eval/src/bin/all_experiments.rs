@@ -62,7 +62,9 @@ fn run(options: &CliOptions) -> Result<(), netcorr_eval::EvalError> {
     let last = sweep.last().expect("sweep is non-empty");
     check(
         "correlation algorithm mean error stays below the baseline across the sweep",
-        sweep.iter().all(|p| p.correlation.mean <= p.independence.mean + 1e-9),
+        sweep
+            .iter()
+            .all(|p| p.correlation.mean <= p.independence.mean + 1e-9),
     );
     check(
         "baseline error grows with the fraction of congested links",

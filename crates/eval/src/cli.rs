@@ -104,10 +104,7 @@ pub fn usage() -> &'static str {
     "usage: <binary> [--scale smoke|paper] [--trials N] [--snapshots N] [--seed N] [--out DIR] [--sequential]"
 }
 
-fn expect_value(
-    args: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> Result<String, EvalError> {
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, EvalError> {
     args.next()
         .ok_or_else(|| EvalError::InvalidScenario(format!("missing value for {flag}")))
 }

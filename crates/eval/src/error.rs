@@ -89,7 +89,7 @@ mod tests {
         assert!(e.to_string().contains("inference"));
         let e: EvalError = MeasureError::NoSnapshots.into();
         assert!(matches!(e, EvalError::Measurement(_)));
-        let e: EvalError = std::io::Error::new(std::io::ErrorKind::Other, "disk full").into();
+        let e: EvalError = std::io::Error::other("disk full").into();
         assert!(e.to_string().contains("disk full"));
         assert!(EvalError::InvalidScenario("bad fraction".into())
             .to_string()

@@ -67,8 +67,7 @@ mod tests {
             ..ExperimentConfig::smoke()
         };
         for family in [TopologyFamily::Brite, TopologyFamily::PlanetLab] {
-            let comparison =
-                unidentifiable_cdf(family, Scale::Smoke, 0.25, &experiment).unwrap();
+            let comparison = unidentifiable_cdf(family, Scale::Smoke, 0.25, &experiment).unwrap();
             assert!(comparison.label.contains("25%"));
             assert!(comparison.correlation_summary.count > 0);
         }

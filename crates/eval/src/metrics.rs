@@ -33,11 +33,7 @@ pub fn potentially_congested_links(
 
 /// Absolute error `|p̂ − p|` of an estimate against the ground-truth
 /// marginals, over the given links.
-pub fn absolute_errors(
-    estimate: &TomographyEstimate,
-    truth: &[f64],
-    links: &[LinkId],
-) -> Vec<f64> {
+pub fn absolute_errors(estimate: &TomographyEstimate, truth: &[f64], links: &[LinkId]) -> Vec<f64> {
     links
         .iter()
         .map(|&l| (estimate.congestion_probability(l) - truth[l.index()]).abs())

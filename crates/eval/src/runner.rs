@@ -177,20 +177,29 @@ pub fn run_experiment(
     };
 
     let trials: Vec<TrialResult> = if config.parallel && config.trials > 1 {
-        let results = parking_lot::Mutex::new(vec![None; config.trials]);
-        crossbeam::thread::scope(|scope| {
+        let results = std::sync::Mutex::new(vec![None; config.trials]);
+        std::thread::scope(|scope| {
             for trial_index in 0..config.trials {
                 let results = &results;
                 let run_one = &run_one;
-                scope.spawn(move |_| {
-                    let outcome = run_one(trial_index);
-                    results.lock()[trial_index] = Some(outcome);
+                scope.spawn(move || {
+                    // A panicking trial must surface as an `EvalError` to the
+                    // caller, not tear down the whole experiment (scoped
+                    // threads re-raise unjoined panics on scope exit).
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_one(trial_index)
+                    }))
+                    .unwrap_or_else(|_| Err(EvalError::Io("a trial thread panicked".to_string())));
+                    results
+                        .lock()
+                        .expect("trial threads never panic while holding the lock")[trial_index] =
+                        Some(outcome);
                 });
             }
-        })
-        .map_err(|_| EvalError::Io("a trial thread panicked".to_string()))?;
+        });
         results
             .into_inner()
+            .expect("trial threads never panic while holding the lock")
             .into_iter()
             .map(|r| r.expect("every trial slot was filled"))
             .collect::<Result<Vec<_>, _>>()?

@@ -227,10 +227,7 @@ impl ScenarioBuilder {
                 let links = base
                     .correlation
                     .set_links(netcorr_topology::correlation::CorrelationSetId(set_idx));
-                let size = links
-                    .len()
-                    .min(max_group)
-                    .min(remaining_target - selected);
+                let size = links.len().min(max_group).min(remaining_target - selected);
                 if size == 0 {
                     continue;
                 }
@@ -286,9 +283,8 @@ impl ScenarioBuilder {
         if unidentifiable_target > 0 {
             let mut node_order: Vec<usize> = (0..base.topology.num_nodes()).collect();
             shuffle(&mut node_order, rng);
-            let congested_flag: Vec<bool> = (0..num_links)
-                .map(|l| true_marginals[l] > 0.0)
-                .collect();
+            let congested_flag: Vec<bool> =
+                (0..num_links).map(|l| true_marginals[l] > 0.0).collect();
             for &node_idx in &node_order {
                 if unidentifiable.len() >= unidentifiable_target {
                     break;
@@ -386,11 +382,7 @@ fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
 fn sample_links(links: &[LinkId], count: usize, rng: &mut impl Rng) -> Vec<LinkId> {
     let mut indices: Vec<usize> = (0..links.len()).collect();
     shuffle(&mut indices, rng);
-    indices
-        .into_iter()
-        .take(count)
-        .map(|i| links[i])
-        .collect()
+    indices.into_iter().take(count).map(|i| links[i]).collect()
 }
 
 #[cfg(test)]
@@ -402,14 +394,20 @@ mod tests {
     use rand::SeedableRng;
 
     fn planetlab_base(seed: u64) -> TopologyInstance {
-        planetlab::generate(&planetlab::PlanetLabConfig::small(), &mut StdRng::seed_from_u64(seed))
-            .unwrap()
+        planetlab::generate(
+            &planetlab::PlanetLabConfig::small(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
     }
 
     fn brite_base(seed: u64) -> TopologyInstance {
-        brite::generate(&brite::BriteConfig::small(), &mut StdRng::seed_from_u64(seed))
-            .unwrap()
-            .instance
+        brite::generate(
+            &brite::BriteConfig::small(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
+        .instance
     }
 
     #[test]
@@ -458,7 +456,10 @@ mod tests {
                 .iter()
                 .filter(|l| scenario.congested_links.contains(l))
                 .count();
-            assert!(congested_in_set <= 2, "{congested_in_set} congested links in one set");
+            assert!(
+                congested_in_set <= 2,
+                "{congested_in_set} congested links in one set"
+            );
         }
     }
 

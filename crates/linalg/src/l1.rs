@@ -98,11 +98,7 @@ mod tests {
     #[test]
     fn satisfies_constraints_exactly() {
         // Two equations, four unknowns.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 1.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0, 0.0], vec![0.0, 1.0, 1.0, 1.0]]).unwrap();
         let b = [1.0, 2.0];
         let x = min_l1_norm_solution(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();

@@ -65,12 +65,18 @@ pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<LeastSquaresSolution
     let (x, method) = if a.rows() >= a.cols() {
         let qr = QrDecomposition::new(a)?;
         if qr.is_rank_deficient() {
-            (ridge_normal_equations(a, b)?, LeastSquaresMethod::RidgeNormalEquations)
+            (
+                ridge_normal_equations(a, b)?,
+                LeastSquaresMethod::RidgeNormalEquations,
+            )
         } else {
             (qr.solve_least_squares(b)?, LeastSquaresMethod::Qr)
         }
     } else {
-        (minimum_norm_solution(a, b)?, LeastSquaresMethod::MinimumNorm)
+        (
+            minimum_norm_solution(a, b)?,
+            LeastSquaresMethod::MinimumNorm,
+        )
     };
 
     let residual = l2_norm(&sub(&a.matvec(&x)?, b));
@@ -127,12 +133,7 @@ mod tests {
 
     #[test]
     fn overdetermined_consistent_system() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let b = [2.0, 3.0, 5.0];
         let sol = solve_least_squares(&a, &b).unwrap();
         assert!(approx_eq(&sol.x, &[2.0, 3.0], 1e-9));

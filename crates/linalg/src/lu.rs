@@ -102,7 +102,11 @@ impl LuDecomposition {
             return 0.0;
         }
         let n = self.lu.rows();
-        let mut det = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let mut det = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..n {
             det *= self.lu[(i, i)];
         }
@@ -167,6 +171,38 @@ impl LuDecomposition {
         }
         Ok(inv)
     }
+
+    /// Reconstructs the unit-lower-triangular factor `L`, so that
+    /// `P · A = L · U` (useful in tests).
+    pub fn l(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut l = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..i {
+                l[(i, j)] = self.lu[(i, j)];
+            }
+        }
+        l
+    }
+
+    /// Reconstructs the upper-triangular factor `U`, so that
+    /// `P · A = L · U` (useful in tests).
+    pub fn u(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut u = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                u[(i, j)] = self.lu[(i, j)];
+            }
+        }
+        u
+    }
+
+    /// The row permutation `P` as a row order: row `i` of `P · A` is row
+    /// `permutation()[i]` of `A`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
 }
 
 /// Convenience wrapper: solves the square system `A x = b`.
@@ -213,8 +249,8 @@ mod tests {
         let det = LuDecomposition::new(&a).unwrap().determinant();
         assert!((det - (-2.0)).abs() < 1e-12);
 
-        let b = Matrix::from_row_slice(3, 3, &[2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0])
-            .unwrap();
+        let b =
+            Matrix::from_row_slice(3, 3, &[2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0]).unwrap();
         assert!((LuDecomposition::new(&b).unwrap().determinant() - 24.0).abs() < 1e-12);
     }
 

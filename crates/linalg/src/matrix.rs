@@ -451,10 +451,7 @@ mod tests {
             Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]),
             Err(LinalgError::DimensionMismatch { .. })
         ));
-        assert!(matches!(
-            Matrix::from_rows(&[]),
-            Err(LinalgError::Empty)
-        ));
+        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty)));
     }
 
     #[test]
@@ -484,7 +481,10 @@ mod tests {
 
         let b = Matrix::from_row_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]).unwrap();
         let ab = a.matmul(&b).unwrap();
-        assert_eq!(ab, Matrix::from_row_slice(2, 2, &[2.0, 1.0, 4.0, 3.0]).unwrap());
+        assert_eq!(
+            ab,
+            Matrix::from_row_slice(2, 2, &[2.0, 1.0, 4.0, 3.0]).unwrap()
+        );
     }
 
     #[test]

@@ -94,10 +94,7 @@ impl QrDecomposition {
         if max == 0.0 {
             return 0;
         }
-        self.r_diag
-            .iter()
-            .filter(|v| v.abs() > tol * max)
-            .count()
+        self.r_diag.iter().filter(|v| v.abs() > tol * max).count()
     }
 
     /// Returns `true` if `R` has a numerically-zero diagonal entry, i.e.
@@ -157,6 +154,40 @@ impl QrDecomposition {
         Ok(x)
     }
 
+    /// Reconstructs the thin `m × n` orthonormal factor `Q`, so that
+    /// `A = Q · R` and `Qᵀ Q = I` (useful in tests).
+    ///
+    /// Column `j` is `Q e_j = H_0 · H_1 ⋯ H_{n-1} e_j`: the Householder
+    /// reflectors applied in reverse order (each `H_k` is symmetric, and
+    /// `Qᵀ = H_{n-1} ⋯ H_0`).
+    pub fn q(&self) -> Matrix {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        let mut q = Matrix::zeros(m, n);
+        let mut col = vec![0.0; m];
+        for j in 0..n {
+            col.iter_mut().for_each(|v| *v = 0.0);
+            col[j] = 1.0;
+            for k in (0..n).rev() {
+                if self.betas[k] == 0.0 {
+                    continue;
+                }
+                let mut s = 0.0;
+                for i in k..m {
+                    s += self.qr[(i, k)] * col[i];
+                }
+                s *= self.betas[k];
+                for i in k..m {
+                    col[i] -= s * self.qr[(i, k)];
+                }
+            }
+            for i in 0..m {
+                q[(i, j)] = col[i];
+            }
+        }
+        q
+    }
+
     /// Reconstructs the `n × n` upper-triangular factor `R` (useful in
     /// tests).
     pub fn r(&self) -> Matrix {
@@ -188,12 +219,7 @@ mod tests {
     #[test]
     fn least_squares_on_overdetermined_system() {
         // Fit y = a + b t to points (0,1), (1,3), (2,5): exact line a=1, b=2.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let qr = QrDecomposition::new(&a).unwrap();
         let x = qr.solve_least_squares(&[1.0, 3.0, 5.0]).unwrap();
         assert!(approx_eq(&x, &[1.0, 2.0], 1e-10));
@@ -232,17 +258,15 @@ mod tests {
         let qr = QrDecomposition::new(&deficient).unwrap();
         assert_eq!(qr.rank(1e-9), 1);
         assert!(qr.is_rank_deficient());
-        assert_eq!(qr.solve_least_squares(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular));
+        assert_eq!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular)
+        );
     }
 
     #[test]
     fn r_factor_is_upper_triangular_and_consistent() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let qr = QrDecomposition::new(&a).unwrap();
         let r = qr.r();
         assert_eq!(r.rows(), 2);

@@ -62,7 +62,11 @@ impl LinearProgram {
     ///
     /// Returns an error if the dimensions are inconsistent or any input is
     /// non-finite.
-    pub fn new(objective: Vec<f64>, constraints: Matrix, rhs: Vec<f64>) -> Result<Self, LinalgError> {
+    pub fn new(
+        objective: Vec<f64>,
+        constraints: Matrix,
+        rhs: Vec<f64>,
+    ) -> Result<Self, LinalgError> {
         if constraints.cols() != objective.len() {
             return Err(LinalgError::DimensionMismatch {
                 operation: "LinearProgram::new (objective length)",
@@ -136,9 +140,7 @@ impl LinearProgram {
         let mut iterations = 0;
 
         // ---- Phase 1: minimise the sum of artificial variables. ----
-        let phase1_cost: Vec<f64> = (0..total)
-            .map(|j| if j >= n { 1.0 } else { 0.0 })
-            .collect();
+        let phase1_cost: Vec<f64> = (0..total).map(|j| if j >= n { 1.0 } else { 0.0 }).collect();
         let phase1_value =
             simplex_iterate(&mut tableau, &mut basis, &phase1_cost, &mut iterations)?;
         if phase1_value > 1e-7 {
@@ -190,23 +192,19 @@ impl LinearProgram {
         let mut basis = reduced_basis;
 
         // ---- Phase 2: minimise the true objective over x. ----
-        let objective_value = match simplex_iterate(
-            &mut tableau,
-            &mut basis,
-            &self.objective,
-            &mut iterations,
-        ) {
-            Ok(v) => v,
-            Err(LinalgError::Unbounded) => {
-                return Ok(LpSolution {
-                    status: LpStatus::Unbounded,
-                    x: Vec::new(),
-                    objective_value: f64::NEG_INFINITY,
-                    iterations,
-                })
-            }
-            Err(e) => return Err(e),
-        };
+        let objective_value =
+            match simplex_iterate(&mut tableau, &mut basis, &self.objective, &mut iterations) {
+                Ok(v) => v,
+                Err(LinalgError::Unbounded) => {
+                    return Ok(LpSolution {
+                        status: LpStatus::Unbounded,
+                        x: Vec::new(),
+                        objective_value: f64::NEG_INFINITY,
+                        iterations,
+                    })
+                }
+                Err(e) => return Err(e),
+            };
 
         // Extract the solution.
         let mut x = vec![0.0; n];
@@ -367,11 +365,7 @@ mod tests {
     #[test]
     fn detects_infeasibility() {
         // x1 + x2 = 1 and x1 + x2 = 3 cannot both hold.
-        let p = lp(
-            &[1.0, 1.0],
-            &[vec![1.0, 1.0], vec![1.0, 1.0]],
-            &[1.0, 3.0],
-        );
+        let p = lp(&[1.0, 1.0], &[vec![1.0, 1.0], vec![1.0, 1.0]], &[1.0, 3.0]);
         let sol = p.solve().unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
@@ -396,15 +390,14 @@ mod tests {
     #[test]
     fn handles_redundant_constraints() {
         // Duplicate constraint rows; still optimal.
-        let p = lp(
-            &[1.0, 2.0],
-            &[vec![1.0, 1.0], vec![1.0, 1.0]],
-            &[1.0, 1.0],
-        );
+        let p = lp(&[1.0, 2.0], &[vec![1.0, 1.0], vec![1.0, 1.0]], &[1.0, 1.0]);
         let sol = p.solve().unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective_value - 1.0).abs() < 1e-8);
-        assert!((sol.x[0] - 1.0).abs() < 1e-8, "should prefer the cheap variable");
+        assert!(
+            (sol.x[0] - 1.0).abs() < 1e-8,
+            "should prefer the cheap variable"
+        );
     }
 
     #[test]
@@ -419,12 +412,7 @@ mod tests {
     fn rejects_dimension_mismatches() {
         assert!(LinearProgram::new(vec![1.0], Matrix::zeros(1, 2), vec![1.0]).is_err());
         assert!(LinearProgram::new(vec![1.0, 2.0], Matrix::zeros(1, 2), vec![1.0, 2.0]).is_err());
-        assert!(LinearProgram::new(
-            vec![f64::NAN, 2.0],
-            Matrix::zeros(1, 2),
-            vec![1.0]
-        )
-        .is_err());
+        assert!(LinearProgram::new(vec![f64::NAN, 2.0], Matrix::zeros(1, 2), vec![1.0]).is_err());
     }
 
     #[test]
@@ -432,7 +420,11 @@ mod tests {
         // A problem with degenerate vertices; Bland's rule must terminate.
         let p = lp(
             &[1.0, 1.0, 1.0],
-            &[vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0], vec![1.0, 0.0, 0.0]],
+            &[
+                vec![1.0, 1.0, 0.0],
+                vec![1.0, 0.0, 1.0],
+                vec![1.0, 0.0, 0.0],
+            ],
             &[1.0, 1.0, 1.0],
         );
         let sol = p.solve().unwrap();

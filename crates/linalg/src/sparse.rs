@@ -347,7 +347,9 @@ mod tests {
         let mut state = 12345u64;
         let mut next = || {
             // Small deterministic LCG, avoids pulling rand into this crate.
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..300 {

@@ -15,8 +15,20 @@ use netcorr_linalg::{
     qr::QrDecomposition,
     rank::{numerical_rank, select_independent_rows},
     simplex::{LinearProgram, LpStatus},
+    sparse::{cgls, SparseMatrix},
 };
 use proptest::prelude::*;
+
+/// Converts a dense matrix into the sparse row format, keeping every entry
+/// (including explicit zeros — the formats must agree regardless).
+fn sparse_from_dense(m: &Matrix) -> SparseMatrix {
+    let mut sparse = SparseMatrix::new(m.cols());
+    for i in 0..m.rows() {
+        let entries: Vec<(usize, f64)> = (0..m.cols()).map(|j| (j, m[(i, j)])).collect();
+        sparse.push_row(&entries).unwrap();
+    }
+    sparse
+}
 
 /// Strategy: a diagonally dominant square matrix of size `n` (always
 /// invertible and well conditioned).
@@ -147,6 +159,84 @@ proptest! {
             }
             prop_assert!(sol.x.iter().all(|&v| v >= -1e-9));
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_factors_reconstruct_input(vals in prop::collection::vec(-1.0f64..1.0, 24)) {
+        // A 6 x 4 matrix with continuous random entries is full column rank
+        // almost surely; the reconstruction identity A = Q·R holds either way.
+        let a = Matrix::from_row_slice(6, 4, &vals).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let q = qr.q();
+        let reconstructed = q.matmul(&qr.r()).unwrap();
+        prop_assert!(reconstructed.approx_eq(&a, 1e-9), "A != Q R");
+        // The thin factor is orthonormal: Qᵀ Q = I.
+        let qtq = q.transpose().matmul(&q).unwrap();
+        prop_assert!(qtq.approx_eq(&Matrix::identity(4), 1e-9), "Qᵀ Q != I");
+    }
+
+    #[test]
+    fn lu_factors_reconstruct_permuted_input(a in diag_dominant_matrix(6)) {
+        let lu = LuDecomposition::new(&a).unwrap();
+        prop_assert!(!lu.is_singular());
+        // Row i of P·A is row permutation()[i] of A.
+        let pa = a.select_rows(lu.permutation());
+        let reconstructed = lu.l().matmul(&lu.u()).unwrap();
+        prop_assert!(reconstructed.approx_eq(&pa, 1e-9), "P A != L U");
+    }
+
+    #[test]
+    fn sparse_and_dense_matvec_agree(
+        vals in prop::collection::vec(-1.0f64..1.0, 30),
+        x in vector(6),
+        y in vector(5),
+    ) {
+        // Zero out some entries so the sparse representation is exercised
+        // with genuinely sparse rows, not just fully dense ones.
+        let dense = Matrix::from_fn(5, 6, |i, j| {
+            let v = vals[i * 6 + j];
+            if v.abs() < 0.4 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let mut sparse = SparseMatrix::new(6);
+        for i in 0..5 {
+            let entries: Vec<(usize, f64)> = (0..6)
+                .filter(|&j| dense[(i, j)] != 0.0)
+                .map(|j| (j, dense[(i, j)]))
+                .collect();
+            sparse.push_row(&entries).unwrap();
+        }
+        let forward = l2_norm(&sub(&sparse.matvec(&x).unwrap(), &dense.matvec(&x).unwrap()));
+        prop_assert!(forward < 1e-12, "matvec disagreement {forward}");
+        let transposed = l2_norm(&sub(
+            &sparse.transpose_matvec(&y).unwrap(),
+            &dense.transpose().matvec(&y).unwrap(),
+        ));
+        prop_assert!(transposed < 1e-12, "transpose_matvec disagreement {transposed}");
+        prop_assert!(sparse.to_dense().approx_eq(&dense, 0.0), "to_dense round trip");
+    }
+
+    #[test]
+    fn cgls_converges_on_well_conditioned_systems(
+        a in diag_dominant_matrix(8),
+        x_true in vector(8),
+    ) {
+        // Same tolerance as SolverConfig::default().cgls_tolerance.
+        let cgls_tolerance = 1e-12;
+        let b = a.matvec(&x_true).unwrap();
+        let sparse = sparse_from_dense(&a);
+        let sol = cgls(&sparse, &b, 0.0, 4000, cgls_tolerance).unwrap();
+        prop_assert!(sol.converged, "CGLS hit the iteration cap");
+        prop_assert!(sol.residual < 1e-6, "residual {}", sol.residual);
+        let err = l2_norm(&sub(&sol.x, &x_true));
+        prop_assert!(err < 1e-6, "solution error {err}");
     }
 }
 

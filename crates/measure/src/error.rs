@@ -33,7 +33,10 @@ impl fmt::Display for MeasureError {
             ),
             MeasureError::NoSnapshots => write!(f, "no snapshots have been recorded"),
             MeasureError::UnknownPath { index, num_paths } => {
-                write!(f, "path index {index} out of range (have {num_paths} paths)")
+                write!(
+                    f,
+                    "path index {index} out of range (have {num_paths} paths)"
+                )
             }
         }
     }

@@ -108,7 +108,10 @@ impl<'a> ProbabilityEstimator<'a> {
 
     /// Empirical `P(ψ(S) = ψ(A))`: the fraction of snapshots in which the
     /// congested paths were *exactly* the given set.
-    pub fn prob_exactly_congested(&self, congested: &BTreeSet<PathId>) -> Result<f64, MeasureError> {
+    pub fn prob_exactly_congested(
+        &self,
+        congested: &BTreeSet<PathId>,
+    ) -> Result<f64, MeasureError> {
         for &p in congested {
             self.check_path(p)?;
         }
@@ -182,7 +185,10 @@ mod tests {
         assert!((est.prob_paths_good(&[PathId(0), PathId(1)]).unwrap() - 0.5).abs() < 1e-12);
         // All three paths good in snapshots 0, 3, 6 -> 3/8.
         assert!(
-            (est.prob_paths_good(&[PathId(0), PathId(1), PathId(2)]).unwrap() - 3.0 / 8.0).abs()
+            (est.prob_paths_good(&[PathId(0), PathId(1), PathId(2)])
+                .unwrap()
+                - 3.0 / 8.0)
+                .abs()
                 < 1e-12
         );
         assert!((est.prob_all_paths_good() - 3.0 / 8.0).abs() < 1e-12);

@@ -42,11 +42,7 @@ impl PathObservations {
 
     /// Number of snapshots recorded so far.
     pub fn num_snapshots(&self) -> usize {
-        if self.num_paths == 0 {
-            0
-        } else {
-            self.data.len() / self.num_paths
-        }
+        self.data.len().checked_div(self.num_paths).unwrap_or(0)
     }
 
     /// Returns `true` if no snapshots have been recorded.

@@ -104,13 +104,17 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = SimulationConfig::default();
-        c.link_congestion_threshold = 0.0;
+        let mut c = SimulationConfig {
+            link_congestion_threshold: 0.0,
+            ..SimulationConfig::default()
+        };
         assert!(c.validate().is_err());
         c.link_congestion_threshold = 1.0;
         assert!(c.validate().is_err());
-        let mut c = SimulationConfig::default();
-        c.packets_per_path = 0;
+        let mut c = SimulationConfig {
+            packets_per_path: 0,
+            ..SimulationConfig::default()
+        };
         assert!(c.validate().is_err());
         c.transmission = TransmissionModel::Exact;
         assert!(c.validate().is_ok(), "exact mode needs no packets");

@@ -129,7 +129,6 @@ impl SetBlocks {
         }
         prob
     }
-
 }
 
 /// An explicit, block-structured congestion model over a correlation
@@ -379,10 +378,7 @@ impl SubstrateModel {
     /// `substrate_probs[s]` is the congestion probability of substrate
     /// element `s`; `dependencies[k]` lists the substrate elements that
     /// logical link `k` depends on.
-    pub fn new(
-        substrate_probs: Vec<f64>,
-        dependencies: Vec<Vec<usize>>,
-    ) -> Result<Self, SimError> {
+    pub fn new(substrate_probs: Vec<f64>, dependencies: Vec<Vec<usize>>) -> Result<Self, SimError> {
         for &p in &substrate_probs {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(SimError::InvalidProbability {
@@ -460,8 +456,15 @@ impl SubstrateModel {
             }
             union.sort_unstable();
             union.dedup();
-            let prob_good: f64 = union.iter().map(|&s| 1.0 - self.substrate_probs[s]).product();
-            let sign = if mask.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let prob_good: f64 = union
+                .iter()
+                .map(|&s| 1.0 - self.substrate_probs[s])
+                .product();
+            let sign = if mask.count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             total += sign * prob_good;
         }
         Some(total.clamp(0.0, 1.0))
@@ -501,7 +504,9 @@ impl CongestionModel {
 
     /// All ground-truth marginals, indexed by link.
     pub fn marginals(&self) -> Vec<f64> {
-        (0..self.num_links()).map(|i| self.marginal(LinkId(i))).collect()
+        (0..self.num_links())
+            .map(|i| self.marginal(LinkId(i)))
+            .collect()
     }
 
     /// Samples the congestion state of every link for one snapshot.
@@ -640,11 +645,18 @@ mod tests {
         // S^1 = ∅ with prob 0.8, partial states impossible.
         let c1 = CorrelationSetId(0);
         assert!(
-            (explicit.set_state_probability(c1, &[LinkId(0), LinkId(1)]).unwrap() - 0.2).abs()
+            (explicit
+                .set_state_probability(c1, &[LinkId(0), LinkId(1)])
+                .unwrap()
+                - 0.2)
+                .abs()
                 < 1e-12
         );
         assert!((explicit.set_state_probability(c1, &[]).unwrap() - 0.8).abs() < 1e-12);
-        assert_eq!(explicit.set_state_probability(c1, &[LinkId(0)]).unwrap(), 0.0);
+        assert_eq!(
+            explicit.set_state_probability(c1, &[LinkId(0)]).unwrap(),
+            0.0
+        );
         assert!((explicit.prob_set_all_good(c1) - 0.8).abs() < 1e-12);
         // Links from another set are rejected.
         assert!(explicit.set_state_probability(c1, &[LinkId(2)]).is_none());
@@ -739,11 +751,8 @@ mod tests {
     fn substrate_model_marginals_and_sampling_agree() {
         // Three substrate elements; link 0 depends on {0}, link 1 on {0, 1},
         // link 2 on {2}.
-        let model = SubstrateModel::new(
-            vec![0.2, 0.1, 0.3],
-            vec![vec![0], vec![0, 1], vec![2]],
-        )
-        .unwrap();
+        let model =
+            SubstrateModel::new(vec![0.2, 0.1, 0.3], vec![vec![0], vec![0, 1], vec![2]]).unwrap();
         assert_eq!(model.num_links(), 3);
         assert_eq!(model.num_substrate_elements(), 3);
         assert!((model.marginal(LinkId(0)) - 0.2).abs() < 1e-12);

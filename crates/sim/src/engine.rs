@@ -206,7 +206,9 @@ mod tests {
     fn all_good_links_imply_good_paths_in_exact_mode() {
         let inst = toy::figure_1a();
         // Nothing is ever congested.
-        let model = CongestionModelBuilder::new(&inst.correlation).build().unwrap();
+        let model = CongestionModelBuilder::new(&inst.correlation)
+            .build()
+            .unwrap();
         let config = SimulationConfig {
             transmission: TransmissionModel::Exact,
             ..SimulationConfig::default()
@@ -215,7 +217,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let obs = sim.run(500, &mut rng);
         for snapshot in obs.snapshots() {
-            assert!(snapshot.iter().all(|&c| !c), "a path was congested with all links good");
+            assert!(
+                snapshot.iter().all(|&c| !c),
+                "a path was congested with all links good"
+            );
         }
     }
 

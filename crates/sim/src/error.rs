@@ -57,7 +57,10 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownLink(l) => write!(f, "unknown link {l}"),
             SimError::DuplicateLink(l) => {
-                write!(f, "link {l} was given more than one congestion specification")
+                write!(
+                    f,
+                    "link {l} was given more than one congestion specification"
+                )
             }
             SimError::GroupSpansCorrelationSets { link } => write!(
                 f,
@@ -69,7 +72,10 @@ impl fmt::Display for SimError {
                 "correlation set with {size} links is too large for an explicit joint distribution"
             ),
             SimError::DistributionNotNormalized { total } => {
-                write!(f, "distribution probabilities sum to {total}, expected at most 1")
+                write!(
+                    f,
+                    "distribution probabilities sum to {total}, expected at most 1"
+                )
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
             SimError::UnknownSubstrateElement { index, available } => write!(
@@ -95,13 +101,19 @@ mod tests {
         .to_string()
         .contains("1.5"));
         assert!(SimError::UnknownLink(LinkId(3)).to_string().contains("e4"));
-        assert!(SimError::DuplicateLink(LinkId(0)).to_string().contains("e1"));
-        assert!(SimError::SetTooLarge { size: 80 }.to_string().contains("80"));
+        assert!(SimError::DuplicateLink(LinkId(0))
+            .to_string()
+            .contains("e1"));
+        assert!(SimError::SetTooLarge { size: 80 }
+            .to_string()
+            .contains("80"));
         assert!(SimError::DistributionNotNormalized { total: 1.4 }
             .to_string()
             .contains("1.4"));
         assert!(SimError::EmptyGroup.to_string().contains("group"));
-        assert!(SimError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(SimError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(SimError::UnknownSubstrateElement {
             index: 9,
             available: 3

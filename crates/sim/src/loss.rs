@@ -126,7 +126,9 @@ mod tests {
     fn binomial_mean_is_close_to_np_small_n() {
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 4000;
-        let sum: usize = (0..trials).map(|_| sample_binomial(&mut rng, 50, 0.3)).sum();
+        let sum: usize = (0..trials)
+            .map(|_| sample_binomial(&mut rng, 50, 0.3))
+            .sum();
         let mean = sum as f64 / trials as f64;
         assert!((mean - 15.0).abs() < 0.5, "mean {mean}");
     }

@@ -54,10 +54,7 @@ impl CorrelationPartition {
     /// must be non-empty. Link ids inside each set are sorted and
     /// de-duplicated representations are rejected (a duplicate makes the
     /// collection not a partition).
-    pub fn from_sets(
-        num_links: usize,
-        sets: Vec<Vec<LinkId>>,
-    ) -> Result<Self, TopologyError> {
+    pub fn from_sets(num_links: usize, sets: Vec<Vec<LinkId>>) -> Result<Self, TopologyError> {
         let mut occurrences = vec![0usize; num_links];
         let mut cleaned_sets = Vec::with_capacity(sets.len());
         for set in sets {
@@ -234,10 +231,7 @@ impl CorrelationPartition {
     /// subset of every correlation set).
     ///
     /// Returns an error if any correlation set exceeds `limit` links.
-    pub fn all_correlation_subsets(
-        &self,
-        limit: usize,
-    ) -> Result<Vec<Vec<LinkId>>, TopologyError> {
+    pub fn all_correlation_subsets(&self, limit: usize) -> Result<Vec<Vec<LinkId>>, TopologyError> {
         let mut all = Vec::new();
         for set in self.set_ids() {
             all.extend(self.subsets_of_set(set, limit)?);
@@ -269,11 +263,7 @@ mod tests {
         // C = {{e1, e2}, {e3}, {e4}}
         CorrelationPartition::from_sets(
             4,
-            vec![
-                vec![LinkId(0), LinkId(1)],
-                vec![LinkId(2)],
-                vec![LinkId(3)],
-            ],
+            vec![vec![LinkId(0), LinkId(1)], vec![LinkId(2)], vec![LinkId(3)]],
         )
         .unwrap()
     }
@@ -294,8 +284,8 @@ mod tests {
     #[test]
     fn rejects_non_partitions() {
         // Missing link.
-        let err = CorrelationPartition::from_sets(3, vec![vec![LinkId(0)], vec![LinkId(1)]])
-            .unwrap_err();
+        let err =
+            CorrelationPartition::from_sets(3, vec![vec![LinkId(0)], vec![LinkId(1)]]).unwrap_err();
         assert_eq!(
             err,
             TopologyError::NotAPartition {
@@ -304,11 +294,9 @@ mod tests {
             }
         );
         // Duplicated link.
-        let err = CorrelationPartition::from_sets(
-            2,
-            vec![vec![LinkId(0), LinkId(1)], vec![LinkId(1)]],
-        )
-        .unwrap_err();
+        let err =
+            CorrelationPartition::from_sets(2, vec![vec![LinkId(0), LinkId(1)], vec![LinkId(1)]])
+                .unwrap_err();
         assert_eq!(
             err,
             TopologyError::NotAPartition {
@@ -381,7 +369,10 @@ mod tests {
         let big = CorrelationPartition::single_set(30);
         assert!(matches!(
             big.all_correlation_subsets(20),
-            Err(TopologyError::CorrelationSetTooLarge { size: 30, limit: 20 })
+            Err(TopologyError::CorrelationSetTooLarge {
+                size: 30,
+                limit: 20
+            })
         ));
         // The count is still available without enumeration.
         assert_eq!(big.num_correlation_subsets(), (1usize << 30) - 1);

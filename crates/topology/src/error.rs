@@ -93,17 +93,30 @@ mod tests {
 
     #[test]
     fn messages_mention_the_relevant_entity() {
-        assert!(TopologyError::UnknownNode(NodeId(3)).to_string().contains("v4"));
-        assert!(TopologyError::UnknownLink(LinkId(0)).to_string().contains("e1"));
-        assert!(TopologyError::PathHasLoop(LinkId(1)).to_string().contains("e2"));
-        assert!(TopologyError::UnusedLink(LinkId(4)).to_string().contains("e5"));
+        assert!(TopologyError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains("v4"));
+        assert!(TopologyError::UnknownLink(LinkId(0))
+            .to_string()
+            .contains("e1"));
+        assert!(TopologyError::PathHasLoop(LinkId(1))
+            .to_string()
+            .contains("e2"));
+        assert!(TopologyError::UnusedLink(LinkId(4))
+            .to_string()
+            .contains("e5"));
         let e = TopologyError::NotAPartition {
             link: LinkId(2),
             occurrences: 2,
         };
         assert!(e.to_string().contains("e3"));
-        let e = TopologyError::CorrelationSetTooLarge { size: 40, limit: 24 };
+        let e = TopologyError::CorrelationSetTooLarge {
+            size: 40,
+            limit: 24,
+        };
         assert!(e.to_string().contains("40"));
-        assert!(TopologyError::InvalidConfig("boom".into()).to_string().contains("boom"));
+        assert!(TopologyError::InvalidConfig("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

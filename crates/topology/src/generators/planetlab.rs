@@ -244,10 +244,7 @@ fn router_domain_correlation(
         let domain = domain_of[link.source.index()].expect("all routers assigned to a domain");
         sets_by_domain.entry(domain).or_default().push(link.id);
     }
-    CorrelationPartition::from_sets(
-        topology.num_links(),
-        sets_by_domain.into_values().collect(),
-    )
+    CorrelationPartition::from_sets(topology.num_links(), sets_by_domain.into_values().collect())
 }
 
 /// Groups the links of a topology into contiguous clusters of at most
@@ -395,7 +392,11 @@ mod tests {
         let inst = generate(&config, &mut rng).unwrap();
         inst.validate().unwrap();
         for (_, links) in inst.correlation.sets() {
-            assert!(links.len() <= 8, "cluster of size {} exceeds bound", links.len());
+            assert!(
+                links.len() <= 8,
+                "cluster of size {} exceeds bound",
+                links.len()
+            );
         }
     }
 
@@ -431,7 +432,10 @@ mod tests {
                     }
                 }
             }
-            assert!(reached.iter().all(|&r| r), "cluster {links:?} is not contiguous");
+            assert!(
+                reached.iter().all(|&r| r),
+                "cluster {links:?} is not contiguous"
+            );
         }
     }
 
@@ -443,11 +447,13 @@ mod tests {
         assert_eq!(a.num_paths(), b.num_paths());
         let c = generate(&PlanetLabConfig::small(), &mut StdRng::seed_from_u64(78)).unwrap();
         // Different seeds produce different instances (extremely likely).
-        assert!(a.num_links() != c.num_links() || a.num_paths() != c.num_paths() || {
-            let pa: Vec<usize> = a.paths.paths().map(|p| p.len()).collect();
-            let pc: Vec<usize> = c.paths.paths().map(|p| p.len()).collect();
-            pa != pc
-        });
+        assert!(
+            a.num_links() != c.num_links() || a.num_paths() != c.num_paths() || {
+                let pa: Vec<usize> = a.paths.paths().map(|p| p.len()).collect();
+                let pc: Vec<usize> = c.paths.paths().map(|p| p.len()).collect();
+                pa != pc
+            }
+        );
     }
 
     #[test]

@@ -114,10 +114,12 @@ pub fn check_identifiability(
             truncated_subsets(links)
         };
         for subset in subsets {
-            let coverage: Vec<PathId> =
-                instance.paths.coverage(&subset).into_iter().collect();
+            let coverage: Vec<PathId> = instance.paths.coverage(&subset).into_iter().collect();
             checked_subsets += 1;
-            signature_to_subsets.entry(coverage).or_default().push(subset);
+            signature_to_subsets
+                .entry(coverage)
+                .or_default()
+                .push(subset);
         }
     }
 
@@ -233,7 +235,7 @@ mod tests {
         assert_eq!(report.conflicts.len(), 1);
         let conflict = &report.conflicts[0];
         // {e1, e2} vs {e3}, both covering {P1, P2}.
-        let mut subsets = vec![conflict.subset_a.clone(), conflict.subset_b.clone()];
+        let mut subsets = [conflict.subset_a.clone(), conflict.subset_b.clone()];
         subsets.sort();
         assert_eq!(subsets[0], vec![LinkId(0), LinkId(1)]);
         assert_eq!(subsets[1], vec![LinkId(2)]);

@@ -101,9 +101,7 @@ impl UnionFind {
 }
 
 /// Applies the merging transformation until no candidate node remains.
-pub fn merge_indistinguishable(
-    instance: &TopologyInstance,
-) -> Result<MergeResult, TopologyError> {
+pub fn merge_indistinguishable(instance: &TopologyInstance) -> Result<MergeResult, TopologyError> {
     instance.validate()?;
 
     // Working copies.
@@ -240,10 +238,14 @@ fn find_candidate_node(
         if ingress.is_empty() || egress.is_empty() {
             continue;
         }
-        let ingress_groups: BTreeSet<usize> =
-            ingress.iter().map(|&i| groups.find(links[i].group)).collect();
-        let egress_groups: BTreeSet<usize> =
-            egress.iter().map(|&i| groups.find(links[i].group)).collect();
+        let ingress_groups: BTreeSet<usize> = ingress
+            .iter()
+            .map(|&i| groups.find(links[i].group))
+            .collect();
+        let egress_groups: BTreeSet<usize> = egress
+            .iter()
+            .map(|&i| groups.find(links[i].group))
+            .collect();
         if ingress_groups.len() == 1 && egress_groups.len() == 1 {
             return Some(node);
         }

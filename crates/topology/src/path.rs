@@ -230,11 +230,7 @@ mod tests {
         let e2 = t.add_link(v[2], v[1]).unwrap(); // v3 -> v2
         let e3 = t.add_link(v[3], v[2]).unwrap(); // v4 -> v3
         let e4 = t.add_link(v[4], v[2]).unwrap(); // v5 -> v3
-        let paths = PathSet::new(
-            &t,
-            vec![vec![e3, e1], vec![e3, e2], vec![e4, e2]],
-        )
-        .unwrap();
+        let paths = PathSet::new(&t, vec![vec![e3, e1], vec![e3, e2], vec![e4, e2]]).unwrap();
         (t, paths)
     }
 
@@ -337,9 +333,7 @@ mod tests {
     fn paths_share_group_detects_cross_path_grouping() {
         let (_t, ps) = fig1a();
         // Group e1 (LinkId 0) and e2 (LinkId 1) together, as in Figure 1(a).
-        let same_group = |a: LinkId, b: LinkId| {
-            (a.index() <= 1 && b.index() <= 1) && a != b
-        };
+        let same_group = |a: LinkId, b: LinkId| (a.index() <= 1 && b.index() <= 1) && a != b;
         // P1 uses e1, P2 uses e2 -> they share the group.
         assert!(ps.paths_share_group(PathId(0), PathId(1), same_group));
         // P2 and P3 both use e2 but share no *distinct* grouped pair.

@@ -224,7 +224,11 @@ mod tests {
         let (t, v) = diamond();
         let pairs = vec![(v[0], v[3]), (v[0], v[3]), (v[0], v[5]), (v[3], v[0])];
         let paths = paths_between_vantage_points(&t, &pairs, 10);
-        assert_eq!(paths.len(), 2, "duplicate and unreachable pairs are skipped");
+        assert_eq!(
+            paths.len(),
+            2,
+            "duplicate and unreachable pairs are skipped"
+        );
         let capped = paths_between_vantage_points(&t, &pairs, 1);
         assert_eq!(capped.len(), 1);
     }

@@ -39,11 +39,8 @@ pub fn figure_1a() -> TopologyInstance {
     let e2 = topology.add_link(v[2], v[1]).expect("valid link"); // v3 -> v2
     let e3 = topology.add_link(v[3], v[2]).expect("valid link"); // v4 -> v3
     let e4 = topology.add_link(v[4], v[2]).expect("valid link"); // v5 -> v3
-    let paths = PathSet::new(
-        &topology,
-        vec![vec![e3, e1], vec![e3, e2], vec![e4, e2]],
-    )
-    .expect("figure 1(a) paths are valid");
+    let paths = PathSet::new(&topology, vec![vec![e3, e1], vec![e3, e2], vec![e4, e2]])
+        .expect("figure 1(a) paths are valid");
     let correlation = CorrelationPartition::from_sets(
         topology.num_links(),
         vec![vec![e1, e2], vec![e3], vec![e4]],
@@ -77,11 +74,9 @@ pub fn figure_1b() -> TopologyInstance {
     let e3 = topology.add_link(v[3], v[2]).expect("valid link"); // v4 -> v3
     let paths = PathSet::new(&topology, vec![vec![e3, e1], vec![e3, e2]])
         .expect("figure 1(b) paths are valid");
-    let correlation = CorrelationPartition::from_sets(
-        topology.num_links(),
-        vec![vec![e1, e2], vec![e3]],
-    )
-    .expect("figure 1(b) correlation sets are a partition");
+    let correlation =
+        CorrelationPartition::from_sets(topology.num_links(), vec![vec![e1, e2], vec![e3]])
+            .expect("figure 1(b) correlation sets are a partition");
     TopologyInstance {
         topology,
         paths,
@@ -155,13 +150,7 @@ pub fn figure_2a_lan() -> TopologyInstance {
     .expect("figure 2(a) paths are valid");
     let correlation = CorrelationPartition::from_sets(
         topology.num_links(),
-        vec![
-            vec![l1, l2, l3, l4],
-            vec![l5],
-            vec![l6],
-            vec![l7],
-            vec![l8],
-        ],
+        vec![vec![l1, l2, l3, l4], vec![l5], vec![l6], vec![l7], vec![l8]],
     )
     .expect("figure 2(a) correlation sets are a partition");
     TopologyInstance {
@@ -258,7 +247,10 @@ mod tests {
         };
         assert_eq!(cov(&[0]), BTreeSet::from([PathId(0)]));
         assert_eq!(cov(&[1]), BTreeSet::from([PathId(1), PathId(2)]));
-        assert_eq!(cov(&[0, 1]), BTreeSet::from([PathId(0), PathId(1), PathId(2)]));
+        assert_eq!(
+            cov(&[0, 1]),
+            BTreeSet::from([PathId(0), PathId(1), PathId(2)])
+        );
         assert_eq!(cov(&[2]), BTreeSet::from([PathId(0), PathId(1)]));
         assert_eq!(cov(&[3]), BTreeSet::from([PathId(2)]));
     }
@@ -281,7 +273,12 @@ mod tests {
     fn figure_1a_single_set_uses_one_correlation_set() {
         let inst = figure_1a_single_set();
         assert_eq!(inst.correlation.num_sets(), 1);
-        assert_eq!(inst.correlation.set_links(crate::correlation::CorrelationSetId(0)).len(), 4);
+        assert_eq!(
+            inst.correlation
+                .set_links(crate::correlation::CorrelationSetId(0))
+                .len(),
+            4
+        );
         inst.validate().expect("instance is consistent");
     }
 
@@ -310,7 +307,11 @@ mod tests {
             subsets.iter().map(|s| inst.paths.coverage(s)).collect();
         for i in 0..coverages.len() {
             for j in (i + 1)..coverages.len() {
-                assert_ne!(coverages[i], coverages[j], "{:?} vs {:?}", subsets[i], subsets[j]);
+                assert_ne!(
+                    coverages[i], coverages[j],
+                    "{:?} vs {:?}",
+                    subsets[i], subsets[j]
+                );
             }
         }
     }

@@ -30,7 +30,10 @@ fn report(name: &str, instance: &TopologyInstance) {
         );
     }
     if !analysis.unidentifiable_links.is_empty() {
-        println!("  unidentifiable links: {:?}", analysis.unidentifiable_links);
+        println!(
+            "  unidentifiable links: {:?}",
+            analysis.unidentifiable_links
+        );
     }
     let nodes = node_heuristic_violations(instance);
     if !nodes.is_empty() {

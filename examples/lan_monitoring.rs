@@ -42,8 +42,8 @@ fn main() {
     let truth = model.marginals();
 
     let mut rng = StdRng::seed_from_u64(7);
-    let simulator = Simulator::new(&instance, &model, SimulationConfig::default())
-        .expect("valid simulator");
+    let simulator =
+        Simulator::new(&instance, &model, SimulationConfig::default()).expect("valid simulator");
     let observations = simulator.run(4000, &mut rng);
 
     let correlation = CorrelationAlgorithm::new(&instance)

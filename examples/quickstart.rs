@@ -45,8 +45,8 @@ fn main() {
 
     // --- Simulate unicast end-to-end measurements. ---
     let mut rng = StdRng::seed_from_u64(2010);
-    let simulator = Simulator::new(&instance, &model, SimulationConfig::default())
-        .expect("valid simulator");
+    let simulator =
+        Simulator::new(&instance, &model, SimulationConfig::default()).expect("valid simulator");
     let observations = simulator.run(5000, &mut rng);
     println!(
         "\nSimulated {} snapshots of {} paths each.",

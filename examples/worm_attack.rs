@@ -77,7 +77,10 @@ fn main() {
         &scenario.true_marginals,
         &links,
     ));
-    println!("\nAccuracy over {} potentially congested links:", links.len());
+    println!(
+        "\nAccuracy over {} potentially congested links:",
+        links.len()
+    );
     println!(
         "  correlation algorithm: mean {:.3}, 90th percentile {:.3}",
         corr.mean, corr.p90

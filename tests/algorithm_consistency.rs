@@ -17,7 +17,11 @@ fn simulate_fig1a(
     e4: f64,
     snapshots: usize,
     seed: u64,
-) -> (netcorr::topology::TopologyInstance, PathObservations, Vec<f64>) {
+) -> (
+    netcorr::topology::TopologyInstance,
+    PathObservations,
+    Vec<f64>,
+) {
     let instance = toy::figure_1a();
     let model = CongestionModelBuilder::new(&instance.correlation)
         .joint_group(&[LinkId(0), LinkId(1)], joint)
@@ -112,8 +116,12 @@ fn algorithms_coincide_without_correlation_sets() {
     let simulator = Simulator::new(&instance, &model, SimulationConfig::default()).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     let observations = simulator.run(10_000, &mut rng);
-    let corr = CorrelationAlgorithm::new(&instance).infer(&observations).unwrap();
-    let indep = IndependenceAlgorithm::new(&instance).infer(&observations).unwrap();
+    let corr = CorrelationAlgorithm::new(&instance)
+        .infer(&observations)
+        .unwrap();
+    let indep = IndependenceAlgorithm::new(&instance)
+        .infer(&observations)
+        .unwrap();
     for link in instance.topology.link_ids() {
         assert!(
             (corr.congestion_probability(link) - indep.congestion_probability(link)).abs() < 1e-9,

@@ -1,0 +1,84 @@
+//! Deterministic-seed regression tests for the scenario builder and the
+//! simulator.
+//!
+//! The whole evaluation pipeline keys its reproducibility off `u64` seeds
+//! (`ExperimentConfig::base_seed` plus per-trial offsets), so the contract
+//! "same seed ⇒ bit-identical run, different seed ⇒ different run" must
+//! hold end to end: scenario construction and measurement simulation.
+
+use netcorr::eval::scenario::ScenarioConfig;
+use netcorr::prelude::*;
+use netcorr::topology::generators::planetlab::{self, PlanetLabConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn base_instance() -> netcorr::topology::TopologyInstance {
+    planetlab::generate(&PlanetLabConfig::small(), &mut StdRng::seed_from_u64(100))
+        .expect("topology generation succeeds")
+}
+
+fn build_scenario(base: &netcorr::topology::TopologyInstance, seed: u64) -> CongestionScenario {
+    let builder = ScenarioBuilder::new(ScenarioConfig::default()).expect("valid config");
+    builder
+        .build(base, &mut StdRng::seed_from_u64(seed))
+        .expect("scenario build succeeds")
+}
+
+fn simulate(scenario: &CongestionScenario, seed: u64, snapshots: usize) -> PathObservations {
+    let simulator = Simulator::new(
+        &scenario.instance,
+        &scenario.model,
+        SimulationConfig::default(),
+    )
+    .expect("simulator construction succeeds");
+    simulator.run(snapshots, &mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn same_seed_produces_identical_scenario_and_observations() {
+    let base = base_instance();
+
+    let scenario_a = build_scenario(&base, 5);
+    let scenario_b = build_scenario(&base, 5);
+    assert_eq!(
+        scenario_a.congested_links, scenario_b.congested_links,
+        "scenario builder drew different congested links from the same seed"
+    );
+    assert_eq!(
+        scenario_a.true_marginals, scenario_b.true_marginals,
+        "scenario builder drew different ground-truth marginals from the same seed"
+    );
+
+    let observations_a = simulate(&scenario_a, 9, 200);
+    let observations_b = simulate(&scenario_b, 9, 200);
+    assert_eq!(
+        observations_a, observations_b,
+        "simulator produced different traces from the same seed"
+    );
+}
+
+#[test]
+fn different_simulation_seeds_produce_different_traces() {
+    let base = base_instance();
+    let scenario = build_scenario(&base, 5);
+
+    let observations_a = simulate(&scenario, 9, 200);
+    let observations_b = simulate(&scenario, 10, 200);
+    assert_eq!(observations_a.num_snapshots(), 200);
+    assert_ne!(
+        observations_a, observations_b,
+        "200 snapshots from different seeds should not be bit-identical"
+    );
+}
+
+#[test]
+fn different_scenario_seeds_produce_different_ground_truth() {
+    let base = base_instance();
+    let scenario_a = build_scenario(&base, 5);
+    let scenario_b = build_scenario(&base, 6);
+    assert!(
+        scenario_a.congested_links != scenario_b.congested_links
+            || scenario_a.true_marginals != scenario_b.true_marginals,
+        "different scenario seeds drew identical scenarios"
+    );
+}

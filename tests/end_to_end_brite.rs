@@ -28,7 +28,10 @@ fn correlation_algorithm_outperforms_the_baseline_under_ideal_conditions() {
     let corr = result.correlation_summary();
     let indep = result.independence_summary();
 
-    assert!(corr.count > 10, "expected a meaningful number of scored links");
+    assert!(
+        corr.count > 10,
+        "expected a meaningful number of scored links"
+    );
     // The correlation algorithm is accurate in absolute terms...
     assert!(corr.mean < 0.10, "correlation mean error {}", corr.mean);
     // ...and at least as good as the independence baseline (up to a small

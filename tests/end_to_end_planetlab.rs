@@ -39,7 +39,11 @@ fn unidentifiable_scenario_on_planetlab() {
     );
     // Even with half the congested links unidentifiable, most links are
     // still characterised with a small error.
-    assert!(corr.median < 0.15, "correlation median error {}", corr.median);
+    assert!(
+        corr.median < 0.15,
+        "correlation median error {}",
+        corr.median
+    );
 }
 
 #[test]

@@ -81,7 +81,9 @@ fn figure_1a_congestion_factors_and_marginals() {
     let mut rng = StdRng::seed_from_u64(321);
     let observations = simulator.run(60_000, &mut rng);
 
-    let result = TheoremAlgorithm::new(&instance).infer(&observations).unwrap();
+    let result = TheoremAlgorithm::new(&instance)
+        .infer(&observations)
+        .unwrap();
 
     // Step 1 of Section 3.2: α_{e1} is measured directly and is 0 here
     // (e1 is never congested alone).

@@ -1,0 +1,177 @@
+//! Deterministic value-generation strategies.
+//!
+//! A [`Strategy`] produces values of its `Value` type from the
+//! workspace's deterministic `StdRng`. Ranges of floats and integers are
+//! strategies, `vec(element, len)` lifts a strategy over collections, and
+//! [`Strategy::prop_map`] derives one strategy from another — enough for
+//! the structural property tests this workspace runs.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A recipe for generating values of type `Value`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Derives a strategy that post-processes every generated value.
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.map)(self.inner.sample(rng))
+    }
+}
+
+/// `&S` is a strategy wherever `S` is, so strategies can be reused.
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A constant strategy: always yields clones of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, usize, u64, u32, i64, i32);
+
+/// Strategy over `Vec`s with a fixed or ranged length.
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.min_len == self.max_len {
+            self.min_len
+        } else {
+            rng.random_range(self.min_len..=self.max_len)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait VecLen {
+    /// Inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl VecLen for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl VecLen for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl VecLen for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy over vectors whose elements come from `element` and whose
+/// length is described by `len` (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, len: impl VecLen) -> VecStrategy<S> {
+    let (min_len, max_len) = len.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_vec_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat =
+            vec(-1.0f64..1.0, 8).prop_map(|v| v.into_iter().map(f64::abs).collect::<Vec<_>>());
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert_eq!(v.len(), 8);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let strat = vec(0usize..100, 2..5usize);
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

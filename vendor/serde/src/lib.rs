@@ -1,0 +1,39 @@
+//! In-tree stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for real serde
+//! once a registry is reachable, but nothing in-tree performs actual
+//! serde-based serialization yet (JSON emission goes through the
+//! `serde_json` shim's explicit [`Value`](../serde_json/enum.Value.html)
+//! type). `Serialize` and `Deserialize` are therefore marker traits with
+//! blanket implementations, and the derive macros (re-exported from the
+//! `serde_derive` shim) expand to nothing.
+//!
+//! Swapping in the real crates later requires only a `Cargo.toml` change —
+//! every annotation in the workspace is already real-serde compatible.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! In-tree stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace's `serde` shim defines `Serialize` / `Deserialize` as
+//! marker traits with blanket implementations, so the derives here emit no
+//! code at all — they exist so that `#[derive(Serialize, Deserialize)]`
+//! and `#[serde(...)]` helper attributes parse exactly as they would with
+//! the real serde, keeping the source compatible with a future swap to the
+//! real crates.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
