@@ -10,8 +10,12 @@ use netcorr_bench::{bench_instance, fixture};
 use netcorr_eval::figures::TopologyFamily;
 use netcorr_eval::scenario::CorrelationLevel;
 use netcorr_linalg::{cgls, min_l1_norm_solution, solve_least_squares, Matrix, SparseMatrix};
+use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
+use netcorr_measure::{PathObservations, ProbabilityEstimator};
 use netcorr_sim::{SimulationConfig, Simulator, TransmissionModel};
 use netcorr_topology::generators::{brite, planetlab};
+use netcorr_topology::path::PathId;
+use rand::RngExt;
 
 fn topology_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_generation");
@@ -122,6 +126,76 @@ fn solvers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pair-query and exact-state estimator benchmarks: the bit-packed
+/// columnar estimator against the scalar reference, on a PlanetLab-class
+/// observation matrix (1500 paths × 4096 snapshots). The pair set is
+/// every intersecting pair of a hub-structured path set (150 shared
+/// links × 10 paths each → 6750 pairs), mirroring how the equation
+/// builder enumerates candidates per shared link. The committed
+/// `BENCH_estimator.json` baseline tracks these numbers across PRs.
+fn estimator_queries(c: &mut Criterion) {
+    const PATHS: usize = 1500;
+    const SNAPSHOTS: usize = 4096;
+    const HUBS: usize = 150;
+
+    let mut rng = StdRng::seed_from_u64(0xc01);
+    let mut packed = PathObservations::with_capacity(PATHS, SNAPSHOTS);
+    let mut row = vec![false; PATHS];
+    for _ in 0..SNAPSHOTS {
+        for cell in row.iter_mut() {
+            *cell = rng.random_bool(0.2);
+        }
+        packed.record_snapshot(&row).expect("width matches");
+    }
+    let scalar = ScalarObservations::from_packed(&packed);
+    let packed_est = ProbabilityEstimator::new(&packed).expect("non-empty");
+    let scalar_est = ScalarEstimator::new(&scalar).expect("non-empty");
+
+    // All intersecting pairs: paths sharing one of the 150 hub links.
+    let per_hub = PATHS / HUBS;
+    let mut pairs = Vec::new();
+    for hub in 0..HUBS {
+        let base = hub * per_hub;
+        for a in 0..per_hub {
+            for b in a + 1..per_hub {
+                pairs.push((PathId(base + a), PathId(base + b)));
+            }
+        }
+    }
+    // An exact-state target pattern observed at least once.
+    let target: std::collections::BTreeSet<PathId> =
+        packed.congested_paths(0).into_iter().collect();
+
+    let mut group = c.benchmark_group("estimator");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("pair_queries_packed", pairs.len()), |b| {
+        b.iter(|| packed_est.log_prob_pairs_good(&pairs).expect("valid pairs"))
+    });
+    group.bench_function(BenchmarkId::new("pair_queries_scalar", pairs.len()), |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(x, y)| scalar_est.log_prob_paths_good(&[x, y]).expect("valid"))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("exact_state_packed", |b| {
+        b.iter(|| packed_est.prob_exactly_congested(&target).expect("valid"))
+    });
+    group.bench_function("exact_state_scalar", |b| {
+        b.iter(|| scalar_est.prob_exactly_congested(&target).expect("valid"))
+    });
+    group.bench_function("all_good_packed", |b| {
+        b.iter(|| packed_est.prob_all_paths_good())
+    });
+    group.bench_function("all_good_scalar", |b| {
+        b.iter(|| scalar_est.prob_all_paths_good())
+    });
+    group.finish();
+}
+
 fn instance_statistics(c: &mut Criterion) {
     // Not strictly a benchmark target of the paper, but useful to watch:
     // coverage queries are on the hot path of the identifiability check and
@@ -148,6 +222,7 @@ criterion_group!(
     topology_generation,
     simulation_throughput,
     solvers,
+    estimator_queries,
     instance_statistics
 );
 criterion_main!(benches);

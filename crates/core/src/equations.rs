@@ -186,7 +186,12 @@ pub fn build_equations(
             candidates_per_link.push(pairs);
         }
         // Round-robin over links: the r-th candidate of every link, then
-        // the (r+1)-th, and so on.
+        // the (r+1)-th, and so on. Accepted pairs are only *collected*
+        // here; their right-hand sides are fetched afterwards through the
+        // estimator's batch API, which answers every pair with one
+        // AND/popcount sweep over two packed lanes instead of a rescan of
+        // the full observation matrix per pair.
+        let mut accepted_pairs: Vec<(PathId, PathId)> = Vec::new();
         let mut seen_pairs = std::collections::BTreeSet::new();
         let max_rounds = candidates_per_link.iter().map(Vec::len).max().unwrap_or(0);
         'rounds: for round in 0..max_rounds {
@@ -212,14 +217,15 @@ pub fn build_equations(
                 matrix
                     .push_indicator_row(&columns)
                     .map_err(CoreError::Numerical)?;
-                rhs.push(estimator.log_prob_paths_good(&[key.0, key.1])?);
                 sources.push(EquationSource::PathPair(key.0, key.1));
+                accepted_pairs.push(key);
                 for &c in &columns {
                     covered[c] = true;
                 }
                 num_pair += 1;
             }
         }
+        rhs.extend(estimator.log_prob_pairs_good(&accepted_pairs)?);
     }
 
     if rhs.is_empty() {

@@ -19,13 +19,14 @@
 //! small topologies, for the toy examples of Section 3.2, and for tests of
 //! the practical algorithm.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
 use netcorr_measure::{PathObservations, ProbabilityEstimator};
 use netcorr_topology::correlation::CorrelationSetId;
 use netcorr_topology::graph::LinkId;
+use netcorr_topology::path::PathId;
 use netcorr_topology::TopologyInstance;
 
 use crate::error::CoreError;
@@ -148,11 +149,25 @@ impl<'a> TheoremAlgorithm<'a> {
         }
 
         let mut enumeration = enumerate_subsets(self.instance, &self.config.limits)?;
+        // Measure P(ψ(S) = ψ(A)) for every correlation subset up front
+        // through the estimator's batch API: all target patterns are packed
+        // into word masks once and matched in a single streaming pass over
+        // the packed snapshot rows.
+        let coverages: Vec<BTreeSet<PathId>> = enumeration
+            .subsets
+            .iter()
+            .map(|s| s.coverage.clone())
+            .collect();
+        let batch = estimator.prob_exactly_congested_batch(&coverages)?;
+        let measured: BTreeMap<&BTreeSet<PathId>, f64> =
+            coverages.iter().zip(batch.iter().copied()).collect();
         identify_factors(
             &mut enumeration,
             &self.config.limits,
-            |coverage: &BTreeSet<_>| {
-                let p = estimator.prob_exactly_congested(coverage)?;
+            |coverage: &BTreeSet<PathId>| {
+                // identify_factors only queries coverages taken from
+                // `enumeration.subsets`, all of which were batch-measured.
+                let p = measured[coverage];
                 Ok(p / p_all_good)
             },
         )?;

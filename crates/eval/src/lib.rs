@@ -15,6 +15,9 @@
 //!   the paper presents accuracy.
 //! * [`runner`] — runs trials (simulate → infer with both algorithms →
 //!   score) in parallel and pools the per-link errors.
+//! * [`persist`] — saves/loads recorded observations in the bit-packed
+//!   wire format, so expensive measurement runs can be re-analysed without
+//!   re-simulation.
 //! * [`figures`] — one module per paper figure (3, 4, 5) that performs the
 //!   corresponding parameter sweep.
 //! * [`report`] — plain-text tables and CSV emission used by the
@@ -27,6 +30,7 @@ pub mod cli;
 pub mod error;
 pub mod figures;
 pub mod metrics;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,82 @@
+//! Persistence of recorded observations in the versioned wire format.
+//!
+//! Experiments at production scale are expensive to simulate (or, in a
+//! real deployment, to measure); persisting the [`PathObservations`] of a
+//! trial lets inference be re-run — with different algorithm
+//! configurations, or after a code change — without re-measuring. The
+//! on-disk representation is the bit-packed, path-major wire format pinned
+//! by [`netcorr_measure::observation::WIRE_FORMAT`]: roughly one bit per
+//! path × snapshot cell, ~8× smaller than the textual CSV a boolean dump
+//! would need.
+
+use std::fs;
+use std::path::Path;
+
+use netcorr_measure::PathObservations;
+
+use crate::error::EvalError;
+
+/// Writes observations to `path` in the wire format, creating parent
+/// directories as needed.
+pub fn write_observations(path: &Path, observations: &PathObservations) -> Result<(), EvalError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, observations.to_wire())?;
+    Ok(())
+}
+
+/// Reads observations previously written by [`write_observations`].
+pub fn read_observations(path: &Path) -> Result<PathObservations, EvalError> {
+    let text = fs::read_to_string(path)?;
+    PathObservations::from_wire(&text).map_err(EvalError::Measurement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcorr_sim::{SimulationConfig, Simulator};
+    use netcorr_topology::toy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn observations_round_trip_through_disk() {
+        let inst = toy::figure_1a();
+        let model = netcorr_sim::CongestionModelBuilder::new(&inst.correlation)
+            .joint_group(
+                &[
+                    netcorr_topology::graph::LinkId(0),
+                    netcorr_topology::graph::LinkId(1),
+                ],
+                0.2,
+            )
+            .independent(netcorr_topology::graph::LinkId(2), 0.1)
+            .independent(netcorr_topology::graph::LinkId(3), 0.1)
+            .build()
+            .unwrap();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let obs = sim.run(500, &mut StdRng::seed_from_u64(3));
+
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_test");
+        let file = dir.join("observations.ncobs");
+        write_observations(&file, &obs).unwrap();
+        let back = read_observations(&file).unwrap();
+        assert_eq!(obs, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected() {
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_corrupt_test");
+        let file = dir.join("observations.ncobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&file, "not the wire format").unwrap();
+        assert!(matches!(
+            read_observations(&file),
+            Err(EvalError::Measurement(_))
+        ));
+        assert!(read_observations(&dir.join("missing.ncobs")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

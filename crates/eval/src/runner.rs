@@ -177,29 +177,30 @@ pub fn run_experiment(
     };
 
     let trials: Vec<TrialResult> = if config.parallel && config.trials > 1 {
-        let results = std::sync::Mutex::new(vec![None; config.trials]);
+        // Lock-free result collection: every thread owns exactly one
+        // disjoint `&mut` slot (handed out by `iter_mut`), so no mutex is
+        // needed and no writer can contend with another.
+        let mut slots: Vec<Option<Result<TrialResult, EvalError>>> = Vec::new();
+        slots.resize_with(config.trials, || None);
         std::thread::scope(|scope| {
-            for trial_index in 0..config.trials {
-                let results = &results;
+            for (trial_index, slot) in slots.iter_mut().enumerate() {
                 let run_one = &run_one;
                 scope.spawn(move || {
                     // A panicking trial must surface as an `EvalError` to the
                     // caller, not tear down the whole experiment (scoped
                     // threads re-raise unjoined panics on scope exit).
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_one(trial_index)
-                    }))
-                    .unwrap_or_else(|_| Err(EvalError::Io("a trial thread panicked".to_string())));
-                    results
-                        .lock()
-                        .expect("trial threads never panic while holding the lock")[trial_index] =
-                        Some(outcome);
+                    *slot = Some(
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_one(trial_index)
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(EvalError::Io("a trial thread panicked".to_string()))
+                        }),
+                    );
                 });
             }
         });
-        results
-            .into_inner()
-            .expect("trial threads never panic while holding the lock")
+        slots
             .into_iter()
             .map(|r| r.expect("every trial slot was filled"))
             .collect::<Result<Vec<_>, _>>()?

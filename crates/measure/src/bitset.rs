@@ -1,0 +1,411 @@
+//! Bit-packed Boolean storage for observations and link-state traces.
+//!
+//! Two complementary layouts back the observation pipeline:
+//!
+//! * [`BitLanes`] — *lane-major* (columnar): one packed `u64` lane per
+//!   path, one bit per snapshot. Marginal and joint path queries become
+//!   bitwise AND / popcount over whole words, touching 64 snapshots per
+//!   instruction.
+//! * [`BitMatrix`] — *row-major*: one packed row per snapshot, one bit per
+//!   path (or per link, for simulation traces). Exact-state queries
+//!   (`P(ψ(S) = ψ(A))`) become word-equality of each row against a packed
+//!   target mask.
+//!
+//! Both structures maintain the invariant that every bit beyond the logical
+//! extent (slots / width) is zero, so popcounts over stored words never
+//! need masking; only queries over *complemented* words mask the tail.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits per storage word.
+pub const WORD_BITS: usize = u64::BITS as usize;
+
+/// Number of words needed for `bits` bits (at least one, so that rows and
+/// lanes are always addressable even in degenerate zero-width containers).
+#[inline]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS).max(1)
+}
+
+/// Mask selecting the valid bits of the *last* word covering `bits` bits
+/// (all ones when `bits` is a multiple of 64; all zeros when `bits == 0`).
+#[inline]
+pub fn tail_mask(bits: usize) -> u64 {
+    match bits % WORD_BITS {
+        0 if bits == 0 => 0,
+        0 => !0,
+        rem => (1u64 << rem) - 1,
+    }
+}
+
+/// Columnar (lane-major) bit store: `num_lanes` independent bit-vectors
+/// that all grow in lock-step, one slot at a time.
+///
+/// Lanes are kept contiguous in one allocation (`lane × capacity-words`),
+/// so a pair query streams two compact word slices. Capacity grows by
+/// doubling, which re-lays the words out; appends are amortised O(1) per
+/// lane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitLanes {
+    num_lanes: usize,
+    num_slots: usize,
+    /// Per-lane capacity, in words.
+    words_per_lane: usize,
+    /// Lane-major storage: lane `l` occupies
+    /// `words[l * words_per_lane .. (l + 1) * words_per_lane]`.
+    words: Vec<u64>,
+}
+
+impl BitLanes {
+    /// Creates an empty store with `num_lanes` lanes.
+    pub fn new(num_lanes: usize) -> Self {
+        Self::with_capacity(num_lanes, 0)
+    }
+
+    /// Creates an empty store with room for `slots` slots pre-allocated.
+    pub fn with_capacity(num_lanes: usize, slots: usize) -> Self {
+        let words_per_lane = words_for(slots.max(1));
+        BitLanes {
+            num_lanes,
+            num_slots: 0,
+            words_per_lane,
+            words: vec![0; num_lanes.max(1) * words_per_lane],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.num_lanes
+    }
+
+    /// Number of slots recorded so far.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of words of each lane that carry recorded slots.
+    pub fn used_words(&self) -> usize {
+        words_for(self.num_slots)
+    }
+
+    /// Mask of the valid bits in the last used word (for queries over
+    /// complemented lanes).
+    pub fn last_word_mask(&self) -> u64 {
+        tail_mask(self.num_slots)
+    }
+
+    /// The used prefix of lane `lane` (tail bits of the last word are
+    /// guaranteed zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= num_lanes`.
+    pub fn lane(&self, lane: usize) -> &[u64] {
+        assert!(
+            lane < self.num_lanes,
+            "lane {lane} out of range ({} lanes)",
+            self.num_lanes
+        );
+        let start = lane * self.words_per_lane;
+        &self.words[start..start + self.used_words()]
+    }
+
+    /// Whether bit `slot` of lane `lane` is set.
+    pub fn get(&self, lane: usize, slot: usize) -> bool {
+        assert!(
+            slot < self.num_slots,
+            "slot {slot} out of range ({} recorded)",
+            self.num_slots
+        );
+        let word = self.lane(lane)[slot / WORD_BITS];
+        word >> (slot % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of set bits in lane `lane`.
+    pub fn count_ones(&self, lane: usize) -> usize {
+        self.lane(lane)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Appends one slot across all lanes: `values[l]` becomes the new bit
+    /// of lane `l`. `values.len()` must equal `num_lanes`.
+    pub fn push_slot(&mut self, values: &[bool]) {
+        assert_eq!(
+            values.len(),
+            self.num_lanes,
+            "slot width {} does not match lane count {}",
+            values.len(),
+            self.num_lanes
+        );
+        if self.num_slots == self.words_per_lane * WORD_BITS {
+            self.grow();
+        }
+        let word = self.num_slots / WORD_BITS;
+        let bit = 1u64 << (self.num_slots % WORD_BITS);
+        for (lane, &set) in values.iter().enumerate() {
+            if set {
+                self.words[lane * self.words_per_lane + word] |= bit;
+            }
+        }
+        self.num_slots += 1;
+    }
+
+    /// Doubles the per-lane capacity, re-laying the lanes out.
+    fn grow(&mut self) {
+        let new_words_per_lane = (self.words_per_lane * 2).max(1);
+        let mut new_words = vec![0u64; self.num_lanes.max(1) * new_words_per_lane];
+        for lane in 0..self.num_lanes {
+            let src = lane * self.words_per_lane;
+            let dst = lane * new_words_per_lane;
+            new_words[dst..dst + self.words_per_lane]
+                .copy_from_slice(&self.words[src..src + self.words_per_lane]);
+        }
+        self.words_per_lane = new_words_per_lane;
+        self.words = new_words;
+    }
+}
+
+impl PartialEq for BitLanes {
+    /// Logical equality: same lanes, same slots, same bits — capacity (and
+    /// therefore allocation layout) is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_lanes == other.num_lanes
+            && self.num_slots == other.num_slots
+            && (0..self.num_lanes).all(|l| self.lane(l) == other.lane(l))
+    }
+}
+
+impl Eq for BitLanes {}
+
+/// Row-major packed bit matrix: an append-only sequence of fixed-width
+/// rows, one word-aligned packed row per append.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    width: usize,
+    words_per_row: usize,
+    num_rows: usize,
+    /// Row-major storage: row `r` occupies
+    /// `words[r * words_per_row .. (r + 1) * words_per_row]`.
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an empty matrix whose rows are `width` bits wide.
+    pub fn new(width: usize) -> Self {
+        Self::with_capacity(width, 0)
+    }
+
+    /// Creates an empty matrix with room for `rows` rows pre-allocated.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        let words_per_row = words_for(width);
+        BitMatrix {
+            width,
+            words_per_row,
+            num_rows: 0,
+            words: Vec::with_capacity(words_per_row * rows),
+        }
+    }
+
+    /// Bits per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per packed row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Number of rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Returns `true` if no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Appends one row. `row.len()` must equal the matrix width.
+    pub fn push_row(&mut self, row: &[bool]) {
+        assert_eq!(
+            row.len(),
+            self.width,
+            "row width {} does not match matrix width {}",
+            row.len(),
+            self.width
+        );
+        let start = self.words.len();
+        self.words.resize(start + self.words_per_row, 0);
+        for (bit, &set) in row.iter().enumerate() {
+            if set {
+                self.words[start + bit / WORD_BITS] |= 1u64 << (bit % WORD_BITS);
+            }
+        }
+        self.num_rows += 1;
+    }
+
+    /// The packed words of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows`.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(
+            row < self.num_rows,
+            "row {row} out of range ({} rows)",
+            self.num_rows
+        );
+        &self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Row `row` unpacked into booleans.
+    pub fn row_bools(&self, row: usize) -> Vec<bool> {
+        let words = self.row_words(row);
+        (0..self.width)
+            .map(|bit| words[bit / WORD_BITS] >> (bit % WORD_BITS) & 1 == 1)
+            .collect()
+    }
+
+    /// Whether bit `col` of row `row` is set.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(
+            col < self.width,
+            "column {col} out of range (width {})",
+            self.width
+        );
+        self.row_words(row)[col / WORD_BITS] >> (col % WORD_BITS) & 1 == 1
+    }
+
+    /// Iterates over the packed rows as word slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
+        self.words.chunks_exact(self.words_per_row)
+    }
+
+    /// Packs a row-shaped Boolean mask (e.g. an exact-congestion target)
+    /// into the matrix's word layout, for word-equality comparison against
+    /// [`BitMatrix::row_words`].
+    pub fn pack_mask(&self, set_bits: impl IntoIterator<Item = usize>) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words_per_row];
+        for bit in set_bits {
+            assert!(
+                bit < self.width,
+                "mask bit {bit} out of range (width {})",
+                self.width
+            );
+            mask[bit / WORD_BITS] |= 1u64 << (bit % WORD_BITS);
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_pack_and_report_bits() {
+        let mut lanes = BitLanes::new(3);
+        assert_eq!(lanes.num_lanes(), 3);
+        assert_eq!(lanes.num_slots(), 0);
+        lanes.push_slot(&[true, false, false]);
+        lanes.push_slot(&[false, true, false]);
+        lanes.push_slot(&[true, true, false]);
+        assert_eq!(lanes.num_slots(), 3);
+        assert!(lanes.get(0, 0) && !lanes.get(0, 1) && lanes.get(0, 2));
+        assert_eq!(lanes.count_ones(0), 2);
+        assert_eq!(lanes.count_ones(1), 2);
+        assert_eq!(lanes.count_ones(2), 0);
+        assert_eq!(lanes.lane(0), &[0b101]);
+        assert_eq!(lanes.last_word_mask(), 0b111);
+    }
+
+    #[test]
+    fn lanes_grow_past_word_boundaries() {
+        let mut lanes = BitLanes::new(2);
+        for slot in 0..200 {
+            lanes.push_slot(&[slot % 3 == 0, slot % 2 == 0]);
+        }
+        assert_eq!(lanes.num_slots(), 200);
+        assert_eq!(lanes.used_words(), 4);
+        assert_eq!(lanes.count_ones(0), 67);
+        assert_eq!(lanes.count_ones(1), 100);
+        for slot in 0..200 {
+            assert_eq!(lanes.get(0, slot), slot % 3 == 0);
+            assert_eq!(lanes.get(1, slot), slot % 2 == 0);
+        }
+        // Tail bits of the last used word stay zero.
+        assert_eq!(lanes.lane(0)[3] & !tail_mask(200), 0);
+    }
+
+    #[test]
+    fn lanes_equality_is_logical_not_layout() {
+        let mut a = BitLanes::new(2);
+        let mut b = BitLanes::with_capacity(2, 1000);
+        for slot in 0..70 {
+            let row = [slot % 5 == 0, slot % 7 == 0];
+            a.push_slot(&row);
+            b.push_slot(&row);
+        }
+        assert_eq!(a, b);
+        b.push_slot(&[false, false]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot width")]
+    fn lanes_reject_wrong_width() {
+        BitLanes::new(3).push_slot(&[true]);
+    }
+
+    #[test]
+    fn matrix_packs_rows() {
+        let mut m = BitMatrix::new(70);
+        assert!(m.is_empty());
+        let row: Vec<bool> = (0..70).map(|i| i % 9 == 0).collect();
+        m.push_row(&row);
+        m.push_row(&[false; 70]);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.words_per_row(), 2);
+        assert_eq!(m.row_bools(0), row);
+        assert!(m.get(0, 0) && m.get(0, 63) && !m.get(0, 64));
+        assert!(m.row_words(1).iter().all(|&w| w == 0));
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    fn matrix_mask_matches_row_packing() {
+        let mut m = BitMatrix::new(130);
+        let congested = [3usize, 64, 129];
+        let row: Vec<bool> = (0..130).map(|i| congested.contains(&i)).collect();
+        m.push_row(&row);
+        let mask = m.pack_mask(congested);
+        assert_eq!(m.row_words(0), mask.as_slice());
+    }
+
+    #[test]
+    fn zero_width_containers_are_well_formed() {
+        let mut m = BitMatrix::new(0);
+        m.push_row(&[]);
+        m.push_row(&[]);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.row_bools(1), Vec::<bool>::new());
+        let mut lanes = BitLanes::new(0);
+        lanes.push_slot(&[]);
+        assert_eq!(lanes.num_slots(), 1);
+    }
+
+    #[test]
+    fn word_helpers() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(tail_mask(0), 0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(65), 1);
+    }
+}

@@ -22,6 +22,8 @@ pub enum MeasureError {
         /// Number of paths in the observation container.
         num_paths: usize,
     },
+    /// Serialized observations could not be parsed.
+    Wire(String),
 }
 
 impl fmt::Display for MeasureError {
@@ -37,6 +39,9 @@ impl fmt::Display for MeasureError {
                     f,
                     "path index {index} out of range (have {num_paths} paths)"
                 )
+            }
+            MeasureError::Wire(reason) => {
+                write!(f, "malformed observation wire data: {reason}")
             }
         }
     }

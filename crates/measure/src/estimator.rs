@@ -12,10 +12,24 @@
 //!   exactly the congested paths (the left-hand side of Eq. 18, used by the
 //!   exact theorem algorithm).
 //!
+//! All estimates are computed on the bit-packed views of
+//! [`PathObservations`]: joint-good queries AND the complemented path
+//! lanes and popcount the result (64 snapshots per word), and exact-state
+//! queries compare each packed snapshot row against a packed target mask.
+//! The batch entry points ([`ProbabilityEstimator::log_prob_pairs_good`],
+//! [`ProbabilityEstimator::prob_exactly_congested_batch`]) exist so the
+//! equation builder and the theorem algorithm issue *one* call for all
+//! their queries instead of re-scanning the observations per pair.
+//!
 //! Estimated probabilities of zero are problematic for the log-linear
 //! equations (log 0 = −∞), so [`ProbabilityEstimator::log_prob_paths_good`]
 //! clamps frequencies to a floor of `1/(2·N)` where `N` is the number of
 //! snapshots — the usual "half a count" correction for unobserved events.
+//!
+//! The pre-packing scalar implementation survives as the executable
+//! specification in [`crate::reference`]; the differential property tests
+//! assert bit-exact agreement between the two on random observation
+//! matrices.
 
 use std::collections::BTreeSet;
 
@@ -67,6 +81,28 @@ impl<'a> ProbabilityEstimator<'a> {
         Ok(())
     }
 
+    /// Number of snapshots in which *all* the given paths were good:
+    /// popcount of the AND of the complemented lanes (the tail of the last
+    /// word is masked because complementing turns the zero padding into
+    /// ones).
+    fn all_good_count(&self, paths: &[PathId]) -> usize {
+        let lanes = self.observations.lanes();
+        let used = lanes.used_words();
+        let mask = lanes.last_word_mask();
+        let mut count = 0usize;
+        for w in 0..used {
+            let mut acc = if w + 1 == used { mask } else { !0u64 };
+            for &p in paths {
+                acc &= !lanes.lane(p.index())[w];
+                if acc == 0 {
+                    break;
+                }
+            }
+            count += acc.count_ones() as usize;
+        }
+        count
+    }
+
     /// Empirical `P(Y_i = 0)`: the fraction of snapshots in which `path`
     /// was good.
     pub fn prob_path_good(&self, path: PathId) -> Result<f64, MeasureError> {
@@ -84,30 +120,69 @@ impl<'a> ProbabilityEstimator<'a> {
         for &p in paths {
             self.check_path(p)?;
         }
-        let n = self.num_snapshots();
-        let mut good = 0usize;
-        for snapshot in self.observations.snapshots() {
-            if paths.iter().all(|p| !snapshot[p.index()]) {
-                good += 1;
-            }
+        Ok(self.all_good_count(paths) as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Batch form of the path-pair query: one `P(Y_i = 0, Y_j = 0)` per
+    /// pair, validated once up front. This is the equation builder's hot
+    /// path — each pair costs one AND/popcount sweep over two packed lanes
+    /// (`⌈N/64⌉` words), never a rescan of the full observation matrix.
+    pub fn prob_pairs_good(&self, pairs: &[(PathId, PathId)]) -> Result<Vec<f64>, MeasureError> {
+        for &(a, b) in pairs {
+            self.check_path(a)?;
+            self.check_path(b)?;
         }
-        Ok(good as f64 / n as f64)
+        let lanes = self.observations.lanes();
+        let used = lanes.used_words();
+        let mask = lanes.last_word_mask();
+        let n = self.num_snapshots() as f64;
+        Ok(pairs
+            .iter()
+            .map(|&(a, b)| {
+                let la = lanes.lane(a.index());
+                let lb = lanes.lane(b.index());
+                let mut count = 0usize;
+                for w in 0..used {
+                    let mut acc = !la[w] & !lb[w];
+                    if w + 1 == used {
+                        acc &= mask;
+                    }
+                    count += acc.count_ones() as usize;
+                }
+                count as f64 / n
+            })
+            .collect())
+    }
+
+    /// Batch form of [`ProbabilityEstimator::log_prob_paths_good`] over
+    /// path pairs: clamped `log P(Y_i = 0, Y_j = 0)` per pair.
+    pub fn log_prob_pairs_good(
+        &self,
+        pairs: &[(PathId, PathId)],
+    ) -> Result<Vec<f64>, MeasureError> {
+        let floor = self.probability_floor();
+        Ok(self
+            .prob_pairs_good(pairs)?
+            .into_iter()
+            .map(|p| p.max(floor).ln())
+            .collect())
     }
 
     /// Empirical `P(ψ(S) = ∅)`: the fraction of snapshots in which every
-    /// path was good.
+    /// path was good — packed snapshot rows that are all-zero words.
     pub fn prob_all_paths_good(&self) -> f64 {
-        let n = self.num_snapshots();
-        let good = self
-            .observations
-            .snapshots()
-            .filter(|snapshot| snapshot.iter().all(|&c| !c))
+        let rows = self.observations.rows();
+        let good = rows
+            .rows()
+            .filter(|row| row.iter().all(|&w| w == 0))
             .count();
-        good as f64 / n as f64
+        good as f64 / self.num_snapshots() as f64
     }
 
     /// Empirical `P(ψ(S) = ψ(A))`: the fraction of snapshots in which the
-    /// congested paths were *exactly* the given set.
+    /// congested paths were *exactly* the given set. The target set is
+    /// packed into a word mask once, and every snapshot row is compared by
+    /// word equality.
     pub fn prob_exactly_congested(
         &self,
         congested: &BTreeSet<PathId>,
@@ -115,18 +190,41 @@ impl<'a> ProbabilityEstimator<'a> {
         for &p in congested {
             self.check_path(p)?;
         }
-        let n = self.num_snapshots();
-        let mut matches = 0usize;
-        for snapshot in self.observations.snapshots() {
-            let exact = snapshot
-                .iter()
-                .enumerate()
-                .all(|(i, &c)| c == congested.contains(&PathId(i)));
-            if exact {
-                matches += 1;
+        let rows = self.observations.rows();
+        let mask = rows.pack_mask(congested.iter().map(|p| p.index()));
+        let matches = rows.rows().filter(|row| *row == mask.as_slice()).count();
+        Ok(matches as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Batch form of [`ProbabilityEstimator::prob_exactly_congested`]: one
+    /// probability per target pattern, computed in a single streaming pass
+    /// over the packed snapshot rows (better cache behaviour than one pass
+    /// per pattern when, as in the theorem algorithm, every correlation
+    /// subset's coverage is queried).
+    pub fn prob_exactly_congested_batch(
+        &self,
+        patterns: &[BTreeSet<PathId>],
+    ) -> Result<Vec<f64>, MeasureError> {
+        for pattern in patterns {
+            for &p in pattern {
+                self.check_path(p)?;
             }
         }
-        Ok(matches as f64 / n as f64)
+        let rows = self.observations.rows();
+        let masks: Vec<Vec<u64>> = patterns
+            .iter()
+            .map(|pattern| rows.pack_mask(pattern.iter().map(|p| p.index())))
+            .collect();
+        let mut matches = vec![0usize; patterns.len()];
+        for row in rows.rows() {
+            for (i, mask) in masks.iter().enumerate() {
+                if row == mask.as_slice() {
+                    matches[i] += 1;
+                }
+            }
+        }
+        let n = self.num_snapshots() as f64;
+        Ok(matches.into_iter().map(|m| m as f64 / n).collect())
     }
 
     /// `log P(all given paths good)`, clamped below by the probability
@@ -197,6 +295,27 @@ mod tests {
     }
 
     #[test]
+    fn batch_pair_queries_match_the_single_query() {
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let pairs = [
+            (PathId(0), PathId(1)),
+            (PathId(0), PathId(2)),
+            (PathId(1), PathId(2)),
+            (PathId(2), PathId(2)),
+        ];
+        let batch = est.prob_pairs_good(&pairs).unwrap();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], est.prob_paths_good(&[a, b]).unwrap());
+        }
+        let logs = est.log_prob_pairs_good(&pairs).unwrap();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(logs[i], est.log_prob_paths_good(&[a, b]).unwrap());
+        }
+        assert!(est.prob_pairs_good(&[(PathId(0), PathId(9))]).is_err());
+    }
+
+    #[test]
     fn exact_congestion_pattern_probabilities() {
         let obs = observations();
         let est = ProbabilityEstimator::new(&obs).unwrap();
@@ -219,6 +338,25 @@ mod tests {
             .prob_exactly_congested(&BTreeSet::from([PathId(2), PathId(1)]))
             .unwrap();
         assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn batch_exact_queries_match_the_single_query() {
+        let obs = observations();
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let patterns = vec![
+            BTreeSet::new(),
+            BTreeSet::from([PathId(0)]),
+            BTreeSet::from([PathId(0), PathId(1)]),
+            BTreeSet::from([PathId(1), PathId(2)]),
+        ];
+        let batch = est.prob_exactly_congested_batch(&patterns).unwrap();
+        for (i, pattern) in patterns.iter().enumerate() {
+            assert_eq!(batch[i], est.prob_exactly_congested(pattern).unwrap());
+        }
+        assert!(est
+            .prob_exactly_congested_batch(&[BTreeSet::from([PathId(9)])])
+            .is_err());
     }
 
     #[test]
@@ -261,5 +399,26 @@ mod tests {
             est.ever_congested_paths(),
             vec![PathId(0), PathId(1), PathId(2)]
         );
+    }
+
+    #[test]
+    fn queries_cross_word_boundaries_correctly() {
+        // 130 snapshots (> 2 words) with a deterministic pattern.
+        let mut obs = PathObservations::new(2);
+        let mut good_both = 0;
+        let mut all_good = 0;
+        for i in 0..130 {
+            let a = i % 3 == 0;
+            let b = i % 5 == 0;
+            obs.record_snapshot(&[a, b]).unwrap();
+            if !a && !b {
+                good_both += 1;
+                all_good += 1;
+            }
+        }
+        let est = ProbabilityEstimator::new(&obs).unwrap();
+        let p = est.prob_paths_good(&[PathId(0), PathId(1)]).unwrap();
+        assert_eq!(p, good_both as f64 / 130.0);
+        assert_eq!(est.prob_all_paths_good(), all_good as f64 / 130.0);
     }
 }

@@ -4,13 +4,22 @@
 //! is, for every *snapshot* (time slot), which measurement paths were
 //! observed to be congested. This crate provides:
 //!
-//! * [`PathObservations`] — the compact container of those per-snapshot
+//! * [`PathObservations`] — the bit-packed container of those per-snapshot
 //!   Boolean path observations, produced by the simulator (or, in a real
-//!   deployment, by an active-probing measurement system).
+//!   deployment, by an active-probing measurement system). It maintains a
+//!   *path-major* lane view and a *snapshot-major* row view at once
+//!   (see [`bitset`]), 2 bits per cell in total.
 //! * [`ProbabilityEstimator`] — empirical estimators of every probability
 //!   the algorithms need: `P(Y_i = 0)` (a path is good), joint
 //!   `P(Y_i = 0, Y_j = 0)`, `P(ψ(S) = ∅)` (all paths good) and
 //!   `P(ψ(S) = ψ(A))` (a given set of paths are the only congested ones).
+//!   Joint queries are AND/popcount over packed lanes; exact-state queries
+//!   are word-equality of packed rows against a packed target mask. Batch
+//!   entry points serve the equation builder and the theorem algorithm
+//!   without per-query rescans.
+//! * [`reference`] — the scalar (one-`bool`-per-cell) implementation kept
+//!   as the executable specification; the differential property tests
+//!   assert bit-exact agreement between it and the packed estimator.
 //!
 //! The estimators are plain relative frequencies over the snapshots; the
 //! number of snapshots controls their accuracy, exactly as in the paper's
@@ -19,10 +28,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitset;
 pub mod error;
 pub mod estimator;
 pub mod observation;
+pub mod reference;
 
+pub use bitset::{BitLanes, BitMatrix};
 pub use error::MeasureError;
 pub use estimator::ProbabilityEstimator;
 pub use observation::PathObservations;

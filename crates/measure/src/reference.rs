@@ -1,0 +1,256 @@
+//! Scalar reference implementation of the observation store and
+//! estimators.
+//!
+//! This module preserves the pre-packing, one-`bool`-per-cell
+//! implementation as an **executable specification**: every probability is
+//! computed by a straightforward scan over the snapshot matrix. It exists
+//! for two consumers only —
+//!
+//! * the differential property tests, which assert that the bit-packed
+//!   [`crate::ProbabilityEstimator`] agrees *bit-exactly* with this
+//!   reference on random observation matrices (both compute
+//!   `count / num_snapshots` with integer counts, so agreement is `==`,
+//!   not approximate); and
+//! * the estimator micro-benchmarks, which measure the packed estimator's
+//!   speedup against this baseline.
+//!
+//! It is not part of the supported API surface and deliberately implements
+//! only the query families the packed estimator offers.
+
+use std::collections::BTreeSet;
+
+use netcorr_topology::path::PathId;
+
+use crate::error::MeasureError;
+use crate::observation::PathObservations;
+
+/// Snapshot-major, one-`bool`-per-cell observation store (the seed
+/// layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarObservations {
+    num_paths: usize,
+    data: Vec<bool>,
+}
+
+impl ScalarObservations {
+    /// Creates an empty container for `num_paths` paths.
+    pub fn new(num_paths: usize) -> Self {
+        ScalarObservations {
+            num_paths,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a scalar copy of packed observations (for differential
+    /// testing / benchmarking against the same data).
+    pub fn from_packed(observations: &PathObservations) -> Self {
+        let mut scalar = ScalarObservations::new(observations.num_paths());
+        for snapshot in observations.snapshots() {
+            scalar
+                .record_snapshot(&snapshot)
+                .expect("widths match by construction");
+        }
+        scalar
+    }
+
+    /// Number of paths per snapshot.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+
+    /// Number of snapshots recorded so far.
+    pub fn num_snapshots(&self) -> usize {
+        self.data.len().checked_div(self.num_paths).unwrap_or(0)
+    }
+
+    /// Returns `true` if no snapshots have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Records one snapshot: `congested[i]` is the status of path `i`.
+    pub fn record_snapshot(&mut self, congested: &[bool]) -> Result<(), MeasureError> {
+        if congested.len() != self.num_paths {
+            return Err(MeasureError::WrongSnapshotWidth {
+                expected: self.num_paths,
+                actual: congested.len(),
+            });
+        }
+        self.data.extend_from_slice(congested);
+        Ok(())
+    }
+
+    /// Iterates over snapshots as slices.
+    pub fn snapshots(&self) -> impl Iterator<Item = &[bool]> {
+        self.data.chunks_exact(self.num_paths.max(1))
+    }
+}
+
+/// Scalar reference estimator: plain relative-frequency scans over a
+/// [`ScalarObservations`] matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarEstimator<'a> {
+    observations: &'a ScalarObservations,
+}
+
+impl<'a> ScalarEstimator<'a> {
+    /// Creates an estimator over `observations`; errors if no snapshots
+    /// have been recorded.
+    pub fn new(observations: &'a ScalarObservations) -> Result<Self, MeasureError> {
+        if observations.is_empty() {
+            return Err(MeasureError::NoSnapshots);
+        }
+        Ok(ScalarEstimator { observations })
+    }
+
+    /// Number of snapshots backing every estimate.
+    pub fn num_snapshots(&self) -> usize {
+        self.observations.num_snapshots()
+    }
+
+    /// The clamping floor `1 / (2 N)`.
+    pub fn probability_floor(&self) -> f64 {
+        1.0 / (2.0 * self.num_snapshots() as f64)
+    }
+
+    fn check_path(&self, path: PathId) -> Result<(), MeasureError> {
+        if path.index() >= self.observations.num_paths() {
+            return Err(MeasureError::UnknownPath {
+                index: path.index(),
+                num_paths: self.observations.num_paths(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Empirical `P(Y_i = 0)`.
+    pub fn prob_path_good(&self, path: PathId) -> Result<f64, MeasureError> {
+        Ok(1.0 - self.prob_path_congested(path)?)
+    }
+
+    /// Empirical `P(Y_i = 1)`.
+    pub fn prob_path_congested(&self, path: PathId) -> Result<f64, MeasureError> {
+        self.check_path(path)?;
+        let congested = self
+            .observations
+            .snapshots()
+            .filter(|s| s[path.index()])
+            .count();
+        Ok(congested as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Empirical `P(Y_{i1} = 0, ..., Y_{ik} = 0)` by scanning every
+    /// snapshot.
+    pub fn prob_paths_good(&self, paths: &[PathId]) -> Result<f64, MeasureError> {
+        for &p in paths {
+            self.check_path(p)?;
+        }
+        let good = self
+            .observations
+            .snapshots()
+            .filter(|snapshot| paths.iter().all(|p| !snapshot[p.index()]))
+            .count();
+        Ok(good as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Clamped `log P(all given paths good)`.
+    pub fn log_prob_paths_good(&self, paths: &[PathId]) -> Result<f64, MeasureError> {
+        let p = self.prob_paths_good(paths)?;
+        Ok(p.max(self.probability_floor()).ln())
+    }
+
+    /// Empirical `P(ψ(S) = ∅)`.
+    pub fn prob_all_paths_good(&self) -> f64 {
+        let good = self
+            .observations
+            .snapshots()
+            .filter(|snapshot| snapshot.iter().all(|&c| !c))
+            .count();
+        good as f64 / self.num_snapshots() as f64
+    }
+
+    /// Empirical `P(ψ(S) = ψ(A))`. The target pattern is expanded into a
+    /// per-path Boolean vector once, so the scan compares entries directly
+    /// instead of doing a set lookup per path per snapshot.
+    pub fn prob_exactly_congested(
+        &self,
+        congested: &BTreeSet<PathId>,
+    ) -> Result<f64, MeasureError> {
+        for &p in congested {
+            self.check_path(p)?;
+        }
+        let mut target = vec![false; self.observations.num_paths()];
+        for &p in congested {
+            target[p.index()] = true;
+        }
+        let matches = self
+            .observations
+            .snapshots()
+            .filter(|snapshot| *snapshot == target.as_slice())
+            .count();
+        Ok(matches as f64 / self.num_snapshots() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observations() -> ScalarObservations {
+        let mut obs = ScalarObservations::new(3);
+        let snapshots = [
+            [false, false, false],
+            [true, false, false],
+            [true, true, false],
+            [false, false, false],
+        ];
+        for s in &snapshots {
+            obs.record_snapshot(s).unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn scalar_estimates_match_hand_counts() {
+        let obs = observations();
+        let est = ScalarEstimator::new(&obs).unwrap();
+        assert_eq!(est.prob_path_congested(PathId(0)).unwrap(), 0.5);
+        assert_eq!(est.prob_path_good(PathId(2)).unwrap(), 1.0);
+        assert_eq!(est.prob_paths_good(&[PathId(0), PathId(1)]).unwrap(), 0.5);
+        assert_eq!(est.prob_all_paths_good(), 0.5);
+        assert_eq!(
+            est.prob_exactly_congested(&BTreeSet::from([PathId(0)]))
+                .unwrap(),
+            0.25
+        );
+        assert_eq!(est.prob_exactly_congested(&BTreeSet::new()).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn from_packed_copies_the_matrix() {
+        let mut packed = PathObservations::new(2);
+        for i in 0..70 {
+            packed.record_snapshot(&[i % 2 == 0, i % 7 == 0]).unwrap();
+        }
+        let scalar = ScalarObservations::from_packed(&packed);
+        assert_eq!(scalar.num_snapshots(), 70);
+        for (i, snapshot) in scalar.snapshots().enumerate() {
+            assert_eq!(snapshot.to_vec(), packed.snapshot(i));
+        }
+    }
+
+    #[test]
+    fn scalar_errors_match_the_packed_estimator() {
+        let empty = ScalarObservations::new(2);
+        assert_eq!(
+            ScalarEstimator::new(&empty).unwrap_err(),
+            MeasureError::NoSnapshots
+        );
+        let obs = observations();
+        let est = ScalarEstimator::new(&obs).unwrap();
+        assert!(est.prob_paths_good(&[PathId(9)]).is_err());
+        assert!(est
+            .prob_exactly_congested(&BTreeSet::from([PathId(9)]))
+            .is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Differential property tests: the bit-packed estimator must agree
+//! **bit-exactly** with the scalar reference implementation on random
+//! observation matrices, for all four query families:
+//!
+//! 1. single-path marginals `P(Y_i = 0)` / `P(Y_i = 1)`;
+//! 2. joint goodness `P(Y_{i1} = 0, ..., Y_{ik} = 0)` (including the
+//!    batch pair API);
+//! 3. all-paths-good `P(ψ(S) = ∅)`;
+//! 4. exact congestion patterns `P(ψ(S) = ψ(A))` (including the batch
+//!    API).
+//!
+//! Both implementations compute `count / num_snapshots` with integer
+//! counts, so the assertions use `==`, not an epsilon.
+
+use std::collections::BTreeSet;
+
+use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
+use netcorr_measure::{PathObservations, ProbabilityEstimator};
+use netcorr_topology::path::PathId;
+use proptest::prelude::*;
+
+/// Upper bounds of the random matrices; snapshot counts beyond 64 exercise
+/// multi-word lanes and the tail-masking of the last word.
+const MAX_PATHS: usize = 6;
+const MAX_SNAPSHOTS: usize = 150;
+
+/// Builds packed and scalar stores from the same random cell pool,
+/// truncated to `paths × snapshots`.
+fn build_both(
+    paths: usize,
+    snapshots: usize,
+    cells: &[bool],
+) -> (PathObservations, ScalarObservations) {
+    let mut packed = PathObservations::new(paths);
+    let mut scalar = ScalarObservations::new(paths);
+    for s in 0..snapshots {
+        let row = &cells[s * paths..(s + 1) * paths];
+        packed.record_snapshot(row).unwrap();
+        scalar.record_snapshot(row).unwrap();
+    }
+    (packed, scalar)
+}
+
+/// Strategy for the flattened cell pool (consumed row by row).
+fn cell_pool() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(0usize..2, MAX_PATHS * MAX_SNAPSHOTS)
+        .prop_map(|cells| cells.into_iter().map(|c| c == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_path_marginals_agree(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+    ) {
+        let (packed, scalar) = build_both(paths, snapshots, &cells);
+        let packed_est = ProbabilityEstimator::new(&packed).unwrap();
+        let scalar_est = ScalarEstimator::new(&scalar).unwrap();
+        for p in 0..paths {
+            prop_assert_eq!(
+                packed_est.prob_path_good(PathId(p)).unwrap(),
+                scalar_est.prob_path_good(PathId(p)).unwrap()
+            );
+            prop_assert_eq!(
+                packed_est.prob_path_congested(PathId(p)).unwrap(),
+                scalar_est.prob_path_congested(PathId(p)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn joint_goodness_agrees(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+    ) {
+        let (packed, scalar) = build_both(paths, snapshots, &cells);
+        let packed_est = ProbabilityEstimator::new(&packed).unwrap();
+        let scalar_est = ScalarEstimator::new(&scalar).unwrap();
+        // Every pair (including degenerate equal pairs), the full path
+        // set, and the empty set.
+        let mut pairs = Vec::new();
+        for a in 0..paths {
+            for b in a..paths {
+                pairs.push((PathId(a), PathId(b)));
+            }
+        }
+        let batch = packed_est.prob_pairs_good(&pairs).unwrap();
+        let log_batch = packed_est.log_prob_pairs_good(&pairs).unwrap();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let expected = scalar_est.prob_paths_good(&[a, b]).unwrap();
+            prop_assert_eq!(packed_est.prob_paths_good(&[a, b]).unwrap(), expected);
+            prop_assert_eq!(batch[i], expected);
+            prop_assert_eq!(log_batch[i], scalar_est.log_prob_paths_good(&[a, b]).unwrap());
+        }
+        let all: Vec<PathId> = (0..paths).map(PathId).collect();
+        prop_assert_eq!(
+            packed_est.prob_paths_good(&all).unwrap(),
+            scalar_est.prob_paths_good(&all).unwrap()
+        );
+        prop_assert_eq!(
+            packed_est.prob_paths_good(&[]).unwrap(),
+            scalar_est.prob_paths_good(&[]).unwrap()
+        );
+    }
+
+    #[test]
+    fn all_paths_good_agrees(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+    ) {
+        let (packed, scalar) = build_both(paths, snapshots, &cells);
+        let packed_est = ProbabilityEstimator::new(&packed).unwrap();
+        let scalar_est = ScalarEstimator::new(&scalar).unwrap();
+        prop_assert_eq!(packed_est.prob_all_paths_good(), scalar_est.prob_all_paths_good());
+    }
+
+    #[test]
+    fn exact_patterns_agree(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+        selector in 0u64..u64::MAX,
+    ) {
+        let (packed, scalar) = build_both(paths, snapshots, &cells);
+        let packed_est = ProbabilityEstimator::new(&packed).unwrap();
+        let scalar_est = ScalarEstimator::new(&scalar).unwrap();
+        // Patterns: empty, a random subset, every singleton, and the first
+        // snapshot's own congestion set (guaranteeing a non-zero match).
+        let mut patterns: Vec<BTreeSet<PathId>> = vec![BTreeSet::new()];
+        patterns.push(
+            (0..paths)
+                .filter(|p| selector >> (p % 64) & 1 == 1)
+                .map(PathId)
+                .collect(),
+        );
+        for p in 0..paths {
+            patterns.push(BTreeSet::from([PathId(p)]));
+        }
+        patterns.push(packed.congested_paths(0).into_iter().collect());
+        let batch = packed_est.prob_exactly_congested_batch(&patterns).unwrap();
+        for (i, pattern) in patterns.iter().enumerate() {
+            let expected = scalar_est.prob_exactly_congested(pattern).unwrap();
+            prop_assert_eq!(packed_est.prob_exactly_congested(pattern).unwrap(), expected);
+            prop_assert_eq!(batch[i], expected);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_observations(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+    ) {
+        let (packed, _) = build_both(paths, snapshots, &cells);
+        let back = PathObservations::from_wire(&packed.to_wire()).unwrap();
+        prop_assert_eq!(&back, &packed);
+        // The round-tripped store answers queries identically.
+        let a = ProbabilityEstimator::new(&packed).unwrap();
+        let b = ProbabilityEstimator::new(&back).unwrap();
+        prop_assert_eq!(a.prob_all_paths_good(), b.prob_all_paths_good());
+    }
+}

@@ -1,0 +1,62 @@
+//! Pins the `PathObservations` wire format.
+//!
+//! The exact byte-for-byte representation is asserted here so that any
+//! accidental format change fails loudly: observations persisted by one
+//! build must stay readable by the next.
+
+use netcorr_measure::observation::WIRE_FORMAT;
+use netcorr_measure::PathObservations;
+
+#[test]
+fn wire_format_is_pinned() {
+    // 3 paths × 4 snapshots; path 0 congested in snapshots 1 and 2
+    // (bits 0b0110 = 0x6), path 1 in snapshot 2 (0b0100 = 0x4), path 2
+    // never.
+    let mut obs = PathObservations::new(3);
+    obs.record_snapshot(&[false, false, false]).unwrap();
+    obs.record_snapshot(&[true, false, false]).unwrap();
+    obs.record_snapshot(&[true, true, false]).unwrap();
+    obs.record_snapshot(&[false, false, false]).unwrap();
+
+    let expected = "netcorr-path-observations v2\n\
+                    paths 3\n\
+                    snapshots 4\n\
+                    lane 0000000000000006\n\
+                    lane 0000000000000004\n\
+                    lane 0000000000000000\n";
+    assert_eq!(obs.to_wire(), expected);
+    assert_eq!(PathObservations::from_wire(expected).unwrap(), obs);
+}
+
+#[test]
+fn wire_format_spans_multiple_words() {
+    // 70 snapshots forces a second 64-bit word per lane; only snapshots 0
+    // and 69 are congested on the single path.
+    let mut obs = PathObservations::new(1);
+    for s in 0..70 {
+        obs.record_snapshot(&[s == 0 || s == 69]).unwrap();
+    }
+    let expected = "netcorr-path-observations v2\n\
+                    paths 1\n\
+                    snapshots 70\n\
+                    lane 00000000000000010000000000000020\n";
+    assert_eq!(obs.to_wire(), expected);
+    assert_eq!(PathObservations::from_wire(expected).unwrap(), obs);
+}
+
+#[test]
+fn empty_container_wire_format() {
+    let obs = PathObservations::new(2);
+    let expected = "netcorr-path-observations v2\n\
+                    paths 2\n\
+                    snapshots 0\n\
+                    lane -\n\
+                    lane -\n";
+    assert_eq!(obs.to_wire(), expected);
+    assert_eq!(PathObservations::from_wire(expected).unwrap(), obs);
+}
+
+#[test]
+fn header_names_the_version() {
+    assert_eq!(WIRE_FORMAT, "netcorr-path-observations v2");
+}

@@ -9,7 +9,7 @@
 
 use rand::{Rng, RngExt};
 
-use netcorr_measure::PathObservations;
+use netcorr_measure::{BitMatrix, PathObservations};
 use netcorr_topology::TopologyInstance;
 
 use crate::config::{SimulationConfig, TransmissionModel};
@@ -24,8 +24,10 @@ use crate::loss::{path_delivery_probability, sample_binomial, sample_loss_rate};
 pub struct SimulationTrace {
     /// The end-to-end observations (what the algorithms consume).
     pub observations: PathObservations,
-    /// For every snapshot, the congestion state of every link.
-    pub link_states: Vec<Vec<bool>>,
+    /// For every snapshot, the congestion state of every link, bit-packed
+    /// one row per snapshot (same columnar discipline as the
+    /// observations: `link_states.get(snapshot, link.index())`).
+    pub link_states: BitMatrix,
 }
 
 /// The snapshot simulator.
@@ -82,13 +84,13 @@ impl<'a> Simulator<'a> {
     pub fn run_detailed(&self, snapshots: usize, rng: &mut impl Rng) -> SimulationTrace {
         let mut observations =
             PathObservations::with_capacity(self.instance.num_paths(), snapshots);
-        let mut link_states = Vec::with_capacity(snapshots);
+        let mut link_states = BitMatrix::with_capacity(self.instance.num_links(), snapshots);
         for _ in 0..snapshots {
             let (links, path_congested) = self.simulate_snapshot(rng);
             observations
                 .record_snapshot(&path_congested)
                 .expect("snapshot width matches the path count");
-            link_states.push(links);
+            link_states.push_row(&links);
         }
         SimulationTrace {
             observations,
@@ -279,17 +281,22 @@ mod tests {
         let sim = Simulator::new(&inst, &model, config).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let trace = sim.run_detailed(2000, &mut rng);
-        assert_eq!(trace.link_states.len(), 2000);
-        for (snapshot_idx, links) in trace.link_states.iter().enumerate() {
+        assert_eq!(trace.link_states.num_rows(), 2000);
+        assert_eq!(trace.link_states.width(), inst.num_links());
+        for snapshot_idx in 0..trace.link_states.num_rows() {
+            let links = trace.link_states.row_bools(snapshot_idx);
             // The joint group is all-or-nothing in every snapshot.
             assert_eq!(links[0], links[1]);
+            assert_eq!(links[0], trace.link_states.get(snapshot_idx, 0));
             // Separability, one direction: if every link of a path is good,
             // the path must be observed good (exact transmission).
             for (path_idx, path) in inst.paths.paths().enumerate() {
                 let all_good = path.links.iter().all(|l| !links[l.index()]);
                 if all_good {
                     assert!(
-                        !trace.observations.snapshot(snapshot_idx)[path_idx],
+                        !trace
+                            .observations
+                            .is_congested(snapshot_idx, PathId(path_idx)),
                         "path {path_idx} congested although all its links are good"
                     );
                 }

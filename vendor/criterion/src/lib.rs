@@ -104,6 +104,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    filter: Option<String>,
     _criterion: &'a mut Criterion,
 }
 
@@ -132,6 +133,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher<'_>),
     {
         let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !format!("{}/{id}", self.name).contains(filter.as_str()) {
+                return self;
+            }
+        }
         let mut samples = Vec::new();
         let mut bencher = Bencher {
             samples: &mut samples,
@@ -175,17 +181,32 @@ fn report(group: &str, id: &BenchmarkId, samples: &[Duration]) {
 }
 
 /// The benchmark harness entry point, mirroring `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+///
+/// Like real criterion, the first non-flag command-line argument is a
+/// substring filter: `cargo bench --bench micro -- estimator` runs only
+/// the benchmarks whose `group/id` contains `estimator`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: std::env::args().skip(1).find(|arg| !arg.starts_with('-')),
+        }
+    }
+}
 
 impl Criterion {
     /// Opens a named benchmark group with default sampling settings.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
         BenchmarkGroup {
             name: name.into(),
             sample_size: 20,
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(2),
+            filter,
             _criterion: self,
         }
     }
