@@ -10,8 +10,9 @@ use netcorr_bench::{bench_instance, fixture};
 use netcorr_eval::figures::TopologyFamily;
 use netcorr_eval::scenario::CorrelationLevel;
 use netcorr_linalg::{cgls, min_l1_norm_solution, solve_least_squares, Matrix, SparseMatrix};
+use netcorr_measure::bitset::simd;
 use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
-use netcorr_measure::{PathObservations, ProbabilityEstimator};
+use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
 use netcorr_sim::{SimulationConfig, Simulator, TransmissionModel};
 use netcorr_topology::generators::{brite, planetlab};
 use netcorr_topology::path::PathId;
@@ -166,6 +167,15 @@ fn estimator_queries(c: &mut Criterion) {
     let target: std::collections::BTreeSet<PathId> =
         packed.congested_paths(0).into_iter().collect();
 
+    // Streaming estimator with every pair registered and the full
+    // snapshot stream pushed: registered-pair queries are O(1) counter
+    // reads, so this measures the constant-time query floor.
+    let mut streaming = StreamingEstimator::with_capacity(PATHS, SNAPSHOTS);
+    let handles = streaming.register_pairs(&pairs).expect("valid pairs");
+    for snapshot in packed.snapshots() {
+        streaming.push_snapshot(&snapshot).expect("width matches");
+    }
+
     let mut group = c.benchmark_group("estimator");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
@@ -173,6 +183,37 @@ fn estimator_queries(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("pair_queries_packed", pairs.len()), |b| {
         b.iter(|| packed_est.log_prob_pairs_good(&pairs).expect("valid pairs"))
     });
+    group.bench_function(
+        BenchmarkId::new("pair_queries_portable", pairs.len()),
+        |b| {
+            // The portable (non-SIMD) kernel tier on the same packed
+            // lanes, to isolate the AVX2 dispatch win.
+            let lanes = packed.lanes();
+            let tail = lanes.last_word_mask();
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .map(|&(x, y)| {
+                        simd::pair_good_count_portable(
+                            lanes.lane(x.index()),
+                            lanes.lane(y.index()),
+                            tail,
+                        )
+                    })
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("pair_queries_streaming", pairs.len()),
+        |b| {
+            b.iter(|| {
+                streaming
+                    .log_prob_pairs_good_at(&handles)
+                    .expect("registered pairs")
+            })
+        },
+    );
     group.bench_function(BenchmarkId::new("pair_queries_scalar", pairs.len()), |b| {
         b.iter(|| {
             pairs

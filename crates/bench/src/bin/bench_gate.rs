@@ -1,0 +1,144 @@
+//! CI regression gate for the estimator hot path.
+//!
+//! Re-times the `estimator` benchmark workload (1500 paths × 4096
+//! snapshots, 6750 intersecting pairs — the same fixture as
+//! `benches/micro.rs`) with plain `std::time` and **fails the build**
+//! (exit code 1) if the packed pair-query speedup over the scalar
+//! reference drops below the floor recorded in `BENCH_estimator.json`
+//! (`acceptance.pair_queries_speedup_floor`, 8× by default).
+//!
+//! Run from the repository root, in release mode:
+//!
+//! ```text
+//! cargo run --release -p netcorr-bench --bin bench_gate
+//! ```
+//!
+//! The baseline path can be overridden with the `BENCH_BASELINE`
+//! environment variable.
+
+use std::time::Instant;
+
+use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
+use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
+use netcorr_topology::path::PathId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const PATHS: usize = 1500;
+const SNAPSHOTS: usize = 4096;
+const HUBS: usize = 150;
+const DEFAULT_FLOOR: f64 = 8.0;
+
+/// Extracts `"pair_queries_speedup_floor": <number>` from the baseline
+/// JSON with a plain text scan (the vendored serde_json shim only
+/// serializes).
+fn read_floor(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"pair_queries_speedup_floor\":";
+    let start = text.find(key)? + key.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Mean seconds per iteration of `f` over `iters` timed runs (after
+/// `warmup` discarded runs).
+fn time_mean(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let baseline =
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_estimator.json".into());
+    let floor = match read_floor(&baseline) {
+        Some(f) => f,
+        None => {
+            eprintln!(
+                "bench_gate: no pair_queries_speedup_floor in {baseline}, using default \
+                 {DEFAULT_FLOOR}x"
+            );
+            DEFAULT_FLOOR
+        }
+    };
+
+    // Same workload as the `estimator` criterion group in benches/micro.rs.
+    let mut rng = StdRng::seed_from_u64(0xc01);
+    let mut packed = PathObservations::with_capacity(PATHS, SNAPSHOTS);
+    let mut row = vec![false; PATHS];
+    for _ in 0..SNAPSHOTS {
+        for cell in row.iter_mut() {
+            *cell = rng.random_bool(0.2);
+        }
+        packed.record_snapshot(&row).expect("width matches");
+    }
+    let scalar = ScalarObservations::from_packed(&packed);
+    let packed_est = ProbabilityEstimator::new(&packed).expect("non-empty");
+    let scalar_est = ScalarEstimator::new(&scalar).expect("non-empty");
+    let per_hub = PATHS / HUBS;
+    let mut pairs = Vec::new();
+    for hub in 0..HUBS {
+        let base = hub * per_hub;
+        for a in 0..per_hub {
+            for b in a + 1..per_hub {
+                pairs.push((PathId(base + a), PathId(base + b)));
+            }
+        }
+    }
+    let mut streaming = StreamingEstimator::with_capacity(PATHS, SNAPSHOTS);
+    let handles = streaming.register_pairs(&pairs).expect("valid pairs");
+    for snapshot in packed.snapshots() {
+        streaming.push_snapshot(&snapshot).expect("width matches");
+    }
+
+    let packed_mean = time_mean(3, 20, || {
+        let sum: f64 = packed_est
+            .log_prob_pairs_good(&pairs)
+            .expect("valid pairs")
+            .iter()
+            .sum();
+        assert!(sum.is_finite());
+    });
+    let streaming_mean = time_mean(3, 20, || {
+        let sum: f64 = streaming
+            .log_prob_pairs_good_at(&handles)
+            .expect("registered pairs")
+            .iter()
+            .sum();
+        assert!(sum.is_finite());
+    });
+    let scalar_mean = time_mean(1, 3, || {
+        let sum: f64 = pairs
+            .iter()
+            .map(|&(a, b)| scalar_est.log_prob_paths_good(&[a, b]).expect("valid"))
+            .sum();
+        assert!(sum.is_finite());
+    });
+
+    let speedup = scalar_mean / packed_mean;
+    println!(
+        "bench_gate: pair queries over {} pairs x {SNAPSHOTS} snapshots",
+        pairs.len()
+    );
+    println!("  packed    {:>10.1} us/iter", packed_mean * 1e6);
+    println!(
+        "  streaming {:>10.1} us/iter (O(1) per registered pair)",
+        streaming_mean * 1e6
+    );
+    println!("  scalar    {:>10.1} us/iter", scalar_mean * 1e6);
+    println!("  speedup   {speedup:>10.1}x (floor {floor}x from {baseline})");
+
+    if speedup < floor {
+        eprintln!("bench_gate: FAIL — packed/scalar speedup {speedup:.1}x is below {floor}x");
+        std::process::exit(1);
+    }
+    println!("bench_gate: OK");
+}

@@ -29,7 +29,7 @@
 use serde::{Deserialize, Serialize};
 
 use netcorr_linalg::SparseMatrix;
-use netcorr_measure::ProbabilityEstimator;
+use netcorr_measure::{ProbabilityEstimator, StreamingEstimator};
 use netcorr_topology::graph::LinkId;
 use netcorr_topology::path::PathId;
 use netcorr_topology::TopologyInstance;
@@ -106,16 +106,44 @@ impl EquationSystem {
     }
 }
 
-/// Builds the measurement equations for an instance from recorded
-/// observations.
-pub fn build_equations(
+/// The observation-independent part of an equation system: the incidence
+/// matrix, the provenance of every row, and the single paths / path pairs
+/// whose empirical probabilities form the right-hand side.
+///
+/// The structure is a pure function of the topology instance and the
+/// [`EquationConfig`] — it never looks at observations — so it can be
+/// built **once** and re-used to refresh the RHS as measurements stream
+/// in (see [`IncrementalEquationBuilder`]).
+#[derive(Debug, Clone)]
+pub struct EquationStructure {
+    matrix: SparseMatrix,
+    sources: Vec<EquationSource>,
+    /// Usable single paths, in row order (rows `0..num_single`).
+    single_paths: Vec<PathId>,
+    /// Accepted path pairs, in row order (rows `num_single..`).
+    pairs: Vec<(PathId, PathId)>,
+    covered: Vec<bool>,
+}
+
+impl EquationStructure {
+    /// Number of equations (rows) in the structure.
+    pub fn num_equations(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The accepted path pairs, in row order.
+    pub fn pairs(&self) -> &[(PathId, PathId)] {
+        &self.pairs
+    }
+}
+
+/// Builds the observation-independent equation structure for an instance.
+pub fn equation_structure(
     instance: &TopologyInstance,
-    estimator: &ProbabilityEstimator<'_>,
     config: &EquationConfig,
-) -> Result<EquationSystem, CoreError> {
+) -> Result<EquationStructure, CoreError> {
     let num_links = instance.num_links();
     let mut matrix = SparseMatrix::new(num_links);
-    let mut rhs = Vec::new();
     let mut sources = Vec::new();
     let mut covered = vec![false; num_links];
 
@@ -134,13 +162,11 @@ pub fn build_equations(
         matrix
             .push_indicator_row(&columns)
             .map_err(CoreError::Numerical)?;
-        rhs.push(estimator.log_prob_paths_good(&[path.id])?);
         sources.push(EquationSource::SinglePath(path.id));
         for &c in &columns {
             covered[c] = true;
         }
     }
-    let num_single = rhs.len();
 
     // --- Path-pair equations (Eq. 10). ---
     //
@@ -152,6 +178,7 @@ pub fn build_equations(
     // solver's independence selection then has good material to reach the
     // paper's `N1 + N2 ≈ |E|` regardless of which link the enumeration
     // started from.
+    let mut pairs: Vec<(PathId, PathId)> = Vec::new();
     let mut num_pair = 0;
     if config.use_pairs {
         let max_pairs = (config.max_pair_equations_per_link * num_links as f64).ceil() as usize;
@@ -187,10 +214,9 @@ pub fn build_equations(
         }
         // Round-robin over links: the r-th candidate of every link, then
         // the (r+1)-th, and so on. Accepted pairs are only *collected*
-        // here; their right-hand sides are fetched afterwards through the
-        // estimator's batch API, which answers every pair with one
-        // AND/popcount sweep over two packed lanes instead of a rescan of
-        // the full observation matrix per pair.
+        // here; their right-hand sides are fetched later — in one batch
+        // through the estimator's AND/popcount kernels, or in O(1) each
+        // from a streaming estimator's registered-pair accumulators.
         let mut accepted_pairs: Vec<(PathId, PathId)> = Vec::new();
         let mut seen_pairs = std::collections::BTreeSet::new();
         let max_rounds = candidates_per_link.iter().map(Vec::len).max().unwrap_or(0);
@@ -225,21 +251,138 @@ pub fn build_equations(
                 num_pair += 1;
             }
         }
-        rhs.extend(estimator.log_prob_pairs_good(&accepted_pairs)?);
+        pairs = accepted_pairs;
     }
 
-    if rhs.is_empty() {
+    if sources.is_empty() {
         return Err(CoreError::NoUsableEquations);
     }
 
-    Ok(EquationSystem {
+    Ok(EquationStructure {
         matrix,
-        rhs,
         sources,
-        num_single,
-        num_pair,
+        single_paths: usable_paths,
+        pairs,
         covered,
     })
+}
+
+/// Builds the measurement equations for an instance from recorded
+/// observations: the observation-independent [`equation_structure`] plus
+/// a right-hand side fetched through the batch estimator (singles one by
+/// one, pairs in a single AND/popcount batch).
+pub fn build_equations(
+    instance: &TopologyInstance,
+    estimator: &ProbabilityEstimator<'_>,
+    config: &EquationConfig,
+) -> Result<EquationSystem, CoreError> {
+    let structure = equation_structure(instance, config)?;
+    let mut rhs = Vec::with_capacity(structure.num_equations());
+    for &path in &structure.single_paths {
+        rhs.push(estimator.log_prob_paths_good(&[path])?);
+    }
+    rhs.extend(estimator.log_prob_pairs_good(&structure.pairs)?);
+    Ok(structure.into_system(rhs))
+}
+
+impl EquationStructure {
+    /// Assembles an [`EquationSystem`] from this structure and a
+    /// fully-populated right-hand side (one entry per row).
+    fn into_system(self, rhs: Vec<f64>) -> EquationSystem {
+        debug_assert_eq!(rhs.len(), self.sources.len());
+        let num_single = self.single_paths.len();
+        let num_pair = self.pairs.len();
+        EquationSystem {
+            matrix: self.matrix,
+            rhs,
+            sources: self.sources,
+            num_single,
+            num_pair,
+            covered: self.covered,
+        }
+    }
+}
+
+/// Incremental equation building over a [`StreamingEstimator`].
+///
+/// The builder computes the equation structure once (topology work only),
+/// registers every accepted pair with the streaming estimator, and can
+/// then refresh the right-hand side at any point of the measurement
+/// stream in `O(num_equations)` — each RHS entry is an O(1) accumulator
+/// read, with **no re-scan of the recorded lanes**
+/// ([`IncrementalEquationBuilder::rhs`]; the convenience
+/// [`IncrementalEquationBuilder::system`] additionally clones the
+/// structure to return an owned system). This is the
+/// long-running-deployment mode: push a snapshot, re-solve when desired,
+/// never re-query history.
+#[derive(Debug, Clone)]
+pub struct IncrementalEquationBuilder {
+    structure: EquationStructure,
+    /// Accumulator handles of the accepted pairs, resolved once at
+    /// registration — the RHS refresh reads them as plain array indices.
+    pair_handles: Vec<usize>,
+}
+
+impl IncrementalEquationBuilder {
+    /// Builds the equation structure for `instance` and registers every
+    /// accepted path pair with `estimator` (idempotent; pairs registered
+    /// after snapshots were already pushed are caught up with one kernel
+    /// sweep each). The returned builder holds the resolved pair handles,
+    /// so [`IncrementalEquationBuilder::system`] must be called with the
+    /// **same** estimator.
+    pub fn new(
+        instance: &TopologyInstance,
+        estimator: &mut StreamingEstimator,
+        config: &EquationConfig,
+    ) -> Result<Self, CoreError> {
+        let structure = equation_structure(instance, config)?;
+        let pair_handles = estimator
+            .register_pairs(&structure.pairs)
+            .map_err(CoreError::Measurement)?;
+        Ok(IncrementalEquationBuilder {
+            structure,
+            pair_handles,
+        })
+    }
+
+    /// The observation-independent structure.
+    pub fn structure(&self) -> &EquationStructure {
+        &self.structure
+    }
+
+    /// The right-hand side at the estimator's current snapshot count —
+    /// one O(1) accumulator read per equation, parallel to the
+    /// structure's rows. This is the true per-refresh cost: hot loops
+    /// that re-solve repeatedly should call this and reuse a previously
+    /// built [`EquationSystem`]'s matrix (or the [`EquationStructure`]),
+    /// swapping only the RHS. Fails with [`CoreError::Measurement`] if no
+    /// snapshots have been recorded yet (the RHS would be log 0
+    /// everywhere).
+    pub fn rhs(&self, estimator: &StreamingEstimator) -> Result<Vec<f64>, CoreError> {
+        let mut rhs = Vec::with_capacity(self.structure.num_equations());
+        for &path in &self.structure.single_paths {
+            rhs.push(
+                estimator
+                    .log_prob_path_good(path)
+                    .map_err(CoreError::Measurement)?,
+            );
+        }
+        rhs.extend(
+            estimator
+                .log_prob_pairs_good_at(&self.pair_handles)
+                .map_err(CoreError::Measurement)?,
+        );
+        Ok(rhs)
+    }
+
+    /// Produces a self-contained equation system at the estimator's
+    /// current snapshot count. Note this **clones the structure** (the
+    /// sparse matrix, sources and coverage) to hand out an owned
+    /// [`EquationSystem`]; per-refresh loops should prefer
+    /// [`IncrementalEquationBuilder::rhs`] and reuse the structure.
+    pub fn system(&self, estimator: &StreamingEstimator) -> Result<EquationSystem, CoreError> {
+        Ok(self.structure.clone().into_system(self.rhs(estimator)?))
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +516,64 @@ mod tests {
         };
         let system = build_equations(&inst, &est, &config).unwrap();
         assert_eq!(system.num_pair, 1);
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_at_every_prefix() {
+        use netcorr_measure::StreamingEstimator;
+
+        let inst = toy::figure_1a();
+        let config = EquationConfig::default();
+        let mut streaming = StreamingEstimator::new(3);
+        let builder = IncrementalEquationBuilder::new(&inst, &mut streaming, &config).unwrap();
+
+        // No snapshots yet: the RHS cannot be formed.
+        assert!(matches!(
+            builder.system(&streaming),
+            Err(CoreError::Measurement(_))
+        ));
+
+        let mut obs = PathObservations::new(3);
+        for i in 0..40 {
+            let snapshot = [i % 2 == 0, i % 3 == 0, i % 5 == 0];
+            streaming.push_snapshot(&snapshot).unwrap();
+            obs.record_snapshot(&snapshot).unwrap();
+            // After every push the incremental system equals the batch
+            // system built from scratch on the same prefix.
+            let incremental = builder.system(&streaming).unwrap();
+            let est = ProbabilityEstimator::new(&obs).unwrap();
+            let batch = build_equations(&inst, &est, &config).unwrap();
+            assert_eq!(incremental.rhs, batch.rhs);
+            assert_eq!(incremental.sources, batch.sources);
+            assert_eq!(incremental.num_single, batch.num_single);
+            assert_eq!(incremental.num_pair, batch.num_pair);
+            assert_eq!(incremental.covered, batch.covered);
+        }
+    }
+
+    #[test]
+    fn incremental_builder_catches_up_on_late_construction() {
+        use netcorr_measure::StreamingEstimator;
+
+        // Builder created *after* the snapshots arrived: registration
+        // performs the catch-up sweep and the system still matches batch.
+        let inst = toy::figure_1a();
+        let config = EquationConfig::default();
+        let mut streaming = StreamingEstimator::new(3);
+        for i in 0..25 {
+            streaming
+                .push_snapshot(&[i % 2 == 0, i % 3 == 0, i % 4 == 0])
+                .unwrap();
+        }
+        let builder = IncrementalEquationBuilder::new(&inst, &mut streaming, &config).unwrap();
+        let incremental = builder.system(&streaming).unwrap();
+        let est = ProbabilityEstimator::new(streaming.observations()).unwrap();
+        let batch = build_equations(&inst, &est, &config).unwrap();
+        assert_eq!(incremental.rhs, batch.rhs);
+        assert_eq!(builder.structure().pairs().len(), incremental.num_pair);
+        // The RHS-only refresh (no structure clone) matches the full
+        // system's RHS row for row.
+        assert_eq!(builder.rhs(&streaming).unwrap(), incremental.rhs);
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod solver;
 pub mod theorem;
 
 pub use algorithm::{AlgorithmConfig, CorrelationAlgorithm, IndependenceAlgorithm};
-pub use equations::{EquationConfig, EquationSource, EquationSystem};
+pub use equations::{
+    EquationConfig, EquationSource, EquationStructure, EquationSystem, IncrementalEquationBuilder,
+};
 pub use error::CoreError;
 pub use result::{Diagnostics, SolverKind, TomographyEstimate};
 pub use solver::SolverConfig;

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use netcorr_measure::{PathObservations, ProbabilityEstimator};
+use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
 use netcorr_topology::correlation::CorrelationSetId;
 use netcorr_topology::graph::LinkId;
 use netcorr_topology::path::PathId;
@@ -129,26 +129,31 @@ impl<'a> TheoremAlgorithm<'a> {
         TheoremAlgorithm { instance, config }
     }
 
+    fn check_width(&self, observed_paths: usize) -> Result<(), CoreError> {
+        if observed_paths != self.instance.num_paths() {
+            return Err(CoreError::InvalidConfig(format!(
+                "observations cover {} paths, instance has {}",
+                observed_paths,
+                self.instance.num_paths()
+            )));
+        }
+        Ok(())
+    }
+
     /// Identifies the congestion probability of every set of links from the
     /// recorded observations.
     pub fn infer(&self, observations: &PathObservations) -> Result<TheoremEstimate, CoreError> {
         self.instance.validate()?;
-        if observations.num_paths() != self.instance.num_paths() {
-            return Err(CoreError::InvalidConfig(format!(
-                "observations cover {} paths, instance has {}",
-                observations.num_paths(),
-                self.instance.num_paths()
-            )));
-        }
+        self.check_width(observations.num_paths())?;
         let estimator = ProbabilityEstimator::new(observations)?;
         let p_all_good = estimator.prob_all_paths_good();
-        if p_all_good <= 0.0 {
-            return Err(CoreError::InsufficientObservations {
-                reason: "an all-paths-good snapshot was never observed",
-            });
-        }
+        // Guarding before enumeration skips the subset enumeration and
+        // the batch row-matching pass when the error is already
+        // inevitable, and keeps the error precedence of the pre-refactor
+        // code (insufficient observations before enumeration limits).
+        Self::check_normalisable(p_all_good)?;
 
-        let mut enumeration = enumerate_subsets(self.instance, &self.config.limits)?;
+        let enumeration = enumerate_subsets(self.instance, &self.config.limits)?;
         // Measure P(ψ(S) = ψ(A)) for every correlation subset up front
         // through the estimator's batch API: all target patterns are packed
         // into word masks once and matched in a single streaming pass over
@@ -159,14 +164,75 @@ impl<'a> TheoremAlgorithm<'a> {
             .map(|s| s.coverage.clone())
             .collect();
         let batch = estimator.prob_exactly_congested_batch(&coverages)?;
-        let measured: BTreeMap<&BTreeSet<PathId>, f64> =
-            coverages.iter().zip(batch.iter().copied()).collect();
+        let measured: BTreeMap<BTreeSet<PathId>, f64> =
+            coverages.into_iter().zip(batch.iter().copied()).collect();
+        self.complete(enumeration, p_all_good, &measured)
+    }
+
+    /// Identifies the congestion probabilities from a
+    /// [`StreamingEstimator`]'s accumulators.
+    ///
+    /// Every correlation subset's coverage pattern is registered with the
+    /// estimator (idempotent; a pattern registered after snapshots were
+    /// already pushed is caught up with one kernel sweep), so the first
+    /// call may scan, but every later call — as more snapshots stream in —
+    /// reads each measurement as an O(1) counter, **never re-matching the
+    /// recorded rows**. This is how long-running deployments re-run the
+    /// exact algorithm per snapshot batch at constant incremental cost.
+    pub fn infer_streaming(
+        &self,
+        estimator: &mut StreamingEstimator,
+    ) -> Result<TheoremEstimate, CoreError> {
+        self.instance.validate()?;
+        self.check_width(estimator.num_paths())?;
+        let p_all_good = estimator
+            .prob_all_paths_good()
+            .map_err(CoreError::Measurement)?;
+        Self::check_normalisable(p_all_good)?;
+
+        let enumeration = enumerate_subsets(self.instance, &self.config.limits)?;
+        let mut measured: BTreeMap<BTreeSet<PathId>, f64> = BTreeMap::new();
+        for subset in &enumeration.subsets {
+            estimator
+                .register_pattern(&subset.coverage)
+                .map_err(CoreError::Measurement)?;
+            let p = estimator
+                .prob_exactly_congested(&subset.coverage)
+                .map_err(CoreError::Measurement)?;
+            measured.insert(subset.coverage.clone(), p);
+        }
+        self.complete(enumeration, p_all_good, &measured)
+    }
+
+    /// The congestion factors are normalised by `P(ψ(S) = ∅)`; a zero
+    /// estimate means the observations cannot support the algorithm.
+    fn check_normalisable(p_all_good: f64) -> Result<(), CoreError> {
+        if p_all_good <= 0.0 {
+            return Err(CoreError::InsufficientObservations {
+                reason: "an all-paths-good snapshot was never observed",
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared back half of the exact algorithm: identify the factors
+    /// from the measured coverage probabilities (Lemma 2), then convert
+    /// factors into probabilities (Lemma 3). Expects `p_all_good` already
+    /// validated by [`TheoremAlgorithm::check_normalisable`] at both call
+    /// sites.
+    fn complete(
+        &self,
+        mut enumeration: crate::factors::SubsetEnumeration,
+        p_all_good: f64,
+        measured: &BTreeMap<BTreeSet<PathId>, f64>,
+    ) -> Result<TheoremEstimate, CoreError> {
+        debug_assert!(p_all_good > 0.0);
         identify_factors(
             &mut enumeration,
             &self.config.limits,
             |coverage: &BTreeSet<PathId>| {
                 // identify_factors only queries coverages taken from
-                // `enumeration.subsets`, all of which were batch-measured.
+                // `enumeration.subsets`, all of which were measured above.
                 let p = measured[coverage];
                 Ok(p / p_all_good)
             },
@@ -314,6 +380,42 @@ mod tests {
                 "link {link}: exact {a}, practical {b}"
             );
         }
+    }
+
+    #[test]
+    fn streaming_inference_matches_batch_inference() {
+        let (inst, obs, _) = simulate_fig1a(0.2, 0.1, 0.1, 20_000, 5);
+        let batch = TheoremAlgorithm::new(&inst).infer(&obs).unwrap();
+        // Stream the same snapshots in and infer from the accumulators.
+        let mut streaming = StreamingEstimator::new(obs.num_paths());
+        for snapshot in obs.snapshots() {
+            streaming.push_snapshot(&snapshot).unwrap();
+        }
+        let online = TheoremAlgorithm::new(&inst)
+            .infer_streaming(&mut streaming)
+            .unwrap();
+        for link in inst.topology.link_ids() {
+            assert_eq!(
+                batch.estimate.congestion_probability(link),
+                online.estimate.congestion_probability(link),
+                "link {link}"
+            );
+        }
+        assert_eq!(batch.prob_set_all_good, online.prob_set_all_good);
+        // Push more snapshots and re-infer: the registered patterns are
+        // answered from counters, and the result tracks the longer prefix.
+        for snapshot in obs.snapshots().take(500) {
+            streaming.push_snapshot(&snapshot).unwrap();
+        }
+        let refreshed = TheoremAlgorithm::new(&inst)
+            .infer_streaming(&mut streaming)
+            .unwrap();
+        assert_eq!(streaming.num_snapshots(), 20_500);
+        assert!(refreshed
+            .estimate
+            .probabilities()
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p)));
     }
 
     #[test]

@@ -9,7 +9,14 @@
 //! --seed N                base random seed (default: 42)
 //! --out DIR               directory for CSV output (default: target/experiments)
 //! --sequential            disable trial-level parallelism
+//! --trial-threads N       max worker threads for trials (0 = one per trial)
+//! --shards N              within-trial measurement shards (0 = auto)
 //! ```
+//!
+//! The thread and shard counts can also come from the environment —
+//! `NETCORR_TRIAL_THREADS` and `NETCORR_SHARDS` — which
+//! [`CliOptions::from_env`] applies before the flags, so an explicit flag
+//! always wins over the environment.
 
 use std::path::PathBuf;
 
@@ -40,12 +47,21 @@ impl Default for CliOptions {
 
 impl CliOptions {
     /// Parses options from an argument iterator (excluding the program
-    /// name).
+    /// name), starting from the defaults.
     pub fn parse<I>(args: I) -> Result<Self, EvalError>
     where
         I: IntoIterator<Item = String>,
     {
-        let mut options = CliOptions::default();
+        Self::parse_onto(CliOptions::default(), args)
+    }
+
+    /// Parses options from an argument iterator onto already-resolved
+    /// base options (used to layer flags over environment overrides).
+    fn parse_onto<I>(base: Self, args: I) -> Result<Self, EvalError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut options = base;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -79,6 +95,16 @@ impl CliOptions {
                 "--sequential" => {
                     options.experiment.parallel = false;
                 }
+                "--trial-threads" => {
+                    options.experiment.trial_threads = parse_number(
+                        &expect_value(&mut args, "--trial-threads")?,
+                        "--trial-threads",
+                    )?;
+                }
+                "--shards" => {
+                    options.experiment.shards =
+                        parse_number(&expect_value(&mut args, "--shards")?, "--shards")?;
+                }
                 "--help" | "-h" => {
                     return Err(EvalError::InvalidScenario(usage().to_string()));
                 }
@@ -93,15 +119,36 @@ impl CliOptions {
         Ok(options)
     }
 
-    /// Parses options from the process arguments.
+    /// Applies environment-variable overrides (`NETCORR_TRIAL_THREADS`,
+    /// `NETCORR_SHARDS`) from a lookup function. Unset variables leave
+    /// the options untouched; malformed values are errors.
+    pub fn apply_env_overrides(
+        &mut self,
+        get: impl Fn(&str) -> Option<String>,
+    ) -> Result<(), EvalError> {
+        if let Some(value) = get("NETCORR_TRIAL_THREADS") {
+            self.experiment.trial_threads = parse_number(&value, "NETCORR_TRIAL_THREADS")?;
+        }
+        if let Some(value) = get("NETCORR_SHARDS") {
+            self.experiment.shards = parse_number(&value, "NETCORR_SHARDS")?;
+        }
+        Ok(())
+    }
+
+    /// Parses options from the process environment and arguments:
+    /// defaults, then `NETCORR_*` environment overrides, then flags (so
+    /// flags always win).
     pub fn from_env() -> Result<Self, EvalError> {
-        CliOptions::parse(std::env::args().skip(1))
+        let mut options = CliOptions::default();
+        options.apply_env_overrides(|key| std::env::var(key).ok())?;
+        CliOptions::parse_onto(options, std::env::args().skip(1))
     }
 }
 
 /// Usage string shown on `--help` or argument errors.
 pub fn usage() -> &'static str {
-    "usage: <binary> [--scale smoke|paper] [--trials N] [--snapshots N] [--seed N] [--out DIR] [--sequential]"
+    "usage: <binary> [--scale smoke|paper] [--trials N] [--snapshots N] [--seed N] [--out DIR] \
+     [--sequential] [--trial-threads N] [--shards N]"
 }
 
 fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, EvalError> {
@@ -146,6 +193,10 @@ mod tests {
             "--out",
             "/tmp/x",
             "--sequential",
+            "--trial-threads",
+            "4",
+            "--shards",
+            "8",
         ])
         .unwrap();
         assert_eq!(options.scale, Scale::Smoke);
@@ -154,6 +205,69 @@ mod tests {
         assert_eq!(options.experiment.base_seed, 99);
         assert_eq!(options.out_dir, PathBuf::from("/tmp/x"));
         assert!(!options.experiment.parallel);
+        assert_eq!(options.experiment.trial_threads, 4);
+        assert_eq!(options.experiment.shards, 8);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_flags_win() {
+        let env = |key: &str| match key {
+            "NETCORR_TRIAL_THREADS" => Some("3".to_string()),
+            "NETCORR_SHARDS" => Some("6".to_string()),
+            _ => None,
+        };
+        let mut options = CliOptions::default();
+        options.apply_env_overrides(env).unwrap();
+        assert_eq!(options.experiment.trial_threads, 3);
+        assert_eq!(options.experiment.shards, 6);
+        // A flag layered on top of the environment wins.
+        let options =
+            CliOptions::parse_onto(options, ["--shards".to_string(), "2".to_string()]).unwrap();
+        assert_eq!(options.experiment.shards, 2);
+        assert_eq!(options.experiment.trial_threads, 3);
+        // Malformed environment values are reported.
+        let mut bad = CliOptions::default();
+        assert!(bad
+            .apply_env_overrides(|_| Some("lots".to_string()))
+            .is_err());
+        // Unset variables leave the defaults alone.
+        let mut untouched = CliOptions::default();
+        untouched.apply_env_overrides(|_| None).unwrap();
+        assert_eq!(untouched, CliOptions::default());
+    }
+
+    #[test]
+    fn smoke_run_with_thread_and_shard_flags() {
+        // End-to-end: a tiny experiment driven entirely through the CLI
+        // surface, with explicit thread and shard counts.
+        use crate::runner::run_experiment;
+        use crate::scenario::ScenarioConfig;
+        use netcorr_topology::generators::planetlab;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let options = parse(&[
+            "--scale",
+            "smoke",
+            "--trials",
+            "2",
+            "--snapshots",
+            "150",
+            "--trial-threads",
+            "2",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        let base = planetlab::generate(
+            &planetlab::PlanetLabConfig::small(),
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let result =
+            run_experiment(&base, &ScenarioConfig::default(), &options.experiment).unwrap();
+        assert_eq!(result.trials.len(), 2);
+        assert!(!result.correlation_errors.is_empty());
     }
 
     #[test]

@@ -1,23 +1,41 @@
-//! Persistence of recorded observations in the versioned wire format.
+//! Persistence of recorded observations and simulation traces.
 //!
 //! Experiments at production scale are expensive to simulate (or, in a
 //! real deployment, to measure); persisting the [`PathObservations`] of a
 //! trial lets inference be re-run — with different algorithm
-//! configurations, or after a code change — without re-measuring. The
-//! on-disk representation is the bit-packed, path-major wire format pinned
-//! by [`netcorr_measure::observation::WIRE_FORMAT`]: roughly one bit per
-//! path × snapshot cell, ~8× smaller than the textual CSV a boolean dump
-//! would need.
+//! configurations, or after a code change — without re-measuring. Two
+//! on-disk representations are supported:
+//!
+//! * the textual, line-oriented hex format pinned by
+//!   [`netcorr_measure::observation::WIRE_FORMAT`] (`v2`) — the
+//!   debuggable variant;
+//! * the binary lane-word dump pinned by
+//!   [`netcorr_measure::observation::BINARY_MAGIC`] (`v3`) — the raw
+//!   little-endian lane words behind a fixed header, loadable into the
+//!   packed lane view without per-bit parsing (PlanetLab-scale replay
+//!   without parse cost).
+//!
+//! [`read_observations`] sniffs the leading bytes, so either format loads
+//! transparently. [`write_trace`] / [`read_trace`] additionally persist a
+//! full [`SimulationTrace`] — the observations *plus* the ground-truth
+//! per-snapshot link states (packed [`BitMatrix`]) — so separability
+//! studies can re-run inference against the truth that generated it.
 
 use std::fs;
 use std::path::Path;
 
-use netcorr_measure::PathObservations;
+use netcorr_measure::observation::BINARY_MAGIC;
+use netcorr_measure::{BitMatrix, PathObservations};
+use netcorr_sim::SimulationTrace;
 
 use crate::error::EvalError;
 
-/// Writes observations to `path` in the wire format, creating parent
-/// directories as needed.
+/// Magic bytes opening a persisted [`SimulationTrace`] (`netcorr-trace
+/// v1`): the observation binary block, then the packed link-state matrix.
+pub const TRACE_MAGIC: &[u8; 8] = b"NCTRCv1\n";
+
+/// Writes observations to `path` in the textual (`v2`) wire format,
+/// creating parent directories as needed.
 pub fn write_observations(path: &Path, observations: &PathObservations) -> Result<(), EvalError> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -26,10 +44,125 @@ pub fn write_observations(path: &Path, observations: &PathObservations) -> Resul
     Ok(())
 }
 
-/// Reads observations previously written by [`write_observations`].
+/// Writes observations to `path` in the binary (`v3`) wire format,
+/// creating parent directories as needed.
+pub fn write_observations_binary(
+    path: &Path,
+    observations: &PathObservations,
+) -> Result<(), EvalError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, observations.to_binary())?;
+    Ok(())
+}
+
+/// Reads observations previously written by [`write_observations`] or
+/// [`write_observations_binary`], sniffing the format from the leading
+/// bytes.
 pub fn read_observations(path: &Path) -> Result<PathObservations, EvalError> {
-    let text = fs::read_to_string(path)?;
+    let bytes = fs::read(path)?;
+    if bytes.starts_with(BINARY_MAGIC) {
+        return PathObservations::from_binary(&bytes).map_err(EvalError::Measurement);
+    }
+    let text = String::from_utf8(bytes).map_err(|_| {
+        EvalError::Io("observation file is neither binary v3 nor valid UTF-8 text".to_string())
+    })?;
     PathObservations::from_wire(&text).map_err(EvalError::Measurement)
+}
+
+/// Writes a full simulation trace — observations plus ground-truth link
+/// states — to `path` (`netcorr-trace v1`):
+///
+/// ```text
+/// NCTRCv1\n
+/// obs_len   u64 LE      length of the embedded v3 observation block
+/// <obs_len bytes>       PathObservations::to_binary
+/// width     u64 LE      links per snapshot
+/// rows      u64 LE      snapshots
+/// <rows × ceil(width/64) u64 LE>   packed link-state rows
+/// ```
+pub fn write_trace(path: &Path, trace: &SimulationTrace) -> Result<(), EvalError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let obs = trace.observations.to_binary();
+    let states = &trace.link_states;
+    let mut out = Vec::with_capacity(8 + 8 + obs.len() + 16 + states.words().len() * 8);
+    out.extend_from_slice(TRACE_MAGIC);
+    out.extend_from_slice(&(obs.len() as u64).to_le_bytes());
+    out.extend_from_slice(&obs);
+    out.extend_from_slice(&(states.width() as u64).to_le_bytes());
+    out.extend_from_slice(&(states.num_rows() as u64).to_le_bytes());
+    for &word in states.words() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+pub fn read_trace(path: &Path) -> Result<SimulationTrace, EvalError> {
+    let bytes = fs::read(path)?;
+    let corrupt = |reason: &str| EvalError::Io(format!("corrupt trace file: {reason}"));
+    if bytes.len() < 16 || &bytes[..8] != TRACE_MAGIC {
+        return Err(corrupt("missing NCTRCv1 header"));
+    }
+    let read_u64 = |offset: usize| -> Result<u64, EvalError> {
+        bytes
+            .get(offset..offset + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+            .ok_or_else(|| corrupt("truncated header field"))
+    };
+    let obs_len = usize::try_from(read_u64(8)?).map_err(|_| corrupt("block size overflow"))?;
+    let obs_end = 16usize
+        .checked_add(obs_len)
+        .ok_or_else(|| corrupt("block size overflow"))?;
+    let obs_bytes = bytes
+        .get(16..obs_end)
+        .ok_or_else(|| corrupt("truncated observation block"))?;
+    let observations = PathObservations::from_binary(obs_bytes).map_err(EvalError::Measurement)?;
+
+    let width = usize::try_from(read_u64(obs_end)?).map_err(|_| corrupt("width overflow"))?;
+    let rows = usize::try_from(read_u64(obs_end + 8)?).map_err(|_| corrupt("rows overflow"))?;
+    let words_per_row = netcorr_measure::bitset::words_for(width);
+    let expected = rows
+        .checked_mul(words_per_row)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| corrupt("link-state region overflow"))?;
+    let word_bytes = bytes
+        .get(obs_end + 16..)
+        .ok_or_else(|| corrupt("truncated link-state header"))?;
+    if word_bytes.len() != expected {
+        return Err(corrupt(&format!(
+            "expected {expected} link-state bytes, got {}",
+            word_bytes.len()
+        )));
+    }
+    let words: Vec<u64> = word_bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    // Validate the zero-tail invariant here so a corrupt file surfaces as
+    // an error instead of a panic inside `BitMatrix::from_words`.
+    let mask = netcorr_measure::bitset::tail_mask(width);
+    for chunk in words.chunks_exact(words_per_row) {
+        if chunk[words_per_row - 1] & !mask != 0 {
+            return Err(corrupt("link-state row has bits beyond the width"));
+        }
+    }
+    let link_states = BitMatrix::from_words(width, rows, words);
+    if link_states.num_rows() != observations.num_snapshots() {
+        return Err(corrupt(&format!(
+            "{} link-state rows for {} snapshots",
+            link_states.num_rows(),
+            observations.num_snapshots()
+        )));
+    }
+    Ok(SimulationTrace {
+        observations,
+        link_states,
+    })
 }
 
 #[cfg(test)]
@@ -63,6 +196,88 @@ mod tests {
         write_observations(&file, &obs).unwrap();
         let back = read_observations(&file).unwrap();
         assert_eq!(obs, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn fig1a_simulator() -> (
+        netcorr_topology::TopologyInstance,
+        netcorr_sim::CongestionModel,
+    ) {
+        let inst = toy::figure_1a();
+        let model = netcorr_sim::CongestionModelBuilder::new(&inst.correlation)
+            .joint_group(
+                &[
+                    netcorr_topology::graph::LinkId(0),
+                    netcorr_topology::graph::LinkId(1),
+                ],
+                0.2,
+            )
+            .independent(netcorr_topology::graph::LinkId(2), 0.1)
+            .independent(netcorr_topology::graph::LinkId(3), 0.1)
+            .build()
+            .unwrap();
+        (inst, model)
+    }
+
+    #[test]
+    fn binary_observations_round_trip_and_sniff() {
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let obs = sim.run(300, &mut StdRng::seed_from_u64(9));
+
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_binary_test");
+        let text_file = dir.join("observations.ncobs");
+        let binary_file = dir.join("observations.ncobs3");
+        write_observations(&text_file, &obs).unwrap();
+        write_observations_binary(&binary_file, &obs).unwrap();
+        // `read_observations` sniffs either format.
+        assert_eq!(read_observations(&text_file).unwrap(), obs);
+        assert_eq!(read_observations(&binary_file).unwrap(), obs);
+        // The binary file is smaller than the hex dump.
+        let text_len = std::fs::metadata(&text_file).unwrap().len();
+        let binary_len = std::fs::metadata(&binary_file).unwrap().len();
+        assert!(
+            binary_len < text_len,
+            "binary {binary_len} vs text {text_len}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traces_round_trip_through_disk() {
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let trace = sim.run_detailed_range(0..200, 11);
+
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_trace_test");
+        let file = dir.join("trial.nctrc");
+        write_trace(&file, &trace).unwrap();
+        let back = read_trace(&file).unwrap();
+        assert_eq!(back.observations, trace.observations);
+        assert_eq!(back.link_states, trace.link_states);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_traces_are_rejected() {
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_trace_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("bad.nctrc");
+        std::fs::write(&file, b"junk").unwrap();
+        assert!(read_trace(&file).is_err());
+        // Valid magic but truncated body.
+        std::fs::write(&file, b"NCTRCv1\n\x10\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        assert!(read_trace(&file).is_err());
+        // A full trace with one flipped link-state byte (tail violation).
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let trace = sim.run_detailed_range(0..10, 3);
+        write_trace(&file, &trace).unwrap();
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xff;
+        std::fs::write(&file, &bytes).unwrap();
+        assert!(read_trace(&file).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

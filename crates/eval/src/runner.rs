@@ -14,6 +14,8 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, Diagnostics, IndependenceAlgorithm};
+use netcorr_measure::bitset::WORD_BITS;
+use netcorr_measure::PathObservations;
 use netcorr_sim::{SimulationConfig, Simulator};
 use netcorr_topology::TopologyInstance;
 
@@ -37,6 +39,16 @@ pub struct ExperimentConfig {
     pub algorithm: AlgorithmConfig,
     /// Run trials on separate threads.
     pub parallel: bool,
+    /// Maximum number of worker threads for trial-level parallelism
+    /// (`0` = one thread per trial).
+    pub trial_threads: usize,
+    /// Number of within-trial measurement shards: the snapshot range of a
+    /// trial is split at word-aligned boundaries across this many scoped
+    /// threads, each simulating and packing its own lanes, merged by
+    /// word-level concatenation. Per-snapshot seeding makes the result
+    /// bit-identical for **any** shard count (`0` = auto-detect from the
+    /// available parallelism).
+    pub shards: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -48,6 +60,8 @@ impl Default for ExperimentConfig {
             simulation: SimulationConfig::default(),
             algorithm: AlgorithmConfig::default(),
             parallel: true,
+            trial_threads: 0,
+            shards: 0,
         }
     }
 }
@@ -62,8 +76,66 @@ impl ExperimentConfig {
             simulation: SimulationConfig::default(),
             algorithm: AlgorithmConfig::default(),
             parallel: false,
+            trial_threads: 0,
+            shards: 1,
         }
     }
+}
+
+/// Resolves a configured shard count: `0` means auto (the machine's
+/// available parallelism), and the count is capped at one shard per
+/// 64-snapshot word so every shard boundary except the last stays
+/// word-aligned.
+pub fn effective_shards(configured: usize, snapshots: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = if configured == 0 { auto } else { configured };
+    requested.clamp(1, snapshots.div_ceil(WORD_BITS).max(1))
+}
+
+/// Simulates `snapshots` snapshots of a trial split across `shards`
+/// scoped worker threads.
+///
+/// Every shard covers a word-aligned sub-range (a multiple of 64
+/// snapshots, except possibly the last), simulates it independently via
+/// [`Simulator::run_range`] — per-snapshot seeding makes shard boundaries
+/// invisible to the RNG — and packs its own lanes; the shards are then
+/// merged in order by word-level concatenation. The result is
+/// bit-identical to `simulator.run_seeded(snapshots, seed)` for any
+/// shard count.
+pub fn sharded_observations(
+    simulator: &Simulator<'_>,
+    snapshots: usize,
+    seed: u64,
+    shards: usize,
+) -> PathObservations {
+    let shards = shards.clamp(1, snapshots.div_ceil(WORD_BITS).max(1));
+    if shards <= 1 {
+        return simulator.run_seeded(snapshots, seed);
+    }
+    // Word-aligned shard width so the merge is a memcpy per lane.
+    let per_shard = snapshots.div_ceil(shards).next_multiple_of(WORD_BITS);
+    let ranges: Vec<std::ops::Range<usize>> = (0..shards)
+        .map(|i| (i * per_shard).min(snapshots)..((i + 1) * per_shard).min(snapshots))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut parts: Vec<Option<PathObservations>> = Vec::new();
+    parts.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, range) in parts.iter_mut().zip(&ranges) {
+            scope.spawn(move || {
+                *slot = Some(simulator.run_range(range.clone(), seed));
+            });
+        }
+    });
+    let mut merged = parts.remove(0).expect("shard 0 was simulated");
+    for part in parts {
+        merged
+            .concat(&part.expect("every shard was simulated"))
+            .expect("shards share the path count");
+    }
+    merged
 }
 
 /// The outcome of one trial.
@@ -130,8 +202,8 @@ pub fn run_trial(
 ) -> Result<TrialResult, EvalError> {
     let simulator = Simulator::new(&scenario.instance, &scenario.model, config.simulation)
         .map_err(EvalError::Simulation)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let observations = simulator.run(config.snapshots, &mut rng);
+    let shards = effective_shards(config.shards, config.snapshots);
+    let observations = sharded_observations(&simulator, config.snapshots, seed, shards);
 
     let links = potentially_congested_links(&scenario.instance, &observations);
 
@@ -165,38 +237,73 @@ pub fn run_experiment(
     }
     let builder = ScenarioBuilder::new(*scenario_config)?;
 
-    let run_one = |trial_index: usize| -> Result<TrialResult, EvalError> {
+    let parallel_trials = config.parallel && config.trials > 1;
+    // `trial_threads` caps the number of workers (0 = one per trial).
+    let workers = if !parallel_trials {
+        1
+    } else if config.trial_threads == 0 {
+        config.trials
+    } else {
+        config.trial_threads.clamp(1, config.trials)
+    };
+    // Resolve an auto shard count (0) here, where the number of
+    // concurrent trial workers is known: the shard budget is the
+    // machine's parallelism *divided across workers*, so the default
+    // never oversubscribes with workers × cores threads (a single
+    // parallel trial gets the whole machine). With `parallel` off the
+    // auto default stays 1 — `--sequential` means single-threaded unless
+    // `--shards` asks otherwise. (Shard counts never affect results,
+    // only scheduling.)
+    let mut trial_config = *config;
+    if trial_config.shards == 0 {
+        trial_config.shards = if config.parallel {
+            let available = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (available / workers).max(1)
+        } else {
+            1
+        };
+    }
+    let trial_config = &trial_config;
+
+    let run_one = move |trial_index: usize| -> Result<TrialResult, EvalError> {
         let scenario_seed = config.base_seed.wrapping_add(trial_index as u64);
         let mut scenario_rng = StdRng::seed_from_u64(scenario_seed);
         let scenario = builder.build(base, &mut scenario_rng)?;
         run_trial(
             &scenario,
-            config,
+            trial_config,
             config.base_seed.wrapping_add(1000 + trial_index as u64),
         )
     };
 
-    let trials: Vec<TrialResult> = if config.parallel && config.trials > 1 {
-        // Lock-free result collection: every thread owns exactly one
-        // disjoint `&mut` slot (handed out by `iter_mut`), so no mutex is
-        // needed and no writer can contend with another.
+    let trials: Vec<TrialResult> = if parallel_trials {
+        // Lock-free result collection: every worker owns a disjoint
+        // contiguous chunk of `&mut` slots (handed out by `chunks_mut`),
+        // so no mutex is needed and no writer can contend with another.
+        let chunk = config.trials.div_ceil(workers);
         let mut slots: Vec<Option<Result<TrialResult, EvalError>>> = Vec::new();
         slots.resize_with(config.trials, || None);
         std::thread::scope(|scope| {
-            for (trial_index, slot) in slots.iter_mut().enumerate() {
+            for (worker, worker_slots) in slots.chunks_mut(chunk).enumerate() {
                 let run_one = &run_one;
                 scope.spawn(move || {
-                    // A panicking trial must surface as an `EvalError` to the
-                    // caller, not tear down the whole experiment (scoped
-                    // threads re-raise unjoined panics on scope exit).
-                    *slot = Some(
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_one(trial_index)
-                        }))
-                        .unwrap_or_else(|_| {
-                            Err(EvalError::Io("a trial thread panicked".to_string()))
-                        }),
-                    );
+                    for (offset, slot) in worker_slots.iter_mut().enumerate() {
+                        let trial_index = worker * chunk + offset;
+                        // A panicking trial must surface as an `EvalError`
+                        // to the caller, not tear down the whole experiment
+                        // (scoped threads re-raise unjoined panics on scope
+                        // exit).
+                        *slot = Some(
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_one(trial_index)
+                            }))
+                            .unwrap_or_else(|_| {
+                                Err(EvalError::Io("a trial thread panicked".to_string()))
+                            }),
+                        );
+                    }
                 });
             }
         });
@@ -292,6 +399,69 @@ mod tests {
         let parallel = run_experiment(&base, &scenario_config, &config).unwrap();
         assert_eq!(sequential.correlation_errors, parallel.correlation_errors);
         assert_eq!(sequential.independence_errors, parallel.independence_errors);
+    }
+
+    #[test]
+    fn sharded_observations_are_bit_identical_for_any_shard_count() {
+        // The acceptance pin: shard counts 1, 2 and 7 produce the same
+        // PathObservations under the same seed, including a snapshot
+        // count that is not a multiple of the word size.
+        let base = base();
+        let scenario = ScenarioBuilder::new(ScenarioConfig::default())
+            .unwrap()
+            .build(&base, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let simulator = Simulator::new(
+            &scenario.instance,
+            &scenario.model,
+            SimulationConfig::default(),
+        )
+        .unwrap();
+        for snapshots in [400usize, 333] {
+            let reference = sharded_observations(&simulator, snapshots, 77, 1);
+            assert_eq!(reference.num_snapshots(), snapshots);
+            for shards in [2usize, 7] {
+                let sharded = sharded_observations(&simulator, snapshots, 77, shards);
+                assert_eq!(sharded, reference, "{shards} shards, {snapshots} snapshots");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_results_do_not_depend_on_shard_or_thread_count() {
+        let base = base();
+        let scenario_config = ScenarioConfig {
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let mut config = ExperimentConfig {
+            trials: 3,
+            snapshots: 200,
+            parallel: true,
+            ..ExperimentConfig::smoke()
+        };
+        config.shards = 1;
+        config.trial_threads = 0;
+        let a = run_experiment(&base, &scenario_config, &config).unwrap();
+        config.shards = 7;
+        config.trial_threads = 2;
+        let b = run_experiment(&base, &scenario_config, &config).unwrap();
+        config.shards = 0; // auto
+        config.trial_threads = 1;
+        let c = run_experiment(&base, &scenario_config, &config).unwrap();
+        assert_eq!(a.correlation_errors, b.correlation_errors);
+        assert_eq!(a.independence_errors, b.independence_errors);
+        assert_eq!(a.correlation_errors, c.correlation_errors);
+    }
+
+    #[test]
+    fn effective_shards_resolves_auto_and_caps() {
+        // Explicit counts pass through, capped at one shard per word.
+        assert_eq!(effective_shards(3, 400), 3);
+        assert_eq!(effective_shards(100, 130), 3); // ceil(130/64) = 3
+        assert_eq!(effective_shards(5, 1), 1);
+        // Auto never yields zero.
+        assert!(effective_shards(0, 4096) >= 1);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 
 use serde::{Deserialize, Serialize};
 
+#[path = "simd.rs"]
+pub mod simd;
+
 /// Number of bits per storage word.
 pub const WORD_BITS: usize = u64::BITS as usize;
 
@@ -154,7 +157,15 @@ impl BitLanes {
 
     /// Doubles the per-lane capacity, re-laying the lanes out.
     fn grow(&mut self) {
-        let new_words_per_lane = (self.words_per_lane * 2).max(1);
+        self.grow_to((self.words_per_lane * 2).max(1));
+    }
+
+    /// Grows the per-lane capacity to at least `new_words_per_lane`,
+    /// re-laying the lanes out (no-op if already large enough).
+    fn grow_to(&mut self, new_words_per_lane: usize) {
+        if new_words_per_lane <= self.words_per_lane {
+            return;
+        }
         let mut new_words = vec![0u64; self.num_lanes.max(1) * new_words_per_lane];
         for lane in 0..self.num_lanes {
             let src = lane * self.words_per_lane;
@@ -164,6 +175,79 @@ impl BitLanes {
         }
         self.words_per_lane = new_words_per_lane;
         self.words = new_words;
+    }
+
+    /// Builds a store directly from packed lane words: `num_lanes`
+    /// consecutive groups of `words_for(num_slots)` words each (the
+    /// binary wire format's layout). This is the zero-parse load path —
+    /// the words are copied into the lane layout without touching
+    /// individual bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not `num_lanes * words_for(num_slots)`
+    /// or if any bit beyond `num_slots` is set (the zero-tail invariant).
+    pub fn from_lane_words(num_lanes: usize, num_slots: usize, words: &[u64]) -> Self {
+        let used = words_for(num_slots);
+        assert_eq!(
+            words.len(),
+            num_lanes * used,
+            "expected {num_lanes} lanes x {used} words, got {} words",
+            words.len()
+        );
+        let mask = tail_mask(num_slots);
+        let mut lanes = BitLanes::with_capacity(num_lanes, num_slots.max(1));
+        for lane in 0..num_lanes {
+            let src = &words[lane * used..(lane + 1) * used];
+            if num_slots > 0 {
+                assert_eq!(
+                    src[used - 1] & !mask,
+                    0,
+                    "lane {lane} has bits set beyond slot {num_slots}"
+                );
+                lanes.words[lane * lanes.words_per_lane..lane * lanes.words_per_lane + used]
+                    .copy_from_slice(src);
+            }
+        }
+        lanes.num_slots = num_slots;
+        lanes
+    }
+
+    /// Appends every slot of `other` after this store's slots, by
+    /// word-level copy. This is the shard-merge primitive: because lanes
+    /// are packed, concatenating a shard whose start is word-aligned is a
+    /// `memcpy` per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane counts differ or if this store's slot count is
+    /// not a multiple of the word size (the shard splitter aligns every
+    /// boundary except the last, so merging in order always hits the
+    /// aligned case).
+    pub fn concat(&mut self, other: &BitLanes) {
+        assert_eq!(
+            self.num_lanes, other.num_lanes,
+            "cannot concatenate stores with different lane counts"
+        );
+        if other.num_slots == 0 {
+            return;
+        }
+        assert_eq!(
+            self.num_slots % WORD_BITS,
+            0,
+            "concat requires the left store to end on a word boundary \
+             ({} slots recorded)",
+            self.num_slots
+        );
+        let total = self.num_slots + other.num_slots;
+        self.grow_to(words_for(total));
+        let offset = self.num_slots / WORD_BITS;
+        for lane in 0..self.num_lanes {
+            let src = other.lane(lane);
+            let dst = lane * self.words_per_lane + offset;
+            self.words[dst..dst + src.len()].copy_from_slice(src);
+        }
+        self.num_slots = total;
     }
 }
 
@@ -284,6 +368,59 @@ impl BitMatrix {
         self.words.chunks_exact(self.words_per_row)
     }
 
+    /// The flat packed word buffer (`num_rows × words_per_row` words,
+    /// row-major) — the input shape of the row-matching SIMD kernels and
+    /// of the binary wire format.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a matrix directly from a packed word buffer
+    /// (`num_rows × words_for(width)` words, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match or if any row has bits
+    /// set beyond `width` (the zero-tail invariant).
+    pub fn from_words(width: usize, num_rows: usize, words: Vec<u64>) -> Self {
+        let words_per_row = words_for(width);
+        assert_eq!(
+            words.len(),
+            num_rows * words_per_row,
+            "expected {num_rows} rows x {words_per_row} words, got {} words",
+            words.len()
+        );
+        let mask = tail_mask(width);
+        for (row, chunk) in words.chunks_exact(words_per_row).enumerate() {
+            assert_eq!(
+                chunk[words_per_row - 1] & !mask,
+                0,
+                "row {row} has bits set beyond width {width}"
+            );
+        }
+        BitMatrix {
+            width,
+            words_per_row,
+            num_rows,
+            words,
+        }
+    }
+
+    /// Appends every row of `other` after this matrix's rows. Rows are
+    /// independently packed, so this is a single word-level copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn concat(&mut self, other: &BitMatrix) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot concatenate matrices with different widths"
+        );
+        self.words.extend_from_slice(&other.words);
+        self.num_rows += other.num_rows;
+    }
+
     /// Packs a row-shaped Boolean mask (e.g. an exact-congestion target)
     /// into the matrix's word layout, for word-equality comparison against
     /// [`BitMatrix::row_words`].
@@ -395,6 +532,93 @@ mod tests {
         let mut lanes = BitLanes::new(0);
         lanes.push_slot(&[]);
         assert_eq!(lanes.num_slots(), 1);
+    }
+
+    #[test]
+    fn lanes_concat_is_bit_exact_at_word_boundaries() {
+        // 128 slots (word-aligned) + 37 more, merged vs recorded in one go.
+        let bit = |slot: usize, lane: usize| (slot * 7 + lane * 3).is_multiple_of(5);
+        let mut left = BitLanes::new(3);
+        let mut right = BitLanes::new(3);
+        let mut whole = BitLanes::new(3);
+        for slot in 0..165 {
+            let row = [bit(slot, 0), bit(slot, 1), bit(slot, 2)];
+            whole.push_slot(&row);
+            if slot < 128 {
+                left.push_slot(&row);
+            } else {
+                right.push_slot(&row);
+            }
+        }
+        left.concat(&right);
+        assert_eq!(left, whole);
+        // Concatenating an empty store is a no-op.
+        left.concat(&BitLanes::new(3));
+        assert_eq!(left, whole);
+        // An empty (0-slot) left store is trivially aligned.
+        let mut empty = BitLanes::new(3);
+        empty.concat(&whole);
+        assert_eq!(empty, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "word boundary")]
+    fn lanes_concat_rejects_unaligned_prefix() {
+        let mut left = BitLanes::new(1);
+        left.push_slot(&[true]);
+        let mut right = BitLanes::new(1);
+        right.push_slot(&[false]);
+        left.concat(&right);
+    }
+
+    #[test]
+    fn lanes_round_trip_through_raw_words() {
+        let mut lanes = BitLanes::new(2);
+        for slot in 0..100 {
+            lanes.push_slot(&[slot % 3 == 0, slot % 7 == 0]);
+        }
+        let mut words = Vec::new();
+        for lane in 0..2 {
+            words.extend_from_slice(lanes.lane(lane));
+        }
+        let rebuilt = BitLanes::from_lane_words(2, 100, &words);
+        assert_eq!(rebuilt, lanes);
+        // Degenerate empty store.
+        let empty = BitLanes::from_lane_words(4, 0, &[0, 0, 0, 0]);
+        assert_eq!(empty.num_slots(), 0);
+        assert_eq!(empty.num_lanes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond slot")]
+    fn lane_words_with_tail_bits_are_rejected() {
+        BitLanes::from_lane_words(1, 3, &[0b1111]);
+    }
+
+    #[test]
+    fn matrix_concat_and_raw_words_round_trip() {
+        let mut left = BitMatrix::new(70);
+        let mut right = BitMatrix::new(70);
+        let mut whole = BitMatrix::new(70);
+        for r in 0..9 {
+            let row: Vec<bool> = (0..70).map(|c| (r * c) % 4 == 1).collect();
+            whole.push_row(&row);
+            if r < 5 {
+                left.push_row(&row);
+            } else {
+                right.push_row(&row);
+            }
+        }
+        left.concat(&right);
+        assert_eq!(left, whole);
+        let rebuilt = BitMatrix::from_words(70, 9, whole.words().to_vec());
+        assert_eq!(rebuilt, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond width")]
+    fn matrix_words_with_tail_bits_are_rejected() {
+        BitMatrix::from_words(3, 1, vec![0b11111]);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum MeasureError {
     },
     /// Serialized observations could not be parsed.
     Wire(String),
+    /// A streaming estimator was queried for a pair or pattern that was
+    /// never registered (streaming queries only cover registered
+    /// accumulators; use the batch estimator for ad-hoc queries).
+    Unregistered(String),
 }
 
 impl fmt::Display for MeasureError {
@@ -42,6 +46,9 @@ impl fmt::Display for MeasureError {
             }
             MeasureError::Wire(reason) => {
                 write!(f, "malformed observation wire data: {reason}")
+            }
+            MeasureError::Unregistered(what) => {
+                write!(f, "streaming query for unregistered {what}")
             }
         }
     }

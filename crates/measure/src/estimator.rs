@@ -35,6 +35,7 @@ use std::collections::BTreeSet;
 
 use netcorr_topology::path::PathId;
 
+use crate::bitset::simd;
 use crate::error::MeasureError;
 use crate::observation::PathObservations;
 
@@ -84,23 +85,16 @@ impl<'a> ProbabilityEstimator<'a> {
     /// Number of snapshots in which *all* the given paths were good:
     /// popcount of the AND of the complemented lanes (the tail of the last
     /// word is masked because complementing turns the zero padding into
-    /// ones).
+    /// ones). Dispatches to the SIMD kernel tier of [`simd`].
     fn all_good_count(&self, paths: &[PathId]) -> usize {
         let lanes = self.observations.lanes();
         let used = lanes.used_words();
         let mask = lanes.last_word_mask();
-        let mut count = 0usize;
-        for w in 0..used {
-            let mut acc = if w + 1 == used { mask } else { !0u64 };
-            for &p in paths {
-                acc &= !lanes.lane(p.index())[w];
-                if acc == 0 {
-                    break;
-                }
-            }
-            count += acc.count_ones() as usize;
+        if let [a, b] = paths {
+            return simd::pair_good_count(lanes.lane(a.index()), lanes.lane(b.index()), mask);
         }
-        count
+        let lane_refs: Vec<&[u64]> = paths.iter().map(|&p| lanes.lane(p.index())).collect();
+        simd::all_good_count(&lane_refs, used, mask)
     }
 
     /// Empirical `P(Y_i = 0)`: the fraction of snapshots in which `path`
@@ -133,22 +127,13 @@ impl<'a> ProbabilityEstimator<'a> {
             self.check_path(b)?;
         }
         let lanes = self.observations.lanes();
-        let used = lanes.used_words();
         let mask = lanes.last_word_mask();
         let n = self.num_snapshots() as f64;
         Ok(pairs
             .iter()
             .map(|&(a, b)| {
-                let la = lanes.lane(a.index());
-                let lb = lanes.lane(b.index());
-                let mut count = 0usize;
-                for w in 0..used {
-                    let mut acc = !la[w] & !lb[w];
-                    if w + 1 == used {
-                        acc &= mask;
-                    }
-                    count += acc.count_ones() as usize;
-                }
+                let count =
+                    simd::pair_good_count(lanes.lane(a.index()), lanes.lane(b.index()), mask);
                 count as f64 / n
             })
             .collect())
@@ -172,10 +157,7 @@ impl<'a> ProbabilityEstimator<'a> {
     /// path was good — packed snapshot rows that are all-zero words.
     pub fn prob_all_paths_good(&self) -> f64 {
         let rows = self.observations.rows();
-        let good = rows
-            .rows()
-            .filter(|row| row.iter().all(|&w| w == 0))
-            .count();
+        let good = simd::count_zero_rows(rows.words(), rows.words_per_row());
         good as f64 / self.num_snapshots() as f64
     }
 
@@ -192,7 +174,7 @@ impl<'a> ProbabilityEstimator<'a> {
         }
         let rows = self.observations.rows();
         let mask = rows.pack_mask(congested.iter().map(|p| p.index()));
-        let matches = rows.rows().filter(|row| *row == mask.as_slice()).count();
+        let matches = simd::count_equal_rows(rows.words(), rows.words_per_row(), &mask);
         Ok(matches as f64 / self.num_snapshots() as f64)
     }
 
@@ -216,13 +198,7 @@ impl<'a> ProbabilityEstimator<'a> {
             .map(|pattern| rows.pack_mask(pattern.iter().map(|p| p.index())))
             .collect();
         let mut matches = vec![0usize; patterns.len()];
-        for row in rows.rows() {
-            for (i, mask) in masks.iter().enumerate() {
-                if row == mask.as_slice() {
-                    matches[i] += 1;
-                }
-            }
-        }
+        simd::match_rows_batch(rows.words(), rows.words_per_row(), &masks, &mut matches);
         let n = self.num_snapshots() as f64;
         Ok(matches.into_iter().map(|m| m as f64 / n).collect())
     }

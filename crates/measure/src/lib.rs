@@ -17,6 +17,14 @@
 //!   are word-equality of packed rows against a packed target mask. Batch
 //!   entry points serve the equation builder and the theorem algorithm
 //!   without per-query rescans.
+//! * [`StreamingEstimator`] — the online variant: accumulators updated in
+//!   O(1) per pushed snapshot, so registered pair / pattern queries are
+//!   O(1) counter reads with no lane scan (long-running deployments
+//!   re-estimate per snapshot batch at constant incremental cost).
+//! * [`bitset::simd`] — the SIMD kernel tier behind both estimators:
+//!   AVX2 popcount / row-matching kernels with runtime feature detection
+//!   and a 4-wide unrolled portable fallback, all bit-exact against each
+//!   other and the scalar reference.
 //! * [`reference`] — the scalar (one-`bool`-per-cell) implementation kept
 //!   as the executable specification; the differential property tests
 //!   assert bit-exact agreement between it and the packed estimator.
@@ -26,15 +34,20 @@
 //! experiments.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 kernel tier in `bitset::simd` is
+// the single, explicitly allowed `unsafe` island in this crate (runtime
+// feature detection guards every `#[target_feature]` call).
+#![deny(unsafe_code)]
 
 pub mod bitset;
 pub mod error;
 pub mod estimator;
 pub mod observation;
 pub mod reference;
+pub mod streaming;
 
 pub use bitset::{BitLanes, BitMatrix};
 pub use error::MeasureError;
 pub use estimator::ProbabilityEstimator;
 pub use observation::PathObservations;
+pub use streaming::StreamingEstimator;

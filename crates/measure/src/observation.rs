@@ -7,8 +7,12 @@ use netcorr_topology::path::PathId;
 use crate::bitset::{BitLanes, BitMatrix};
 use crate::error::MeasureError;
 
-/// Version tag of the [`PathObservations`] wire format.
+/// Version tag of the [`PathObservations`] textual (debug) wire format.
 pub const WIRE_FORMAT: &str = "netcorr-path-observations v2";
+
+/// Magic bytes opening the binary wire format
+/// (`netcorr-path-observations v3`).
+pub const BINARY_MAGIC: &[u8; 8] = b"NCOBSv3\n";
 
 /// The outcome of an experiment: for every snapshot, the congestion status
 /// (`true` = congested) of every measurement path.
@@ -149,6 +153,32 @@ impl PathObservations {
             .collect()
     }
 
+    /// Appends every snapshot of `other` after this container's
+    /// snapshots — the shard-merge operation. When this container ends on
+    /// a word boundary (the shard splitter guarantees it for every
+    /// boundary but the last), both packed views are merged by word-level
+    /// copies; otherwise the snapshots are replayed bit by bit.
+    pub fn concat(&mut self, other: &PathObservations) -> Result<(), MeasureError> {
+        if other.num_paths != self.num_paths {
+            return Err(MeasureError::WrongSnapshotWidth {
+                expected: self.num_paths,
+                actual: other.num_paths,
+            });
+        }
+        if self
+            .num_snapshots()
+            .is_multiple_of(crate::bitset::WORD_BITS)
+        {
+            self.lanes.concat(&other.lanes);
+            self.rows.concat(&other.rows);
+        } else {
+            for snapshot in other.snapshots() {
+                self.record_snapshot(&snapshot)?;
+            }
+        }
+        Ok(())
+    }
+
     /// The path-major packed lanes (one `u64` slice per path; bits beyond
     /// the recorded snapshots are zero).
     pub fn lanes(&self) -> &BitLanes {
@@ -263,16 +293,125 @@ impl PathObservations {
             )));
         }
 
-        // Rebuild both packed views snapshot by snapshot.
-        let mut obs = PathObservations::with_capacity(num_paths, num_snapshots);
+        let words: Vec<u64> = all_lanes.into_iter().flatten().collect();
+        Self::from_lane_word_data(num_paths, num_snapshots, &words)
+    }
+
+    /// Builds a container from validated lane words (`num_paths`
+    /// consecutive groups of `⌈num_snapshots/64⌉` words): the lane view is
+    /// loaded by word-level copy, the snapshot-major row view is rebuilt
+    /// by transposition.
+    fn from_lane_word_data(
+        num_paths: usize,
+        num_snapshots: usize,
+        words: &[u64],
+    ) -> Result<Self, MeasureError> {
+        if num_snapshots == 0 {
+            if !words.is_empty() {
+                return Err(MeasureError::Wire(format!(
+                    "{} lane words for an empty container",
+                    words.len()
+                )));
+            }
+            return Ok(PathObservations::new(num_paths));
+        }
+        let used = num_snapshots.div_ceil(crate::bitset::WORD_BITS);
+        if words.len() != num_paths * used {
+            return Err(MeasureError::Wire(format!(
+                "expected {num_paths} lanes x {used} words, got {} words",
+                words.len()
+            )));
+        }
+        let mask = crate::bitset::tail_mask(num_snapshots);
+        for (path, lane) in words.chunks_exact(used).enumerate() {
+            if lane[used - 1] & !mask != 0 {
+                return Err(MeasureError::Wire(format!(
+                    "lane {path} has bits set beyond snapshot {num_snapshots}"
+                )));
+            }
+        }
+        let lanes = BitLanes::from_lane_words(num_paths, num_snapshots, words);
+        let mut rows = BitMatrix::with_capacity(num_paths, num_snapshots);
         let mut snapshot = vec![false; num_paths];
         for s in 0..num_snapshots {
-            for (p, lane) in all_lanes.iter().enumerate() {
-                snapshot[p] = lane[s / 64] >> (s % 64) & 1 == 1;
+            for (p, bit) in snapshot.iter_mut().enumerate() {
+                *bit = lanes.get(p, s);
             }
-            obs.record_snapshot(&snapshot)?;
+            rows.push_row(&snapshot);
         }
-        Ok(obs)
+        Ok(PathObservations {
+            num_paths,
+            lanes,
+            rows,
+        })
+    }
+
+    /// Serializes the observations into the binary wire format
+    /// (`netcorr-path-observations v3`): a fixed 24-byte header —
+    /// [`BINARY_MAGIC`], then `num_paths` and `num_snapshots` as
+    /// little-endian `u64` — followed by the raw lane words
+    /// (`⌈num_snapshots/64⌉` little-endian `u64`s per path, path-major).
+    ///
+    /// The payload is exactly the in-memory lane layout, so loading needs
+    /// no per-bit parsing (and the format is mmap-friendly: the word
+    /// region can be mapped and handed to
+    /// [`BitLanes::from_lane_words`] directly). The textual
+    /// [`PathObservations::to_wire`] format stays as the debuggable
+    /// variant.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let used = self.num_snapshots().div_ceil(crate::bitset::WORD_BITS);
+        let mut out = Vec::with_capacity(24 + self.num_paths * used * 8);
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(&(self.num_paths as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_snapshots() as u64).to_le_bytes());
+        for path in 0..self.num_paths {
+            for &word in &self.lanes.lane(path)[..used] {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the binary wire format produced by
+    /// [`PathObservations::to_binary`]. The lane words are copied straight
+    /// into the packed lane view; only the redundant row view is rebuilt.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, MeasureError> {
+        if bytes.len() < 24 {
+            return Err(MeasureError::Wire(format!(
+                "binary observations need a 24-byte header, got {} bytes",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != BINARY_MAGIC {
+            return Err(MeasureError::Wire(format!(
+                "bad magic {:?} (expected {BINARY_MAGIC:?})",
+                &bytes[..8]
+            )));
+        }
+        let read_u64 =
+            |offset: usize| u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
+        let num_paths = usize::try_from(read_u64(8))
+            .map_err(|_| MeasureError::Wire("path count overflows usize".to_string()))?;
+        let num_snapshots = usize::try_from(read_u64(16))
+            .map_err(|_| MeasureError::Wire("snapshot count overflows usize".to_string()))?;
+        let used = num_snapshots.div_ceil(crate::bitset::WORD_BITS);
+        let expected = 24
+            + num_paths
+                .checked_mul(used)
+                .and_then(|w| w.checked_mul(8))
+                .ok_or_else(|| MeasureError::Wire("lane region size overflows".to_string()))?;
+        if bytes.len() != expected {
+            return Err(MeasureError::Wire(format!(
+                "expected {expected} bytes for {num_paths} paths x {num_snapshots} snapshots, \
+                 got {}",
+                bytes.len()
+            )));
+        }
+        let words: Vec<u64> = bytes[24..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Self::from_lane_word_data(num_paths, num_snapshots, &words)
     }
 }
 
@@ -402,6 +541,37 @@ mod tests {
         assert_eq!(a, b);
         b.record_snapshot(&[true, true]).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concat_matches_sequential_recording() {
+        let bit = |s: usize, p: usize| (s * 3 + p * 7).is_multiple_of(4);
+        // Split points: word-aligned (128) and unaligned (65).
+        for split in [128usize, 65] {
+            let mut left = PathObservations::new(2);
+            let mut right = PathObservations::new(2);
+            let mut whole = PathObservations::new(2);
+            for s in 0..200 {
+                let row = [bit(s, 0), bit(s, 1)];
+                whole.record_snapshot(&row).unwrap();
+                if s < split {
+                    left.record_snapshot(&row).unwrap();
+                } else {
+                    right.record_snapshot(&row).unwrap();
+                }
+            }
+            left.concat(&right).unwrap();
+            assert_eq!(left, whole);
+            // Both packed views stay in sync.
+            for s in 0..200 {
+                for p in 0..2 {
+                    assert_eq!(left.lanes().get(p, s), whole.rows().get(s, p));
+                }
+            }
+        }
+        // Width mismatch is rejected.
+        let mut a = PathObservations::new(2);
+        assert!(a.concat(&PathObservations::new(3)).is_err());
     }
 
     #[test]

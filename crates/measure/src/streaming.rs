@@ -1,0 +1,547 @@
+//! Streaming (online) probability estimation with O(1) queries.
+//!
+//! [`crate::ProbabilityEstimator`] answers every query by scanning packed
+//! lanes or rows — cheap (64 snapshots per word), but still linear in the
+//! experiment length, and long-running deployments re-pay that scan on
+//! every re-estimation. [`StreamingEstimator`] instead maintains
+//! *accumulators* that are updated as each snapshot arrives:
+//!
+//! * a per-path congested-count (for `P(Y_i = 0)` / `P(Y_i = 1)`);
+//! * a both-good count per **registered pair** (for `P(Y_i = 0, Y_j = 0)`,
+//!   the equation builder's RHS);
+//! * an all-good count (for `P(ψ(S) = ∅)`);
+//! * a match count per **registered exact pattern** (for
+//!   `P(ψ(S) = ψ(A))`, the theorem algorithm's measurements).
+//!
+//! Registration declares *which* pairs and patterns the caller will query
+//! — for tomography these are known from the topology alone (usable pairs
+//! from the correlation partition, coverages from the subset enumeration),
+//! so they can be registered before the first snapshot arrives. Each
+//! [`StreamingEstimator::push_snapshot`] then costs
+//! `O(paths + pairs + patterns · ⌈paths/64⌉)` — every accumulator is
+//! updated in O(1) (patterns in O(words-per-row), one packed-row compare)
+//! — and every registered query is an O(1) counter read, **no lane scan**.
+//! Registering after snapshots have already been recorded is allowed and
+//! performs a one-time catch-up scan through the SIMD kernels, so
+//! registration order never changes results.
+//!
+//! The estimator also keeps the full bit-packed [`PathObservations`]
+//! store, so ad-hoc queries outside the registered set can always fall
+//! back to the batch estimator ([`StreamingEstimator::batch`]), and the
+//! differential suite can assert that streaming and batch answers are
+//! bit-exact (both sides count integers and divide by the same `N`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netcorr_topology::path::PathId;
+
+use crate::bitset::simd;
+use crate::error::MeasureError;
+use crate::estimator::ProbabilityEstimator;
+use crate::observation::PathObservations;
+
+/// Normalized pair key: the two path ids in increasing order.
+fn pair_key(a: PathId, b: PathId) -> (PathId, PathId) {
+    (a.min(b), a.max(b))
+}
+
+/// Online estimator over a growing observation store: O(1) registered
+/// queries, O(1)-per-accumulator updates per pushed snapshot.
+#[derive(Debug, Clone)]
+pub struct StreamingEstimator {
+    observations: PathObservations,
+    /// Per-path congested-snapshot counts.
+    congested: Vec<u64>,
+    /// Registered pairs, normalized, in handle order (parallel to
+    /// `pair_good`; the per-push update streams this dense array, not the
+    /// map).
+    pairs: Vec<(PathId, PathId)>,
+    /// Key → handle lookup for the keyed query API and dedup.
+    pair_index: BTreeMap<(PathId, PathId), usize>,
+    /// Per-registered-pair both-good counts, indexed by handle.
+    pair_good: Vec<u64>,
+    /// Snapshots in which every path was good.
+    all_good: u64,
+    /// Registered exact patterns with their packed row masks.
+    pattern_index: BTreeMap<BTreeSet<PathId>, usize>,
+    pattern_masks: Vec<Vec<u64>>,
+    /// Per-registered-pattern exact-match counts.
+    pattern_matches: Vec<u64>,
+}
+
+impl StreamingEstimator {
+    /// Creates an empty streaming estimator for `num_paths` paths.
+    pub fn new(num_paths: usize) -> Self {
+        Self::with_capacity(num_paths, 0)
+    }
+
+    /// Creates an empty streaming estimator with room for `snapshots`
+    /// snapshots pre-allocated.
+    pub fn with_capacity(num_paths: usize, snapshots: usize) -> Self {
+        StreamingEstimator {
+            observations: PathObservations::with_capacity(num_paths, snapshots),
+            congested: vec![0; num_paths],
+            pairs: Vec::new(),
+            pair_index: BTreeMap::new(),
+            pair_good: Vec::new(),
+            all_good: 0,
+            pattern_index: BTreeMap::new(),
+            pattern_masks: Vec::new(),
+            pattern_matches: Vec::new(),
+        }
+    }
+
+    /// Wraps an already-recorded observation store, initialising the
+    /// path-level accumulators from its lanes (one popcount per lane).
+    pub fn from_observations(observations: PathObservations) -> Self {
+        let congested: Vec<u64> = (0..observations.num_paths())
+            .map(|p| observations.lanes().count_ones(p) as u64)
+            .collect();
+        let rows = observations.rows();
+        let all_good = simd::count_zero_rows(rows.words(), rows.words_per_row()) as u64;
+        StreamingEstimator {
+            congested,
+            all_good,
+            observations,
+            pairs: Vec::new(),
+            pair_index: BTreeMap::new(),
+            pair_good: Vec::new(),
+            pattern_index: BTreeMap::new(),
+            pattern_masks: Vec::new(),
+            pattern_matches: Vec::new(),
+        }
+    }
+
+    /// Number of paths per snapshot.
+    pub fn num_paths(&self) -> usize {
+        self.observations.num_paths()
+    }
+
+    /// Number of snapshots recorded so far.
+    pub fn num_snapshots(&self) -> usize {
+        self.observations.num_snapshots()
+    }
+
+    /// Returns `true` if no snapshots have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The underlying bit-packed observation store.
+    pub fn observations(&self) -> &PathObservations {
+        &self.observations
+    }
+
+    /// Consumes the estimator, returning the observation store.
+    pub fn into_observations(self) -> PathObservations {
+        self.observations
+    }
+
+    /// A batch estimator over the same observations, for ad-hoc queries
+    /// outside the registered set.
+    pub fn batch(&self) -> Result<ProbabilityEstimator<'_>, MeasureError> {
+        ProbabilityEstimator::new(&self.observations)
+    }
+
+    /// The registered pairs, in registration-independent normalized order.
+    pub fn registered_pairs(&self) -> impl Iterator<Item = (PathId, PathId)> + '_ {
+        self.pair_index.keys().copied()
+    }
+
+    /// Number of registered pairs.
+    pub fn num_registered_pairs(&self) -> usize {
+        self.pair_good.len()
+    }
+
+    /// Number of registered exact patterns.
+    pub fn num_registered_patterns(&self) -> usize {
+        self.pattern_matches.len()
+    }
+
+    fn check_path(&self, path: PathId) -> Result<(), MeasureError> {
+        if path.index() >= self.num_paths() {
+            return Err(MeasureError::UnknownPath {
+                index: path.index(),
+                num_paths: self.num_paths(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Registers the pair `(a, b)` for O(1) both-good queries and returns
+    /// its **handle** — a dense index whose accumulator can be read
+    /// without any map lookup ([`StreamingEstimator::prob_pair_good_at`]).
+    /// Idempotent; the pair is normalized, so `(a, b)` and `(b, a)` return
+    /// the same handle. If snapshots were already recorded, the
+    /// accumulator is initialised with one catch-up kernel sweep over the
+    /// two lanes.
+    pub fn register_pair(&mut self, a: PathId, b: PathId) -> Result<usize, MeasureError> {
+        self.check_path(a)?;
+        self.check_path(b)?;
+        let key = pair_key(a, b);
+        if let Some(&handle) = self.pair_index.get(&key) {
+            return Ok(handle);
+        }
+        let lanes = self.observations.lanes();
+        let count = if self.is_empty() {
+            0
+        } else {
+            simd::pair_good_count(
+                lanes.lane(key.0.index()),
+                lanes.lane(key.1.index()),
+                lanes.last_word_mask(),
+            ) as u64
+        };
+        let handle = self.pair_good.len();
+        self.pair_index.insert(key, handle);
+        self.pairs.push(key);
+        self.pair_good.push(count);
+        Ok(handle)
+    }
+
+    /// Registers every pair in `pairs`, returning one handle per input
+    /// pair (see [`StreamingEstimator::register_pair`]).
+    pub fn register_pairs(
+        &mut self,
+        pairs: &[(PathId, PathId)],
+    ) -> Result<Vec<usize>, MeasureError> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.register_pair(a, b))
+            .collect()
+    }
+
+    /// The handle of an already-registered pair, if any.
+    pub fn pair_handle(&self, a: PathId, b: PathId) -> Option<usize> {
+        self.pair_index.get(&pair_key(a, b)).copied()
+    }
+
+    /// Registers an exact congestion pattern for O(1)
+    /// `P(ψ(S) = ψ(A))` queries. Idempotent. If snapshots were already
+    /// recorded, the match count is initialised with one catch-up kernel
+    /// sweep over the packed rows.
+    pub fn register_pattern(&mut self, pattern: &BTreeSet<PathId>) -> Result<(), MeasureError> {
+        for &p in pattern {
+            self.check_path(p)?;
+        }
+        if self.pattern_index.contains_key(pattern) {
+            return Ok(());
+        }
+        let rows = self.observations.rows();
+        let mask = rows.pack_mask(pattern.iter().map(|p| p.index()));
+        let count = simd::count_equal_rows(rows.words(), rows.words_per_row(), &mask) as u64;
+        self.pattern_index
+            .insert(pattern.clone(), self.pattern_matches.len());
+        self.pattern_masks.push(mask);
+        self.pattern_matches.push(count);
+        Ok(())
+    }
+
+    /// Records one snapshot and updates every accumulator:
+    /// `O(paths)` for the store and the marginals, O(1) per registered
+    /// pair, and one packed-row compare per registered pattern.
+    pub fn push_snapshot(&mut self, congested: &[bool]) -> Result<(), MeasureError> {
+        self.observations.record_snapshot(congested)?;
+        let mut any = false;
+        for (count, &c) in self.congested.iter_mut().zip(congested) {
+            *count += c as u64;
+            any |= c;
+        }
+        self.all_good += !any as u64;
+        for (&(a, b), count) in self.pairs.iter().zip(&mut self.pair_good) {
+            *count += (!congested[a.index()] && !congested[b.index()]) as u64;
+        }
+        if !self.pattern_masks.is_empty() {
+            let rows = self.observations.rows();
+            let row = rows.row_words(rows.num_rows() - 1);
+            for (mask, count) in self.pattern_masks.iter().zip(&mut self.pattern_matches) {
+                if row == mask.as_slice() {
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn require_snapshots(&self) -> Result<f64, MeasureError> {
+        if self.is_empty() {
+            return Err(MeasureError::NoSnapshots);
+        }
+        Ok(self.num_snapshots() as f64)
+    }
+
+    /// The probability floor used when clamping zero frequencies before
+    /// taking logarithms: `1 / (2 N)` (matches the batch estimator).
+    pub fn probability_floor(&self) -> f64 {
+        1.0 / (2.0 * self.num_snapshots() as f64)
+    }
+
+    /// Empirical `P(Y_i = 1)` — O(1).
+    pub fn prob_path_congested(&self, path: PathId) -> Result<f64, MeasureError> {
+        let n = self.require_snapshots()?;
+        self.check_path(path)?;
+        Ok(self.congested[path.index()] as f64 / n)
+    }
+
+    /// Empirical `P(Y_i = 0)` — O(1).
+    pub fn prob_path_good(&self, path: PathId) -> Result<f64, MeasureError> {
+        Ok(1.0 - self.prob_path_congested(path)?)
+    }
+
+    /// Clamped `log P(Y_i = 0)` — O(1), **bit-exact** with
+    /// [`ProbabilityEstimator::log_prob_paths_good`] on a single path:
+    /// the good count is formed as an integer (`N − congested`) before
+    /// dividing, exactly as the batch popcount path does (`1.0 − c/N`
+    /// can differ in the last ULP).
+    pub fn log_prob_path_good(&self, path: PathId) -> Result<f64, MeasureError> {
+        let n = self.require_snapshots()?;
+        self.check_path(path)?;
+        let good = self.num_snapshots() as u64 - self.congested[path.index()];
+        let p = good as f64 / n;
+        Ok(p.max(self.probability_floor()).ln())
+    }
+
+    /// Empirical `P(Y_i = 0, Y_j = 0)` for a **registered** pair — O(1),
+    /// no lane scan.
+    pub fn prob_pair_good(&self, a: PathId, b: PathId) -> Result<f64, MeasureError> {
+        let n = self.require_snapshots()?;
+        let slot = self
+            .pair_index
+            .get(&pair_key(a, b))
+            .ok_or_else(|| MeasureError::Unregistered(format!("pair ({a:?}, {b:?})")))?;
+        Ok(self.pair_good[*slot] as f64 / n)
+    }
+
+    /// Empirical `P(Y_i = 0, Y_j = 0)` by pair **handle** — a bounds
+    /// check and an array read, no map lookup. This is the true O(1)
+    /// query path for hot loops that resolved their handles at
+    /// registration time.
+    pub fn prob_pair_good_at(&self, handle: usize) -> Result<f64, MeasureError> {
+        let n = self.require_snapshots()?;
+        let count = self
+            .pair_good
+            .get(handle)
+            .ok_or_else(|| MeasureError::Unregistered(format!("pair handle {handle}")))?;
+        Ok(*count as f64 / n)
+    }
+
+    /// Batch form of [`StreamingEstimator::prob_pair_good`] over
+    /// registered pairs.
+    pub fn prob_pairs_good(&self, pairs: &[(PathId, PathId)]) -> Result<Vec<f64>, MeasureError> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.prob_pair_good(a, b))
+            .collect()
+    }
+
+    /// Clamped `log P(Y_i = 0, Y_j = 0)` per pair handle (the hot batch
+    /// path of the incremental equation builder: one array read and one
+    /// `ln` per equation).
+    pub fn log_prob_pairs_good_at(&self, handles: &[usize]) -> Result<Vec<f64>, MeasureError> {
+        let n = self.require_snapshots()?;
+        let floor = self.probability_floor();
+        handles
+            .iter()
+            .map(|&handle| {
+                let count = self
+                    .pair_good
+                    .get(handle)
+                    .ok_or_else(|| MeasureError::Unregistered(format!("pair handle {handle}")))?;
+                Ok((*count as f64 / n).max(floor).ln())
+            })
+            .collect()
+    }
+
+    /// Clamped `log P(Y_i = 0, Y_j = 0)` per registered pair (matches
+    /// [`ProbabilityEstimator::log_prob_pairs_good`]).
+    pub fn log_prob_pairs_good(
+        &self,
+        pairs: &[(PathId, PathId)],
+    ) -> Result<Vec<f64>, MeasureError> {
+        let floor = self.probability_floor();
+        Ok(self
+            .prob_pairs_good(pairs)?
+            .into_iter()
+            .map(|p| p.max(floor).ln())
+            .collect())
+    }
+
+    /// Empirical `P(ψ(S) = ∅)` — O(1).
+    pub fn prob_all_paths_good(&self) -> Result<f64, MeasureError> {
+        let n = self.require_snapshots()?;
+        Ok(self.all_good as f64 / n)
+    }
+
+    /// Empirical `P(ψ(S) = ψ(A))` for a **registered** pattern — O(1),
+    /// no row scan.
+    pub fn prob_exactly_congested(&self, pattern: &BTreeSet<PathId>) -> Result<f64, MeasureError> {
+        let n = self.require_snapshots()?;
+        let slot = self
+            .pattern_index
+            .get(pattern)
+            .ok_or_else(|| MeasureError::Unregistered(format!("pattern {pattern:?}")))?;
+        Ok(self.pattern_matches[*slot] as f64 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshots() -> Vec<[bool; 3]> {
+        vec![
+            [false, false, false],
+            [true, false, false],
+            [true, true, false],
+            [false, false, false],
+            [false, true, false],
+            [true, true, false],
+            [false, false, false],
+            [false, false, true],
+        ]
+    }
+
+    fn streamed() -> StreamingEstimator {
+        let mut est = StreamingEstimator::new(3);
+        est.register_pair(PathId(0), PathId(1)).unwrap();
+        est.register_pattern(&BTreeSet::from([PathId(0), PathId(1)]))
+            .unwrap();
+        for s in snapshots() {
+            est.push_snapshot(&s).unwrap();
+        }
+        est
+    }
+
+    #[test]
+    fn accumulators_match_the_batch_estimator() {
+        let est = streamed();
+        let batch = est.batch().unwrap();
+        assert_eq!(est.num_snapshots(), 8);
+        for p in 0..3 {
+            assert_eq!(
+                est.prob_path_good(PathId(p)).unwrap(),
+                batch.prob_path_good(PathId(p)).unwrap()
+            );
+        }
+        assert_eq!(
+            est.prob_pair_good(PathId(0), PathId(1)).unwrap(),
+            batch.prob_paths_good(&[PathId(0), PathId(1)]).unwrap()
+        );
+        assert_eq!(
+            est.prob_all_paths_good().unwrap(),
+            batch.prob_all_paths_good()
+        );
+        let pattern = BTreeSet::from([PathId(0), PathId(1)]);
+        assert_eq!(
+            est.prob_exactly_congested(&pattern).unwrap(),
+            batch.prob_exactly_congested(&pattern).unwrap()
+        );
+    }
+
+    #[test]
+    fn late_registration_catches_up() {
+        // Register after every snapshot has already been pushed: the
+        // catch-up scan must produce the same counts as live updates.
+        let live = streamed();
+        let mut late = StreamingEstimator::new(3);
+        for s in snapshots() {
+            late.push_snapshot(&s).unwrap();
+        }
+        late.register_pair(PathId(1), PathId(0)).unwrap(); // reversed order
+        late.register_pattern(&BTreeSet::from([PathId(0), PathId(1)]))
+            .unwrap();
+        assert_eq!(
+            live.prob_pair_good(PathId(0), PathId(1)).unwrap(),
+            late.prob_pair_good(PathId(0), PathId(1)).unwrap()
+        );
+        let pattern = BTreeSet::from([PathId(0), PathId(1)]);
+        assert_eq!(
+            live.prob_exactly_congested(&pattern).unwrap(),
+            late.prob_exactly_congested(&pattern).unwrap()
+        );
+        // Registration is idempotent and returns the same handle.
+        let first = late.pair_handle(PathId(0), PathId(1)).unwrap();
+        assert_eq!(late.register_pair(PathId(0), PathId(1)).unwrap(), first);
+        assert_eq!(late.num_registered_pairs(), 1);
+    }
+
+    #[test]
+    fn handle_queries_match_keyed_queries() {
+        let mut est = StreamingEstimator::new(3);
+        let h01 = est.register_pair(PathId(0), PathId(1)).unwrap();
+        let h12 = est.register_pair(PathId(2), PathId(1)).unwrap();
+        for s in snapshots() {
+            est.push_snapshot(&s).unwrap();
+        }
+        assert_eq!(
+            est.prob_pair_good_at(h01).unwrap(),
+            est.prob_pair_good(PathId(0), PathId(1)).unwrap()
+        );
+        assert_eq!(
+            est.prob_pair_good_at(h12).unwrap(),
+            est.prob_pair_good(PathId(1), PathId(2)).unwrap()
+        );
+        assert_eq!(
+            est.log_prob_pairs_good_at(&[h01, h12]).unwrap(),
+            est.log_prob_pairs_good(&[(PathId(0), PathId(1)), (PathId(1), PathId(2))])
+                .unwrap()
+        );
+        assert!(matches!(
+            est.prob_pair_good_at(99),
+            Err(MeasureError::Unregistered(_))
+        ));
+        assert_eq!(est.pair_handle(PathId(0), PathId(2)), None);
+    }
+
+    #[test]
+    fn from_observations_seeds_path_accumulators() {
+        let mut obs = PathObservations::new(3);
+        for s in snapshots() {
+            obs.record_snapshot(&s).unwrap();
+        }
+        let mut est = StreamingEstimator::from_observations(obs);
+        assert_eq!(est.prob_path_congested(PathId(0)).unwrap(), 3.0 / 8.0);
+        assert_eq!(est.prob_all_paths_good().unwrap(), 3.0 / 8.0);
+        // Continues to stream.
+        est.push_snapshot(&[false, false, false]).unwrap();
+        assert_eq!(est.prob_all_paths_good().unwrap(), 4.0 / 9.0);
+    }
+
+    #[test]
+    fn unregistered_queries_and_errors() {
+        let est = streamed();
+        assert!(matches!(
+            est.prob_pair_good(PathId(0), PathId(2)),
+            Err(MeasureError::Unregistered(_))
+        ));
+        assert!(matches!(
+            est.prob_exactly_congested(&BTreeSet::new()),
+            Err(MeasureError::Unregistered(_))
+        ));
+        assert!(est.prob_path_congested(PathId(9)).is_err());
+        let empty = StreamingEstimator::new(2);
+        assert_eq!(empty.prob_all_paths_good(), Err(MeasureError::NoSnapshots));
+        let mut bad = StreamingEstimator::new(2);
+        assert!(bad.register_pair(PathId(0), PathId(5)).is_err());
+        assert!(bad.push_snapshot(&[true]).is_err());
+    }
+
+    #[test]
+    fn log_probabilities_match_batch_clamping() {
+        let mut est = StreamingEstimator::new(2);
+        est.register_pair(PathId(0), PathId(1)).unwrap();
+        for _ in 0..10 {
+            est.push_snapshot(&[true, false]).unwrap();
+        }
+        let batch = est.batch().unwrap();
+        let pairs = [(PathId(0), PathId(1))];
+        assert_eq!(
+            est.log_prob_pairs_good(&pairs).unwrap(),
+            batch.log_prob_pairs_good(&pairs).unwrap()
+        );
+        assert_eq!(
+            est.log_prob_path_good(PathId(0)).unwrap(),
+            batch.log_prob_paths_good(&[PathId(0)]).unwrap()
+        );
+    }
+}

@@ -1,6 +1,14 @@
-//! Differential property tests: the bit-packed estimator must agree
-//! **bit-exactly** with the scalar reference implementation on random
-//! observation matrices, for all four query families:
+//! Differential property tests over the estimator implementations:
+//!
+//! * the bit-packed estimator must agree **bit-exactly** with the scalar
+//!   reference implementation on random observation matrices;
+//! * the three SIMD kernel tiers (AVX2 / 4-wide portable / dispatcher)
+//!   must agree bit-exactly with each other and with scalar counting;
+//! * the [`StreamingEstimator`]'s accumulators must agree bit-exactly
+//!   with the batch estimator at **every prefix** of an interleaved
+//!   push/query sequence.
+//!
+//! All of the above cover the four query families:
 //!
 //! 1. single-path marginals `P(Y_i = 0)` / `P(Y_i = 1)`;
 //! 2. joint goodness `P(Y_{i1} = 0, ..., Y_{ik} = 0)` (including the
@@ -9,13 +17,14 @@
 //! 4. exact congestion patterns `P(ψ(S) = ψ(A))` (including the batch
 //!    API).
 //!
-//! Both implementations compute `count / num_snapshots` with integer
+//! Every implementation computes `count / num_snapshots` with integer
 //! counts, so the assertions use `==`, not an epsilon.
 
 use std::collections::BTreeSet;
 
+use netcorr_measure::bitset::simd;
 use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
-use netcorr_measure::{PathObservations, ProbabilityEstimator};
+use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
 use netcorr_topology::path::PathId;
 use proptest::prelude::*;
 
@@ -148,6 +157,172 @@ proptest! {
             prop_assert_eq!(packed_est.prob_exactly_congested(pattern).unwrap(), expected);
             prop_assert_eq!(batch[i], expected);
         }
+    }
+
+    #[test]
+    fn simd_portable_and_scalar_kernels_agree(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+        selector in 0u64..u64::MAX,
+    ) {
+        let (packed, _) = build_both(paths, snapshots, &cells);
+        let lanes = packed.lanes();
+        let used = lanes.used_words();
+        let tail = lanes.last_word_mask();
+        let cell = |s: usize, p: usize| cells[s * paths + p];
+
+        // Family 2: pair-good kernel, every pair, all three tiers against
+        // a scalar count over the raw cells.
+        for a in 0..paths {
+            for b in a..paths {
+                let expected = (0..snapshots).filter(|&s| !cell(s, a) && !cell(s, b)).count();
+                let la = lanes.lane(a);
+                let lb = lanes.lane(b);
+                prop_assert_eq!(simd::pair_good_count(la, lb, tail), expected);
+                prop_assert_eq!(simd::pair_good_count_portable(la, lb, tail), expected);
+                if let Some(avx2) = simd::pair_good_count_avx2(la, lb, tail) {
+                    prop_assert_eq!(avx2, expected);
+                }
+            }
+        }
+
+        // Families 1–3: the k-lane all-good kernel on the selected subset
+        // of paths (k = 0 is the vacuous count, k = 1 the marginal).
+        let subset: Vec<usize> = (0..paths).filter(|p| selector >> (p % 64) & 1 == 1).collect();
+        for lane_set in [Vec::new(), vec![subset.first().copied().unwrap_or(0)], subset] {
+            let refs: Vec<&[u64]> = lane_set.iter().map(|&p| lanes.lane(p)).collect();
+            let expected = (0..snapshots)
+                .filter(|&s| lane_set.iter().all(|&p| !cell(s, p)))
+                .count();
+            prop_assert_eq!(simd::all_good_count(&refs, used, tail), expected);
+            prop_assert_eq!(simd::all_good_count_portable(&refs, used, tail), expected);
+            if let Some(avx2) = simd::all_good_count_avx2(&refs, used, tail) {
+                prop_assert_eq!(avx2, expected);
+            }
+        }
+
+        // Families 3–4: row kernels against scalar row scans.
+        let rows = packed.rows();
+        let zero_expected = (0..snapshots)
+            .filter(|&s| (0..paths).all(|p| !cell(s, p)))
+            .count();
+        prop_assert_eq!(simd::count_zero_rows(rows.words(), rows.words_per_row()), zero_expected);
+        prop_assert_eq!(
+            simd::count_zero_rows_portable(rows.words(), rows.words_per_row()),
+            zero_expected
+        );
+        let target: Vec<usize> = (0..paths).filter(|p| selector >> ((p + 7) % 64) & 1 == 1).collect();
+        let mask = rows.pack_mask(target.iter().copied());
+        let eq_expected = (0..snapshots)
+            .filter(|&s| (0..paths).all(|p| cell(s, p) == target.contains(&p)))
+            .count();
+        prop_assert_eq!(
+            simd::count_equal_rows(rows.words(), rows.words_per_row(), &mask),
+            eq_expected
+        );
+        prop_assert_eq!(
+            simd::count_equal_rows_portable(rows.words(), rows.words_per_row(), &mask),
+            eq_expected
+        );
+        if let Some(avx2) = simd::count_equal_rows_avx2(rows.words(), rows.words_per_row(), &mask) {
+            prop_assert_eq!(avx2, eq_expected);
+        }
+        let masks = vec![mask, vec![0u64; rows.words_per_row()]];
+        let mut counts = vec![0usize; 2];
+        simd::match_rows_batch(rows.words(), rows.words_per_row(), &masks, &mut counts);
+        prop_assert_eq!(&counts, &vec![eq_expected, zero_expected]);
+        let mut portable_counts = vec![0usize; 2];
+        simd::match_rows_batch_portable(
+            rows.words(),
+            rows.words_per_row(),
+            &masks,
+            &mut portable_counts,
+        );
+        prop_assert_eq!(portable_counts, counts);
+    }
+
+    #[test]
+    fn streaming_matches_batch_under_interleaved_pushes_and_queries(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+        selector in 0u64..u64::MAX,
+    ) {
+        let mut streaming = StreamingEstimator::new(paths);
+        // Register every pair and two patterns up front; one more pair and
+        // pattern are registered mid-stream (exercising catch-up).
+        let mut pairs = Vec::new();
+        for a in 0..paths {
+            for b in a..paths {
+                pairs.push((PathId(a), PathId(b)));
+            }
+        }
+        let (early_pairs, late_pairs) = pairs.split_at(pairs.len() / 2 + 1);
+        streaming.register_pairs(early_pairs).unwrap();
+        let pattern_a: BTreeSet<PathId> = (0..paths)
+            .filter(|p| selector >> (p % 64) & 1 == 1)
+            .map(PathId)
+            .collect();
+        let pattern_b = BTreeSet::new();
+        streaming.register_pattern(&pattern_a).unwrap();
+
+        let mut prefix = PathObservations::new(paths);
+        for s in 0..snapshots {
+            let row = &cells[s * paths..(s + 1) * paths];
+            streaming.push_snapshot(row).unwrap();
+            prefix.record_snapshot(row).unwrap();
+            if s == snapshots / 2 {
+                streaming.register_pairs(late_pairs).unwrap();
+                streaming.register_pattern(&pattern_b).unwrap();
+            }
+            // Interleaved queries at a few prefixes (every 13th push and
+            // the last), compared bit-exactly against a batch estimator
+            // over the same prefix.
+            if s % 13 != 0 && s + 1 != snapshots {
+                continue;
+            }
+            let batch = ProbabilityEstimator::new(&prefix).unwrap();
+            for p in 0..paths {
+                prop_assert_eq!(
+                    streaming.prob_path_good(PathId(p)).unwrap(),
+                    batch.prob_path_good(PathId(p)).unwrap()
+                );
+                prop_assert_eq!(
+                    streaming.log_prob_path_good(PathId(p)).unwrap(),
+                    batch.log_prob_paths_good(&[PathId(p)]).unwrap()
+                );
+            }
+            let registered: &[(PathId, PathId)] = if s >= snapshots / 2 {
+                &pairs
+            } else {
+                early_pairs
+            };
+            prop_assert_eq!(
+                streaming.prob_pairs_good(registered).unwrap(),
+                batch.prob_pairs_good(registered).unwrap()
+            );
+            prop_assert_eq!(
+                streaming.log_prob_pairs_good(registered).unwrap(),
+                batch.log_prob_pairs_good(registered).unwrap()
+            );
+            prop_assert_eq!(
+                streaming.prob_all_paths_good().unwrap(),
+                batch.prob_all_paths_good()
+            );
+            prop_assert_eq!(
+                streaming.prob_exactly_congested(&pattern_a).unwrap(),
+                batch.prob_exactly_congested(&pattern_a).unwrap()
+            );
+            if s >= snapshots / 2 {
+                prop_assert_eq!(
+                    streaming.prob_exactly_congested(&pattern_b).unwrap(),
+                    batch.prob_exactly_congested(&pattern_b).unwrap()
+                );
+            }
+        }
+        // The streaming store itself is identical to the replayed one.
+        prop_assert_eq!(streaming.observations(), &prefix);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! accidental format change fails loudly: observations persisted by one
 //! build must stay readable by the next.
 
-use netcorr_measure::observation::WIRE_FORMAT;
+use netcorr_measure::observation::{BINARY_MAGIC, WIRE_FORMAT};
 use netcorr_measure::PathObservations;
 
 #[test]
@@ -59,4 +59,66 @@ fn empty_container_wire_format() {
 #[test]
 fn header_names_the_version() {
     assert_eq!(WIRE_FORMAT, "netcorr-path-observations v2");
+    assert_eq!(BINARY_MAGIC, b"NCOBSv3\n");
+}
+
+#[test]
+fn binary_format_is_pinned() {
+    // Same fixture as `wire_format_is_pinned`: 3 paths × 4 snapshots with
+    // lane words 0x6, 0x4, 0x0. Header: magic, paths=3 LE, snapshots=4 LE.
+    let mut obs = PathObservations::new(3);
+    obs.record_snapshot(&[false, false, false]).unwrap();
+    obs.record_snapshot(&[true, false, false]).unwrap();
+    obs.record_snapshot(&[true, true, false]).unwrap();
+    obs.record_snapshot(&[false, false, false]).unwrap();
+
+    let mut expected = Vec::new();
+    expected.extend_from_slice(b"NCOBSv3\n");
+    expected.extend_from_slice(&3u64.to_le_bytes());
+    expected.extend_from_slice(&4u64.to_le_bytes());
+    expected.extend_from_slice(&6u64.to_le_bytes());
+    expected.extend_from_slice(&4u64.to_le_bytes());
+    expected.extend_from_slice(&0u64.to_le_bytes());
+    assert_eq!(obs.to_binary(), expected);
+    assert_eq!(PathObservations::from_binary(&expected).unwrap(), obs);
+}
+
+#[test]
+fn both_formats_round_trip_the_same_observations() {
+    // 70 snapshots exercises the multi-word lane path in both formats.
+    let mut obs = PathObservations::new(5);
+    for s in 0..70 {
+        let row: Vec<bool> = (0..5).map(|p| (s * 5 + p * 3) % 7 == 0).collect();
+        obs.record_snapshot(&row).unwrap();
+    }
+    let text = PathObservations::from_wire(&obs.to_wire()).unwrap();
+    let binary = PathObservations::from_binary(&obs.to_binary()).unwrap();
+    assert_eq!(text, obs);
+    assert_eq!(binary, obs);
+    assert_eq!(text, binary);
+    // The empty container round-trips in binary too.
+    let empty = PathObservations::new(2);
+    assert_eq!(
+        PathObservations::from_binary(&empty.to_binary()).unwrap(),
+        empty
+    );
+}
+
+#[test]
+fn binary_format_rejects_malformed_input() {
+    assert!(PathObservations::from_binary(&[]).is_err());
+    assert!(PathObservations::from_binary(b"NCOBSv3\n").is_err());
+    let mut obs = PathObservations::new(2);
+    obs.record_snapshot(&[true, false]).unwrap();
+    let good = obs.to_binary();
+    // Wrong magic.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    assert!(PathObservations::from_binary(&bad).is_err());
+    // Truncated lane region.
+    assert!(PathObservations::from_binary(&good[..good.len() - 1]).is_err());
+    // A bit set beyond the declared snapshot count (tail invariant).
+    let mut bad = good.clone();
+    bad[24] |= 0x02; // snapshot 1 of lane 0, but only 1 snapshot declared
+    assert!(PathObservations::from_binary(&bad).is_err());
 }

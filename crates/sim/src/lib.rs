@@ -46,5 +46,5 @@ pub mod loss;
 
 pub use config::{SimulationConfig, TransmissionModel};
 pub use congestion::{CongestionModel, CongestionModelBuilder, ExplicitModel, SubstrateModel};
-pub use engine::{SimulationTrace, Simulator};
+pub use engine::{snapshot_seed, SimulationTrace, Simulator};
 pub use error::SimError;
