@@ -1,11 +1,19 @@
-//! CI regression gate for the estimator hot path.
+//! CI regression gate for the estimator and inference hot paths.
 //!
-//! Re-times the `estimator` benchmark workload (1500 paths × 4096
-//! snapshots, 6750 intersecting pairs — the same fixture as
-//! `benches/micro.rs`) with plain `std::time` and **fails the build**
-//! (exit code 1) if the packed pair-query speedup over the scalar
-//! reference drops below the floor recorded in `BENCH_estimator.json`
-//! (`acceptance.pair_queries_speedup_floor`, 8× by default).
+//! Two checks, each re-timed with plain `std::time`; the build **fails**
+//! (exit code 1) if either drops below its recorded floor:
+//!
+//! * **Estimator** — the `estimator` benchmark workload (1500 paths ×
+//!   4096 snapshots, 6750 intersecting pairs — the same fixture as
+//!   `benches/micro.rs`): packed pair-query speedup over the scalar
+//!   reference must stay above `acceptance.pair_queries_speedup_floor`
+//!   in `BENCH_estimator.json` (8× by default).
+//! * **Inference** — the `inference` benchmark fixture (smoke-scale
+//!   PlanetLab): per-trial inference through a prebuilt
+//!   [`netcorr_core::InferenceContext`] (structure + selection + QR
+//!   reused) vs the one-shot algorithm rebuilding everything per call
+//!   must stay above `acceptance.structure_reuse_speedup_floor` in
+//!   `BENCH_inference.json` (2× by default).
 //!
 //! Run from the repository root, in release mode:
 //!
@@ -13,11 +21,15 @@
 //! cargo run --release -p netcorr-bench --bin bench_gate
 //! ```
 //!
-//! The baseline path can be overridden with the `BENCH_BASELINE`
-//! environment variable.
+//! The baseline paths can be overridden with the `BENCH_BASELINE` and
+//! `BENCH_INFERENCE_BASELINE` environment variables.
 
 use std::time::Instant;
 
+use netcorr_bench::fixture;
+use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, InferenceContext};
+use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::scenario::CorrelationLevel;
 use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
 use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
 use netcorr_topology::path::PathId;
@@ -28,14 +40,14 @@ const PATHS: usize = 1500;
 const SNAPSHOTS: usize = 4096;
 const HUBS: usize = 150;
 const DEFAULT_FLOOR: f64 = 8.0;
+const DEFAULT_INFERENCE_FLOOR: f64 = 2.0;
 
-/// Extracts `"pair_queries_speedup_floor": <number>` from the baseline
-/// JSON with a plain text scan (the vendored serde_json shim only
-/// serializes).
-fn read_floor(path: &str) -> Option<f64> {
+/// Extracts `"<key>": <number>` from the baseline JSON with a plain text
+/// scan (the vendored serde_json shim only serializes).
+fn read_floor(path: &str, key: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"pair_queries_speedup_floor\":";
-    let start = text.find(key)? + key.len();
+    let key = format!("\"{key}\":");
+    let start = text.find(&key)? + key.len();
     let rest = text[start..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
@@ -59,7 +71,7 @@ fn time_mean(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let baseline =
         std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_estimator.json".into());
-    let floor = match read_floor(&baseline) {
+    let floor = match read_floor(&baseline, "pair_queries_speedup_floor") {
         Some(f) => f,
         None => {
             eprintln!(
@@ -138,6 +150,65 @@ fn main() {
 
     if speedup < floor {
         eprintln!("bench_gate: FAIL — packed/scalar speedup {speedup:.1}x is below {floor}x");
+        std::process::exit(1);
+    }
+
+    // --- Inference gate: structure / factorization reuse. ---
+    let inference_baseline =
+        std::env::var("BENCH_INFERENCE_BASELINE").unwrap_or_else(|_| "BENCH_inference.json".into());
+    let inference_floor = match read_floor(&inference_baseline, "structure_reuse_speedup_floor") {
+        Some(f) => f,
+        None => {
+            eprintln!(
+                "bench_gate: no structure_reuse_speedup_floor in {inference_baseline}, using \
+                 default {DEFAULT_INFERENCE_FLOOR}x"
+            );
+            DEFAULT_INFERENCE_FLOOR
+        }
+    };
+
+    // Same workload as the `inference` criterion benchmark: one trial's
+    // inference on a smoke-scale PlanetLab fixture, with and without the
+    // observation-independent work (structure, selection, QR) hoisted out.
+    let fx = fixture(
+        TopologyFamily::PlanetLab,
+        0.10,
+        CorrelationLevel::HighlyCorrelated,
+        0.0,
+        0.0,
+        7,
+    );
+    let instance = &fx.scenario.instance;
+    let config = AlgorithmConfig::default();
+    let context = InferenceContext::for_correlation(instance, config).expect("context builds");
+    let rebuilt_mean = time_mean(2, 15, || {
+        let estimate = CorrelationAlgorithm::with_config(instance, config)
+            .infer(&fx.observations)
+            .expect("inference succeeds");
+        assert!(estimate.diagnostics.residual.is_finite());
+    });
+    let cached_mean = time_mean(2, 15, || {
+        let estimate = context.infer(&fx.observations).expect("inference succeeds");
+        assert!(estimate.diagnostics.residual.is_finite());
+    });
+    let reuse_speedup = rebuilt_mean / cached_mean;
+    println!(
+        "bench_gate: per-trial inference on a smoke PlanetLab fixture ({} links, {} equations)",
+        context.num_links(),
+        context.structure().num_equations()
+    );
+    println!("  structure rebuilt {:>10.1} us/iter", rebuilt_mean * 1e6);
+    println!("  structure cached  {:>10.1} us/iter", cached_mean * 1e6);
+    println!(
+        "  speedup           {reuse_speedup:>10.1}x (floor {inference_floor}x from \
+         {inference_baseline})"
+    );
+
+    if reuse_speedup < inference_floor {
+        eprintln!(
+            "bench_gate: FAIL — structure-reuse speedup {reuse_speedup:.1}x is below \
+             {inference_floor}x"
+        );
         std::process::exit(1);
     }
     println!("bench_gate: OK");

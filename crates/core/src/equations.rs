@@ -135,6 +135,28 @@ impl EquationStructure {
     pub fn pairs(&self) -> &[(PathId, PathId)] {
         &self.pairs
     }
+
+    /// The sparse 0/1 incidence matrix (one row per equation, one column
+    /// per link).
+    pub fn matrix(&self) -> &SparseMatrix {
+        &self.matrix
+    }
+
+    /// Provenance of every row, parallel to the matrix.
+    pub fn sources(&self) -> &[EquationSource] {
+        &self.sources
+    }
+
+    /// The usable single paths, in row order (rows
+    /// `0..single_paths().len()`).
+    pub fn single_paths(&self) -> &[PathId] {
+        &self.single_paths
+    }
+
+    /// Number of links that appear in no equation.
+    pub fn num_uncovered_links(&self) -> usize {
+        self.covered.iter().filter(|&&c| !c).count()
+    }
 }
 
 /// Builds the observation-independent equation structure for an instance.

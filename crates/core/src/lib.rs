@@ -26,12 +26,17 @@
 //!
 //! Lower-level building blocks (equation construction, solvers, congestion
 //! factors) are exposed in the [`equations`], [`solver`] and [`factors`]
-//! modules for ablation studies and custom pipelines.
+//! modules for ablation studies and custom pipelines. Multi-trial
+//! workloads should go through the [`context`] module
+//! ([`InferenceContext`] / [`ContextCache`]), which computes the equation
+//! structure, independence selection and dense QR factorization **once**
+//! per topology and reuses them across every trial's solve.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod algorithm;
+pub mod context;
 pub mod equations;
 pub mod error;
 pub mod factors;
@@ -40,6 +45,7 @@ pub mod solver;
 pub mod theorem;
 
 pub use algorithm::{AlgorithmConfig, CorrelationAlgorithm, IndependenceAlgorithm};
+pub use context::{ContextCache, InferenceContext, WARM_CHAIN};
 pub use equations::{
     EquationConfig, EquationSource, EquationStructure, EquationSystem, IncrementalEquationBuilder,
 };

@@ -30,8 +30,9 @@
 use serde::{Deserialize, Serialize};
 
 use netcorr_linalg::{
-    cgls, l1::min_l1_norm_solution, l1::min_l1_norm_solution_nonneg, norms,
-    rank::IndependentRowSelector, LinalgError, Matrix, QrDecomposition, SparseMatrix,
+    cgls_blocked, l1::min_l1_norm_solution, l1::min_l1_norm_solution_nonneg, norms,
+    rank::IndependentRowSelector, BlockedSparseMatrix, LinalgError, Matrix, QrDecomposition,
+    SparseMatrix,
 };
 
 use crate::equations::{EquationSource, EquationSystem};
@@ -90,6 +91,138 @@ pub struct SolveOutcome {
     pub underdetermined: bool,
 }
 
+/// Selects a maximal linearly-independent subset of the rows of `matrix`,
+/// in row order (the paper's priority order: the equation builder emits
+/// single-path equations before pair equations).
+///
+/// The selection depends only on the matrix — never on a right-hand side —
+/// so it can be computed once per equation structure and reused across
+/// every trial that shares the structure (see [`crate::InferenceContext`]).
+pub(crate) fn select_rows(matrix: &SparseMatrix, num_links: usize, tolerance: f64) -> Vec<usize> {
+    let mut selector = IndependentRowSelector::new(num_links, tolerance);
+    let mut selected: Vec<usize> = Vec::new();
+    let mut dense_row = vec![0.0; num_links];
+    for row_idx in 0..matrix.rows() {
+        if selector.is_complete() {
+            break;
+        }
+        for value in dense_row.iter_mut() {
+            *value = 0.0;
+        }
+        for &(col, value) in matrix.row(row_idx) {
+            dense_row[col] = value;
+        }
+        if selector.offer(&dense_row) {
+            selected.push(row_idx);
+        }
+    }
+    selected
+}
+
+/// Gathers the selected rows into a dense matrix (dense path).
+pub(crate) fn gather_dense(matrix: &SparseMatrix, selected: &[usize], num_links: usize) -> Matrix {
+    let mut a = Matrix::zeros(selected.len(), num_links);
+    for (new_row, &row_idx) in selected.iter().enumerate() {
+        for &(col, value) in matrix.row(row_idx) {
+            a[(new_row, col)] = value;
+        }
+    }
+    a
+}
+
+/// Gathers the selected rows into a sparse matrix (CGLS path).
+pub(crate) fn gather_sparse(
+    matrix: &SparseMatrix,
+    selected: &[usize],
+    num_links: usize,
+) -> Result<SparseMatrix, CoreError> {
+    let mut gathered = SparseMatrix::new(num_links);
+    for &row_idx in selected {
+        gathered
+            .push_row(matrix.row(row_idx))
+            .map_err(CoreError::Numerical)?;
+    }
+    Ok(gathered)
+}
+
+/// Gathers the right-hand-side entries of the selected rows.
+pub(crate) fn gather_rhs(rhs: &[f64], selected: &[usize]) -> Vec<f64> {
+    selected.iter().map(|&i| rhs[i]).collect()
+}
+
+/// Dense determined path: one back-substitution through a QR factorization
+/// of the selected square system. The factorization depends only on the
+/// matrix, so callers holding many right-hand sides over the same
+/// structure factor once and call this (or
+/// [`QrDecomposition::solve_many`]) per RHS.
+pub(crate) fn solve_dense_determined(
+    qr: &QrDecomposition,
+    b: &[f64],
+) -> Result<SolveOutcome, CoreError> {
+    let x = qr.solve_least_squares(b).map_err(CoreError::Numerical)?;
+    Ok(SolveOutcome {
+        x,
+        kind: SolverKind::DenseExact,
+        residual: 0.0,
+        used_single: 0,
+        used_pair: 0,
+        underdetermined: false,
+    })
+}
+
+/// Dense under-determined path: exact minimum-L1-norm LP. Substitute
+/// `z = -x ≥ 0`, so the constraints become `A z = -b` with `z ≥ 0`.
+pub(crate) fn solve_dense_l1(a: &Matrix, b: &[f64]) -> Result<SolveOutcome, CoreError> {
+    let neg_b: Vec<f64> = b.iter().map(|v| -v).collect();
+    let x = match min_l1_norm_solution_nonneg(a, &neg_b) {
+        Ok(z) => z.into_iter().map(|v| -v).collect::<Vec<f64>>(),
+        Err(LinalgError::Infeasible) => {
+            // Measurement noise can make the sign-constrained program
+            // infeasible; fall back to the free-sign formulation.
+            min_l1_norm_solution(a, b).map_err(CoreError::Numerical)?
+        }
+        Err(e) => return Err(CoreError::Numerical(e)),
+    };
+    Ok(SolveOutcome {
+        x,
+        kind: SolverKind::DenseL1,
+        residual: 0.0,
+        used_single: 0,
+        used_pair: 0,
+        underdetermined: true,
+    })
+}
+
+/// Scalable path: sparse CGLS (plus a small ridge) over the selected
+/// equations in blocked CSR form, optionally warm-started from a previous
+/// solution (`initial`). A cold start (`None`) is bit-identical to the
+/// historical `cgls` entry point.
+pub(crate) fn solve_sparse_prepared(
+    matrix: &BlockedSparseMatrix,
+    b: &[f64],
+    underdetermined: bool,
+    config: &SolverConfig,
+    initial: Option<&[f64]>,
+) -> Result<SolveOutcome, CoreError> {
+    let solution = cgls_blocked(
+        matrix,
+        b,
+        config.ridge,
+        config.cgls_iterations,
+        config.cgls_tolerance,
+        initial,
+    )
+    .map_err(CoreError::Numerical)?;
+    Ok(SolveOutcome {
+        x: solution.x,
+        kind: SolverKind::SparseIterative,
+        residual: solution.residual,
+        used_single: 0,
+        used_pair: 0,
+        underdetermined,
+    })
+}
+
 /// Solves the collected measurement system for the per-link
 /// log-good-probabilities.
 pub fn solve_equations(
@@ -97,38 +230,44 @@ pub fn solve_equations(
     num_links: usize,
     config: &SolverConfig,
 ) -> Result<SolveOutcome, CoreError> {
-    // --- 1. Select a maximal linearly-independent subset of equations, in
-    // the paper's priority order (the builder already emits single-path
-    // equations before pair equations). ---
-    let mut selector = IndependentRowSelector::new(num_links, config.independence_tolerance);
-    let mut selected: Vec<usize> = Vec::new();
-    let mut dense_row = vec![0.0; num_links];
-    for row_idx in 0..system.num_equations() {
-        if selector.is_complete() {
-            break;
-        }
-        for value in dense_row.iter_mut() {
-            *value = 0.0;
-        }
-        for &(col, value) in system.matrix.row(row_idx) {
-            dense_row[col] = value;
-        }
-        if selector.offer(&dense_row) {
-            selected.push(row_idx);
-        }
+    if num_links == 0 {
+        // No unknowns: both numerical paths agree on the empty solution
+        // (the dispatch boundary is irrelevant), so report the dense exact
+        // kind with the residual of the untouched right-hand side.
+        return Ok(SolveOutcome {
+            x: Vec::new(),
+            kind: SolverKind::DenseExact,
+            residual: norms::l2_norm(&system.rhs),
+            used_single: 0,
+            used_pair: 0,
+            underdetermined: false,
+        });
     }
+
+    // --- 1. Select a maximal linearly-independent subset of equations, in
+    // the paper's priority order. ---
+    let selected = select_rows(&system.matrix, num_links, config.independence_tolerance);
     let used_single = selected
         .iter()
         .filter(|&&i| matches!(system.sources[i], EquationSource::SinglePath(_)))
         .count();
     let used_pair = selected.len() - used_single;
     let underdetermined = selected.len() < num_links;
+    let b = gather_rhs(&system.rhs, &selected);
 
-    // --- 2./3. Solve the selected equations. ---
+    // --- 2./3. Solve the selected equations. `num_links == dense_threshold`
+    // goes dense (the threshold is inclusive). ---
     let mut outcome = if num_links <= config.dense_threshold {
-        solve_dense(system, &selected, num_links, underdetermined)?
+        let a = gather_dense(&system.matrix, &selected, num_links);
+        if underdetermined {
+            solve_dense_l1(&a, &b)?
+        } else {
+            let qr = QrDecomposition::new(&a).map_err(CoreError::Numerical)?;
+            solve_dense_determined(&qr, &b)?
+        }
     } else {
-        solve_sparse(system, &selected, num_links, config)?
+        let gathered = gather_sparse(&system.matrix, &selected, num_links)?;
+        solve_sparse_prepared(&gathered.to_blocked(), &b, underdetermined, config, None)?
     };
     outcome.used_single = used_single;
     outcome.used_pair = used_pair;
@@ -149,92 +288,6 @@ pub fn solve_equations(
         .map_err(CoreError::Numerical)?;
     outcome.residual = norms::l2_norm(&norms::sub(&ax, &system.rhs));
     Ok(outcome)
-}
-
-/// Dense exact path: QR when fully determined, exact minimum-L1-norm LP
-/// otherwise.
-fn solve_dense(
-    system: &EquationSystem,
-    selected: &[usize],
-    num_links: usize,
-    underdetermined: bool,
-) -> Result<SolveOutcome, CoreError> {
-    let mut a = Matrix::zeros(selected.len(), num_links);
-    let mut b = Vec::with_capacity(selected.len());
-    for (new_row, &row_idx) in selected.iter().enumerate() {
-        for &(col, value) in system.matrix.row(row_idx) {
-            a[(new_row, col)] = value;
-        }
-        b.push(system.rhs[row_idx]);
-    }
-
-    if !underdetermined {
-        let qr = QrDecomposition::new(&a).map_err(CoreError::Numerical)?;
-        let x = qr.solve_least_squares(&b).map_err(CoreError::Numerical)?;
-        return Ok(SolveOutcome {
-            x,
-            kind: SolverKind::DenseExact,
-            residual: 0.0,
-            used_single: 0,
-            used_pair: 0,
-            underdetermined,
-        });
-    }
-
-    // Fewer equations than unknowns: minimum-L1-norm solution. Substitute
-    // z = -x ≥ 0, so the constraints become A z = -b with z ≥ 0.
-    let neg_b: Vec<f64> = b.iter().map(|v| -v).collect();
-    let x = match min_l1_norm_solution_nonneg(&a, &neg_b) {
-        Ok(z) => z.into_iter().map(|v| -v).collect::<Vec<f64>>(),
-        Err(LinalgError::Infeasible) => {
-            // Measurement noise can make the sign-constrained program
-            // infeasible; fall back to the free-sign formulation.
-            min_l1_norm_solution(&a, &b).map_err(CoreError::Numerical)?
-        }
-        Err(e) => return Err(CoreError::Numerical(e)),
-    };
-    Ok(SolveOutcome {
-        x,
-        kind: SolverKind::DenseL1,
-        residual: 0.0,
-        used_single: 0,
-        used_pair: 0,
-        underdetermined,
-    })
-}
-
-/// Scalable path: sparse CGLS (plus a small ridge) over the selected
-/// equations.
-fn solve_sparse(
-    system: &EquationSystem,
-    selected: &[usize],
-    num_links: usize,
-    config: &SolverConfig,
-) -> Result<SolveOutcome, CoreError> {
-    let mut matrix = SparseMatrix::new(num_links);
-    let mut rhs = Vec::with_capacity(selected.len());
-    for &row_idx in selected {
-        matrix
-            .push_row(system.matrix.row(row_idx))
-            .map_err(CoreError::Numerical)?;
-        rhs.push(system.rhs[row_idx]);
-    }
-    let solution = cgls(
-        &matrix,
-        &rhs,
-        config.ridge,
-        config.cgls_iterations,
-        config.cgls_tolerance,
-    )
-    .map_err(CoreError::Numerical)?;
-    Ok(SolveOutcome {
-        x: solution.x,
-        kind: SolverKind::SparseIterative,
-        residual: solution.residual,
-        used_single: 0,
-        used_pair: 0,
-        underdetermined: selected.len() < num_links,
-    })
 }
 
 /// Convenience for tests and ablations: solves the same system with both
@@ -492,6 +545,95 @@ mod tests {
             error > 0.2,
             "the corrupted equation should visibly bias the solution, max error {error}"
         );
+    }
+
+    #[test]
+    fn dispatch_boundary_is_inclusive_at_the_dense_threshold() {
+        // `num_links == dense_threshold` goes dense; one below goes
+        // sparse; `dense_threshold: 0` sends every non-empty system to the
+        // sparse path (the configuration `solve_both_paths` relies on).
+        let (system, _) = fig1a_exact_system();
+        let at = SolverConfig {
+            dense_threshold: 4,
+            ..SolverConfig::default()
+        };
+        assert_eq!(
+            solve_equations(&system, 4, &at).unwrap().kind,
+            SolverKind::DenseExact
+        );
+        let below = SolverConfig {
+            dense_threshold: 3,
+            ..SolverConfig::default()
+        };
+        assert_eq!(
+            solve_equations(&system, 4, &below).unwrap().kind,
+            SolverKind::SparseIterative
+        );
+        let zero = SolverConfig {
+            dense_threshold: 0,
+            ..SolverConfig::default()
+        };
+        assert_eq!(
+            solve_equations(&system, 4, &zero).unwrap().kind,
+            SolverKind::SparseIterative
+        );
+    }
+
+    #[test]
+    fn zero_link_systems_solve_to_the_empty_solution_on_both_paths() {
+        // Degenerate direct call: no unknowns at all. Both dispatch
+        // configurations must agree on the empty solution instead of the
+        // dense path failing on a 0×0 factorization.
+        let system = EquationSystem {
+            matrix: SparseMatrix::new(0),
+            rhs: Vec::new(),
+            sources: Vec::new(),
+            num_single: 0,
+            num_pair: 0,
+            covered: Vec::new(),
+        };
+        for dense_threshold in [0usize, 400] {
+            let config = SolverConfig {
+                dense_threshold,
+                ..SolverConfig::default()
+            };
+            let outcome = solve_equations(&system, 0, &config).unwrap();
+            assert!(outcome.x.is_empty());
+            assert_eq!(outcome.kind, SolverKind::DenseExact);
+            assert_eq!(outcome.residual, 0.0);
+            assert!(!outcome.underdetermined);
+        }
+    }
+
+    #[test]
+    fn infeasible_nonneg_l1_falls_back_to_the_free_sign_formulation() {
+        // One equation over two unknowns with a *positive* RHS: noise can
+        // produce this, but `x0 + x1 = +0.5` has no solution with x ≤ 0,
+        // so the sign-constrained LP is infeasible and the solver must
+        // fall back to the free-sign minimum-L1 formulation.
+        let mut matrix = SparseMatrix::new(2);
+        matrix.push_indicator_row(&[0, 1]).unwrap();
+        let system = EquationSystem {
+            matrix,
+            rhs: vec![0.5],
+            sources: vec![EquationSource::SinglePath(PathId(0))],
+            num_single: 1,
+            num_pair: 0,
+            covered: vec![true, true],
+        };
+        let config = SolverConfig {
+            clamp_nonpositive: false,
+            ..SolverConfig::default()
+        };
+        let outcome = solve_equations(&system, 2, &config).unwrap();
+        assert_eq!(outcome.kind, SolverKind::DenseL1);
+        assert!(outcome.underdetermined);
+        // The free-sign solution satisfies the equation exactly.
+        assert!((outcome.x.iter().sum::<f64>() - 0.5).abs() < 1e-9);
+        assert!(outcome.residual < 1e-9);
+        // With clamping on the positive mass is removed, as in production.
+        let clamped = solve_equations(&system, 2, &SolverConfig::default()).unwrap();
+        assert!(clamped.x.iter().all(|&v| v <= 0.0));
     }
 
     #[test]

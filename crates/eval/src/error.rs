@@ -27,6 +27,14 @@ pub enum EvalError {
     ScenarioInfeasible(String),
     /// Writing a report failed.
     Io(String),
+    /// Reading or parsing a persisted file failed; keeps the file path
+    /// and the underlying cause so corrupt-file failures are diagnosable.
+    Persist {
+        /// The file being read.
+        path: String,
+        /// The underlying I/O or parse error.
+        cause: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -39,6 +47,9 @@ impl fmt::Display for EvalError {
             EvalError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             EvalError::ScenarioInfeasible(msg) => write!(f, "scenario infeasible: {msg}"),
             EvalError::Io(msg) => write!(f, "i/o error: {msg}"),
+            EvalError::Persist { path, cause } => {
+                write!(f, "failed to read {path}: {cause}")
+            }
         }
     }
 }
@@ -97,5 +108,11 @@ mod tests {
         assert!(EvalError::ScenarioInfeasible("too few sets".into())
             .to_string()
             .contains("too few sets"));
+        let e = EvalError::Persist {
+            path: "runs/obs.bin".into(),
+            cause: "truncated header".into(),
+        };
+        assert!(e.to_string().contains("runs/obs.bin"));
+        assert!(e.to_string().contains("truncated header"));
     }
 }

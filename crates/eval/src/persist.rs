@@ -60,15 +60,27 @@ pub fn write_observations_binary(
 /// Reads observations previously written by [`write_observations`] or
 /// [`write_observations_binary`], sniffing the format from the leading
 /// bytes.
+///
+/// Every failure — the read itself, a corrupt binary block, an invalid
+/// text body — is reported as [`EvalError::Persist`] carrying the file
+/// path and the underlying cause.
 pub fn read_observations(path: &Path) -> Result<PathObservations, EvalError> {
-    let bytes = fs::read(path)?;
+    let persist = |cause: String| EvalError::Persist {
+        path: path.display().to_string(),
+        cause,
+    };
+    let bytes = fs::read(path).map_err(|e| persist(e.to_string()))?;
     if bytes.starts_with(BINARY_MAGIC) {
-        return PathObservations::from_binary(&bytes).map_err(EvalError::Measurement);
+        return PathObservations::from_binary(&bytes)
+            .map_err(|e| persist(format!("invalid binary v3 observations: {e}")));
     }
-    let text = String::from_utf8(bytes).map_err(|_| {
-        EvalError::Io("observation file is neither binary v3 nor valid UTF-8 text".to_string())
-    })?;
-    PathObservations::from_wire(&text).map_err(EvalError::Measurement)
+    match String::from_utf8(bytes) {
+        Ok(text) => PathObservations::from_wire(&text)
+            .map_err(|e| persist(format!("invalid v2 text observations: {e}"))),
+        Err(e) => Err(persist(format!(
+            "neither binary v3 nor valid UTF-8 text: {e}"
+        ))),
+    }
 }
 
 /// Writes a full simulation trace — observations plus ground-truth link
@@ -287,11 +299,46 @@ mod tests {
         let file = dir.join("observations.ncobs");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(&file, "not the wire format").unwrap();
-        assert!(matches!(
-            read_observations(&file),
-            Err(EvalError::Measurement(_))
-        ));
-        assert!(read_observations(&dir.join("missing.ncobs")).is_err());
+        // A parse failure names the file and carries the parser's cause.
+        match read_observations(&file) {
+            Err(EvalError::Persist { path, cause }) => {
+                assert!(path.contains("observations.ncobs"), "{path}");
+                assert!(cause.contains("invalid v2 text observations"), "{cause}");
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+        // A failed read (missing file) does too, with the I/O cause.
+        match read_observations(&dir.join("missing.ncobs")) {
+            Err(EvalError::Persist { path, cause }) => {
+                assert!(path.contains("missing.ncobs"), "{path}");
+                assert!(!cause.is_empty());
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+        // Invalid UTF-8 that is not binary v3 is reported the same way.
+        let garbled = dir.join("garbled.ncobs");
+        std::fs::write(&garbled, [0x80u8, 0xff, 0x01]).unwrap();
+        match read_observations(&garbled) {
+            Err(EvalError::Persist { cause, .. }) => {
+                assert!(cause.contains("neither binary v3"), "{cause}");
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+        // A corrupt binary v3 block keeps the underlying parse error.
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let obs = sim.run(100, &mut StdRng::seed_from_u64(4));
+        let mut bytes = obs.to_binary();
+        let last = bytes.len() - 1;
+        bytes.truncate(last);
+        let broken = dir.join("broken.ncobs3");
+        std::fs::write(&broken, &bytes).unwrap();
+        match read_observations(&broken) {
+            Err(EvalError::Persist { cause, .. }) => {
+                assert!(cause.contains("invalid binary v3 observations"), "{cause}");
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, Diagnostics, IndependenceAlgorithm};
+use netcorr_core::{AlgorithmConfig, ContextCache, Diagnostics};
 use netcorr_measure::bitset::WORD_BITS;
 use netcorr_measure::PathObservations;
 use netcorr_sim::{SimulationConfig, Simulator};
@@ -97,6 +97,9 @@ pub fn effective_shards(configured: usize, snapshots: usize) -> usize {
 /// Simulates `snapshots` snapshots of a trial split across `shards`
 /// scoped worker threads.
 ///
+/// The shard count is resolved through [`effective_shards`], so `0` means
+/// auto-detect from the machine's available parallelism — the same
+/// convention as [`ExperimentConfig::shards`] and the `--shards` CLI flag.
 /// Every shard covers a word-aligned sub-range (a multiple of 64
 /// snapshots, except possibly the last), simulates it independently via
 /// [`Simulator::run_range`] — per-snapshot seeding makes shard boundaries
@@ -110,7 +113,7 @@ pub fn sharded_observations(
     seed: u64,
     shards: usize,
 ) -> PathObservations {
-    let shards = shards.clamp(1, snapshots.div_ceil(WORD_BITS).max(1));
+    let shards = effective_shards(shards, snapshots);
     if shards <= 1 {
         return simulator.run_seeded(snapshots, seed);
     }
@@ -195,23 +198,50 @@ impl ExperimentResult {
 }
 
 /// Runs a single trial on an already-built scenario.
+///
+/// Convenience wrapper over [`run_trial_cached`] with a private,
+/// single-use [`ContextCache`]; multi-trial callers should share a cache
+/// so the equation structure and dense factorization are built once.
 pub fn run_trial(
     scenario: &CongestionScenario,
     config: &ExperimentConfig,
     seed: u64,
 ) -> Result<TrialResult, EvalError> {
+    run_trial_cached(scenario, config, seed, &ContextCache::new())
+}
+
+/// Runs a single trial, fetching both algorithms' inference contexts
+/// (equation structure + independence selection + dense QR factorization
+/// or blocked sparse matrix) from `contexts`.
+///
+/// Scenarios drawn for different trials of one experiment share the same
+/// visible instance (unless links are hidden), so a shared cache reduces
+/// every trial after the first to RHS assembly plus a back-substitution /
+/// CGLS run. Results are bit-identical to the one-shot algorithms for any
+/// cache-sharing pattern.
+pub fn run_trial_cached(
+    scenario: &CongestionScenario,
+    config: &ExperimentConfig,
+    seed: u64,
+    contexts: &ContextCache,
+) -> Result<TrialResult, EvalError> {
     let simulator = Simulator::new(&scenario.instance, &scenario.model, config.simulation)
         .map_err(EvalError::Simulation)?;
-    let shards = effective_shards(config.shards, config.snapshots);
-    let observations = sharded_observations(&simulator, config.snapshots, seed, shards);
+    let observations = sharded_observations(&simulator, config.snapshots, seed, config.shards);
 
     let links = potentially_congested_links(&scenario.instance, &observations);
 
-    let correlation = CorrelationAlgorithm::with_config(&scenario.instance, config.algorithm)
-        .infer(&observations)
+    let mut correlation_config = config.algorithm;
+    correlation_config.equations.respect_correlation = true;
+    let correlation = contexts
+        .context(&scenario.instance, &correlation_config)
+        .and_then(|context| context.infer(&observations))
         .map_err(EvalError::Inference)?;
-    let independence = IndependenceAlgorithm::with_config(&scenario.instance, config.algorithm)
-        .infer(&observations)
+    let mut independence_config = config.algorithm;
+    independence_config.equations.respect_correlation = false;
+    let independence = contexts
+        .context(&scenario.instance, &independence_config)
+        .and_then(|context| context.infer(&observations))
         .map_err(EvalError::Inference)?;
 
     Ok(TrialResult {
@@ -267,14 +297,25 @@ pub fn run_experiment(
     }
     let trial_config = &trial_config;
 
+    // One inference-context cache for the whole experiment: trials share
+    // the equation structure, independence selection and dense QR
+    // factorization (or blocked sparse matrix) whenever their visible
+    // instances coincide, which they do unless links are hidden. The
+    // cache is only an optimisation — per-trial results are bit-identical
+    // with or without hits, so parallel workers stay equal to the
+    // sequential order.
+    let contexts = ContextCache::new();
+    let contexts = &contexts;
+
     let run_one = move |trial_index: usize| -> Result<TrialResult, EvalError> {
         let scenario_seed = config.base_seed.wrapping_add(trial_index as u64);
         let mut scenario_rng = StdRng::seed_from_u64(scenario_seed);
         let scenario = builder.build(base, &mut scenario_rng)?;
-        run_trial(
+        run_trial_cached(
             &scenario,
             trial_config,
             config.base_seed.wrapping_add(1000 + trial_index as u64),
+            contexts,
         )
     };
 
@@ -420,11 +461,43 @@ mod tests {
         for snapshots in [400usize, 333] {
             let reference = sharded_observations(&simulator, snapshots, 77, 1);
             assert_eq!(reference.num_snapshots(), snapshots);
-            for shards in [2usize, 7] {
+            // `0` is auto-detect (resolved through `effective_shards`,
+            // not silently clamped to 1): still bit-identical.
+            for shards in [0usize, 2, 7] {
                 let sharded = sharded_observations(&simulator, snapshots, 77, shards);
                 assert_eq!(sharded, reference, "{shards} shards, {snapshots} snapshots");
             }
         }
+    }
+
+    #[test]
+    fn shared_context_cache_matches_fresh_per_trial_caches() {
+        use netcorr_core::ContextCache;
+
+        let base = base();
+        let scenario_config = ScenarioConfig {
+            correlation_level: CorrelationLevel::LooselyCorrelated,
+            ..ScenarioConfig::default()
+        };
+        let builder = ScenarioBuilder::new(scenario_config).unwrap();
+        let config = ExperimentConfig::smoke();
+        let cache = ContextCache::new();
+        for trial in 0..3u64 {
+            let scenario = builder
+                .build(&base, &mut StdRng::seed_from_u64(trial))
+                .unwrap();
+            let fresh = run_trial(&scenario, &config, 1000 + trial).unwrap();
+            let cached = run_trial_cached(&scenario, &config, 1000 + trial, &cache).unwrap();
+            assert_eq!(fresh.correlation_errors, cached.correlation_errors);
+            assert_eq!(fresh.independence_errors, cached.independence_errors);
+            assert_eq!(
+                fresh.correlation_diagnostics.residual,
+                cached.correlation_diagnostics.residual
+            );
+        }
+        // All trials share the same visible instance, so the cache holds
+        // exactly one context per algorithm.
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use matrix::Matrix;
 pub use qr::QrDecomposition;
 pub use rank::{numerical_rank, select_independent_rows};
 pub use simplex::{LinearProgram, LpSolution, LpStatus};
-pub use sparse::{cgls, CglsSolution, SparseMatrix};
+pub use sparse::{cgls, cgls_blocked, cgls_warm, BlockedSparseMatrix, CglsSolution, SparseMatrix};
 
 /// Default relative tolerance used across the crate when comparing floating
 /// point magnitudes (rank decisions, pivot checks, ...).
