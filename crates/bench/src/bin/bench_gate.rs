@@ -15,18 +15,28 @@
 //!   must stay above `acceptance.structure_reuse_speedup_floor` in
 //!   `BENCH_inference.json` (2× by default).
 //!
+//! * **Serve** — the online-daemon workloads from `benches/serve.rs`:
+//!   in-process `PROB` query dispatch through the wire protocol must
+//!   stay above `acceptance.query_throughput_floor_per_sec`, and the
+//!   warm-started re-inference sweep over the steady-state refresh
+//!   right-hand sides must spend fewer CGLS iterations than the cold
+//!   sweep by `acceptance.warm_reinfer_speedup_floor` (a deterministic
+//!   ratio; the wall-clock sweep times are printed for the record),
+//!   both in `BENCH_serve.json`.
+//!
 //! Run from the repository root, in release mode:
 //!
 //! ```text
 //! cargo run --release -p netcorr-bench --bin bench_gate
 //! ```
 //!
-//! The baseline paths can be overridden with the `BENCH_BASELINE` and
-//! `BENCH_INFERENCE_BASELINE` environment variables.
+//! The baseline paths can be overridden with the `BENCH_BASELINE`,
+//! `BENCH_INFERENCE_BASELINE` and `BENCH_SERVE_BASELINE` environment
+//! variables.
 
 use std::time::Instant;
 
-use netcorr_bench::fixture;
+use netcorr_bench::{fixture, serve_reinfer_workload};
 use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, InferenceContext};
 use netcorr_eval::figures::TopologyFamily;
 use netcorr_eval::scenario::CorrelationLevel;
@@ -41,6 +51,8 @@ const SNAPSHOTS: usize = 4096;
 const HUBS: usize = 150;
 const DEFAULT_FLOOR: f64 = 8.0;
 const DEFAULT_INFERENCE_FLOOR: f64 = 2.0;
+const DEFAULT_QUERY_FLOOR: f64 = 50_000.0;
+const DEFAULT_WARM_FLOOR: f64 = 1.08;
 
 /// Extracts `"<key>": <number>` from the baseline JSON with a plain text
 /// scan (the vendored serde_json shim only serializes).
@@ -208,6 +220,118 @@ fn main() {
         eprintln!(
             "bench_gate: FAIL — structure-reuse speedup {reuse_speedup:.1}x is below \
              {inference_floor}x"
+        );
+        std::process::exit(1);
+    }
+
+    // --- Serve gate: query dispatch throughput + warm re-inference. ---
+    let serve_baseline =
+        std::env::var("BENCH_SERVE_BASELINE").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let query_floor = match read_floor(&serve_baseline, "query_throughput_floor_per_sec") {
+        Some(f) => f,
+        None => {
+            eprintln!(
+                "bench_gate: no query_throughput_floor_per_sec in {serve_baseline}, using \
+                 default {DEFAULT_QUERY_FLOOR}/s"
+            );
+            DEFAULT_QUERY_FLOOR
+        }
+    };
+    let warm_floor = match read_floor(&serve_baseline, "warm_reinfer_speedup_floor") {
+        Some(f) => f,
+        None => {
+            eprintln!(
+                "bench_gate: no warm_reinfer_speedup_floor in {serve_baseline}, using default \
+                 {DEFAULT_WARM_FLOOR}x"
+            );
+            DEFAULT_WARM_FLOOR
+        }
+    };
+
+    // Query dispatch: the same in-process `PROB` path as the
+    // `serve_query` benchmark — what one daemon session costs per query
+    // once the socket is taken out of the picture.
+    let mut service = netcorr_serve::TomographyService::new(instance, &AlgorithmConfig::default())
+        .expect("service builds");
+    service
+        .ingest_observations(&fx.observations)
+        .expect("fixture observations ingest");
+    service.reinfer().expect("inference succeeds");
+    let num_links = service.num_links();
+    const QUERIES_PER_ITER: usize = 1000;
+    let query_mean = time_mean(3, 20, || {
+        for q in 0..QUERIES_PER_ITER {
+            let line = format!("PROB {}", q % num_links);
+            let reply =
+                netcorr_serve::protocol::execute(&mut service, &line, &mut std::io::empty());
+            assert!(reply.text.starts_with("OK "));
+        }
+    }) / QUERIES_PER_ITER as f64;
+    let query_throughput = 1.0 / query_mean;
+
+    // Warm vs cold re-inference over the identical steady-state refresh
+    // sequence (sparse plan, online tolerance) — the daemon's warm chain
+    // must actually be cheaper than solving every refresh from zero. The
+    // floored metric is the **CGLS iteration ratio**, which is fully
+    // deterministic for a given workload (wall-clock tracks it, since
+    // every iteration costs the same two matvecs, but timing a ~1.15x
+    // effect on a shared CI box would flake); the measured sweep times
+    // are printed alongside for the record.
+    let (serve_context, rhs_sequence) = serve_reinfer_workload(&fx);
+    let mut cold_iterations = 0usize;
+    let cold_mean = time_mean(2, 10, || {
+        cold_iterations = 0;
+        for rhs in &rhs_sequence {
+            let (estimate, _) = serve_context.reinfer(rhs, None).expect("solves");
+            cold_iterations += estimate.diagnostics.iterations;
+        }
+    });
+    let mut warm_iterations = 0usize;
+    let warm_mean = time_mean(2, 10, || {
+        warm_iterations = 0;
+        let mut warm: Option<Vec<f64>> = None;
+        for rhs in &rhs_sequence {
+            let (estimate, x) = serve_context.reinfer(rhs, warm.as_deref()).expect("solves");
+            warm_iterations += estimate.diagnostics.iterations;
+            warm = Some(x);
+        }
+    });
+    let warm_speedup = cold_iterations as f64 / warm_iterations.max(1) as f64;
+    println!(
+        "bench_gate: serve — query dispatch + warm re-inference ({} links, {} refreshes)",
+        num_links,
+        rhs_sequence.len()
+    );
+    println!(
+        "  PROB dispatch     {:>10.2} us/query ({:.0} queries/s, floor {query_floor}/s from \
+         {serve_baseline})",
+        query_mean * 1e6,
+        query_throughput
+    );
+    println!(
+        "  cold refresh sweep {:>9.1} us ({cold_iterations} CGLS iterations)",
+        cold_mean * 1e6
+    );
+    println!(
+        "  warm refresh sweep {:>9.1} us ({warm_iterations} CGLS iterations)",
+        warm_mean * 1e6
+    );
+    println!(
+        "  warm speedup      {warm_speedup:>10.2}x fewer iterations (floor {warm_floor}x from \
+         {serve_baseline}; wall-clock {:.2}x)",
+        cold_mean / warm_mean
+    );
+
+    if query_throughput < query_floor {
+        eprintln!(
+            "bench_gate: FAIL — query throughput {query_throughput:.0}/s is below {query_floor}/s"
+        );
+        std::process::exit(1);
+    }
+    if warm_speedup < warm_floor {
+        eprintln!(
+            "bench_gate: FAIL — warm re-inference iteration speedup {warm_speedup:.2}x is below \
+             {warm_floor}x"
         );
         std::process::exit(1);
     }

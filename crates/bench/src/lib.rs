@@ -9,12 +9,15 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use netcorr_core::{CorrelationAlgorithm, IndependenceAlgorithm};
+use netcorr_core::{
+    AlgorithmConfig, CorrelationAlgorithm, IncrementalEquationBuilder, IndependenceAlgorithm,
+    InferenceContext,
+};
 use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
 use netcorr_eval::scenario::{
     CongestionScenario, CorrelationLevel, ScenarioBuilder, ScenarioConfig,
 };
-use netcorr_measure::PathObservations;
+use netcorr_measure::{PathObservations, StreamingEstimator};
 use netcorr_sim::{SimulationConfig, Simulator};
 use netcorr_topology::TopologyInstance;
 
@@ -86,6 +89,59 @@ pub fn fixture(
     }
 }
 
+/// Warm-up history of the serve (daemon) re-inference workload: this many
+/// fixture snapshots are accumulated before the first refresh, so the
+/// refresh sequence sits in the daemon's steady state (each new snapshot
+/// moves the estimates by well under a percent).
+pub const SERVE_HEAD_SNAPSHOTS: usize = 250;
+
+/// The CGLS tolerance of the online re-inference workload. Looser than
+/// the offline default (1e-12): a live daemon trades the last digits for
+/// latency, and it is exactly the regime where warm starts pay off
+/// (consecutive refreshes differ by a single snapshot, so the previous
+/// solution is already within a few iterations of the next).
+pub const SERVE_CGLS_TOLERANCE: f64 = 1e-5;
+
+/// The live-stream re-inference workload shared by `benches/serve.rs`
+/// and the `bench_gate` binary: a **sparse-plan** inference context at
+/// the online tolerance, plus the sequence of right-hand sides an
+/// [`IncrementalEquationBuilder`] produces in the daemon's steady state —
+/// one after [`SERVE_HEAD_SNAPSHOTS`] warm-up snapshots, then one per
+/// additional snapshot up to the fixture's [`BENCH_SNAPSHOTS`] (the
+/// "re-infer continuously as snapshots arrive" regime).
+///
+/// Running `context.reinfer(&rhs, None)` over the sequence measures cold
+/// re-inference; chaining each solve from the previous solution measures
+/// the daemon's warm path on identical right-hand sides. The CGLS
+/// iteration counts of both sweeps are deterministic, so
+/// `bench_gate` floors the warm advantage on iterations (noise-free)
+/// while the criterion bench reports the wall-clock times.
+pub fn serve_reinfer_workload(fx: &Fixture) -> (InferenceContext, Vec<Vec<f64>>) {
+    let instance = &fx.scenario.instance;
+    let mut config = AlgorithmConfig::default();
+    config.solver.dense_threshold = 0; // force the sparse CGLS plan
+    config.solver.cgls_tolerance = SERVE_CGLS_TOLERANCE;
+    let context = InferenceContext::new(instance, &config).expect("context builds");
+    let mut streaming = StreamingEstimator::new(instance.num_paths());
+    let builder = IncrementalEquationBuilder::new(instance, &mut streaming, &config.equations)
+        .expect("builder builds");
+    let total = fx.observations.num_snapshots();
+    let head = SERVE_HEAD_SNAPSHOTS.min(total);
+    for i in 0..head {
+        streaming
+            .push_snapshot(&fx.observations.snapshot(i))
+            .expect("width matches");
+    }
+    let mut rhs_sequence = vec![builder.rhs(&streaming).expect("snapshots pushed")];
+    for i in head..total {
+        streaming
+            .push_snapshot(&fx.observations.snapshot(i))
+            .expect("width matches");
+        rhs_sequence.push(builder.rhs(&streaming).expect("snapshots pushed"));
+    }
+    (context, rhs_sequence)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +163,59 @@ mod tests {
             let baseline = fixture.run_independence();
             assert_eq!(baseline.num_links(), estimate.num_links());
         }
+    }
+
+    #[test]
+    fn serve_workload_produces_solvable_rhs_sequences() {
+        let fx = fixture(
+            TopologyFamily::PlanetLab,
+            0.10,
+            CorrelationLevel::HighlyCorrelated,
+            0.0,
+            0.0,
+            7,
+        );
+        let (context, rhs_sequence) = serve_reinfer_workload(&fx);
+        assert_eq!(
+            rhs_sequence.len(),
+            1 + BENCH_SNAPSHOTS - SERVE_HEAD_SNAPSHOTS
+        );
+        for rhs in &rhs_sequence {
+            assert_eq!(rhs.len(), context.structure().num_equations());
+        }
+        // Warm-chained and cold sweeps over the identical refresh sequence:
+        // the chained solutions stay close to the cold ones (both satisfy
+        // the online tolerance; the gap is solver slack, not drift that
+        // compounds), and the warm sweep provably spends fewer CGLS
+        // iterations — the effect `bench_gate` floors.
+        let mut cold_iterations = 0usize;
+        let mut warm_iterations = 0usize;
+        let mut warm: Option<Vec<f64>> = None;
+        let mut chained = None;
+        for rhs in &rhs_sequence {
+            let (estimate, x) = context.reinfer(rhs, warm.as_deref()).expect("solves");
+            warm_iterations += estimate.diagnostics.iterations;
+            warm = Some(x);
+            chained = Some(estimate);
+        }
+        for rhs in &rhs_sequence {
+            let (estimate, _) = context.reinfer(rhs, None).expect("solves");
+            cold_iterations += estimate.diagnostics.iterations;
+        }
+        assert!(
+            warm_iterations < cold_iterations,
+            "warm sweep took {warm_iterations} CGLS iterations, cold {cold_iterations}"
+        );
+        let (cold, _) = context
+            .reinfer(rhs_sequence.last().expect("non-empty"), None)
+            .expect("solves");
+        let max_diff = chained
+            .expect("at least one refresh")
+            .probabilities()
+            .iter()
+            .zip(cold.probabilities())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_diff <= 1e-2, "warm drifted {max_diff} from cold");
     }
 }

@@ -59,6 +59,7 @@ fn infer_log_linear(
         solver: outcome.kind,
         residual: outcome.residual,
         uncovered_links: system.num_uncovered_links(),
+        iterations: outcome.iterations,
     };
     Ok(TomographyEstimate::from_log_good_probabilities(
         &outcome.x,

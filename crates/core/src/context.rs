@@ -235,6 +235,7 @@ impl InferenceContext {
                 used_single: 0,
                 used_pair: 0,
                 underdetermined: false,
+                iterations: 0,
             },
             SolvePlan::DenseFactored { qr } => solver::solve_dense_determined(qr, &b)?,
             SolvePlan::DenseL1 { a } => solver::solve_dense_l1(a, &b)?,
@@ -284,6 +285,7 @@ impl InferenceContext {
                                 used_single: 0,
                                 used_pair: 0,
                                 underdetermined: false,
+                                iterations: 0,
                             },
                             rhs,
                         )
@@ -316,6 +318,27 @@ impl InferenceContext {
         let rhs = self.rhs(&estimator)?;
         let outcome = self.solve(&rhs)?;
         Ok(self.estimate(outcome))
+    }
+
+    /// The online (daemon) re-infer entry point: solves an already-built
+    /// right-hand side — typically refreshed in `O(#equations)` by an
+    /// [`crate::IncrementalEquationBuilder`] over a streaming estimator —
+    /// and returns the estimate **plus the solved log-good-probabilities**,
+    /// so the caller can seed the next refresh's warm start with them.
+    ///
+    /// On the dense plans `warm` is ignored and the result is bit-identical
+    /// to [`InferenceContext::infer`] on the same observations; on the
+    /// sparse plan CGLS starts from `warm` instead of zero, which converges
+    /// in few iterations when consecutive refreshes are close relative to
+    /// the solver tolerance (the live-stream case).
+    pub fn reinfer(
+        &self,
+        rhs: &[f64],
+        warm: Option<&[f64]>,
+    ) -> Result<(TomographyEstimate, Vec<f64>), CoreError> {
+        let outcome = self.solve_with_warm_start(rhs, warm)?;
+        let x = outcome.x.clone();
+        Ok((self.estimate(outcome), x))
     }
 
     /// Infers a whole batch of trials over the shared structure (see
@@ -381,6 +404,7 @@ impl InferenceContext {
             solver: outcome.kind,
             residual: outcome.residual,
             uncovered_links: self.uncovered_links,
+            iterations: outcome.iterations,
         };
         TomographyEstimate::from_log_good_probabilities(&outcome.x, diagnostics)
     }
@@ -607,6 +631,46 @@ mod tests {
                 cold.probabilities()
             );
         }
+    }
+
+    #[test]
+    fn reinfer_matches_infer_and_chains_warm_starts() {
+        let inst = fig1a_instance();
+        let obs = simulate(&inst, 2_000, 17);
+        let estimator = ProbabilityEstimator::new(&obs).unwrap();
+
+        // Dense plan: reinfer (with or without a warm seed) is bit-identical
+        // to infer — the seed is ignored.
+        let config = AlgorithmConfig::default();
+        let ctx = InferenceContext::for_correlation(&inst, config).unwrap();
+        let rhs = ctx.rhs(&estimator).unwrap();
+        let reference = ctx.infer(&obs).unwrap();
+        let (cold, x_cold) = ctx.reinfer(&rhs, None).unwrap();
+        assert_eq!(cold.probabilities(), reference.probabilities());
+        let (seeded, _) = ctx.reinfer(&rhs, Some(&x_cold)).unwrap();
+        assert_eq!(seeded.probabilities(), reference.probabilities());
+
+        // Sparse plan: a cold reinfer equals infer bit-identically, and a
+        // warm reinfer seeded from the previous solution stays within the
+        // CGLS tolerance of it.
+        let mut sparse = config;
+        sparse.solver.dense_threshold = 0;
+        let ctx = InferenceContext::for_correlation(&inst, sparse).unwrap();
+        assert_eq!(ctx.solver_kind(), SolverKind::SparseIterative);
+        let rhs = ctx.rhs(&estimator).unwrap();
+        let reference = ctx.infer(&obs).unwrap();
+        let (cold, x_cold) = ctx.reinfer(&rhs, None).unwrap();
+        assert_eq!(cold.probabilities(), reference.probabilities());
+        let obs2 = simulate(&inst, 2_000, 18);
+        let estimator2 = ProbabilityEstimator::new(&obs2).unwrap();
+        let rhs2 = ctx.rhs(&estimator2).unwrap();
+        let (warm, _) = ctx.reinfer(&rhs2, Some(&x_cold)).unwrap();
+        let (cold2, _) = ctx.reinfer(&rhs2, None).unwrap();
+        assert!(norms::approx_eq(
+            warm.probabilities(),
+            cold2.probabilities(),
+            1e-6
+        ));
     }
 
     #[test]

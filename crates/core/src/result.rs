@@ -38,6 +38,8 @@ pub struct Diagnostics {
     /// Number of links that appear in no usable equation (their estimate
     /// comes purely from the regularisation / minimum-norm choice).
     pub uncovered_links: usize,
+    /// Iterations spent by the iterative solver (0 for the direct paths).
+    pub iterations: usize,
 }
 
 /// Per-link congestion probabilities inferred from end-to-end measurements.
@@ -119,6 +121,7 @@ mod tests {
             solver: SolverKind::DenseExact,
             residual: 0.0,
             uncovered_links: 0,
+            iterations: 0,
         }
     }
 

@@ -89,6 +89,8 @@ pub struct SolveOutcome {
     pub used_pair: usize,
     /// Whether fewer independent equations than unknowns were available.
     pub underdetermined: bool,
+    /// Iterations spent by the iterative solver (0 for the direct paths).
+    pub iterations: usize,
 }
 
 /// Selects a maximal linearly-independent subset of the rows of `matrix`,
@@ -167,6 +169,7 @@ pub(crate) fn solve_dense_determined(
         used_single: 0,
         used_pair: 0,
         underdetermined: false,
+        iterations: 0,
     })
 }
 
@@ -190,6 +193,7 @@ pub(crate) fn solve_dense_l1(a: &Matrix, b: &[f64]) -> Result<SolveOutcome, Core
         used_single: 0,
         used_pair: 0,
         underdetermined: true,
+        iterations: 0,
     })
 }
 
@@ -220,6 +224,7 @@ pub(crate) fn solve_sparse_prepared(
         used_single: 0,
         used_pair: 0,
         underdetermined,
+        iterations: solution.iterations,
     })
 }
 
@@ -241,6 +246,7 @@ pub fn solve_equations(
             used_single: 0,
             used_pair: 0,
             underdetermined: false,
+            iterations: 0,
         });
     }
 

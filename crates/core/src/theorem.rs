@@ -261,6 +261,7 @@ impl<'a> TheoremAlgorithm<'a> {
             solver: SolverKind::DenseExact,
             residual: 0.0,
             uncovered_links: 0,
+            iterations: 0,
         };
         Ok(TheoremEstimate {
             estimate: TomographyEstimate::from_congestion_probabilities(marginals, diagnostics),

@@ -3,14 +3,18 @@
 //! the paper. The full tables are written as CSV files; `EXPERIMENTS.md`
 //! records a snapshot of this binary's output.
 
-use netcorr_eval::cli::CliOptions;
+use netcorr_eval::cli::{usage, CliOptions, CliOutcome};
 use netcorr_eval::figures::{fig3, fig4, fig5, CdfComparison};
 use netcorr_eval::report;
 use netcorr_eval::scenario::CorrelationLevel;
 
 fn main() {
     let options = match CliOptions::from_env() {
-        Ok(options) => options,
+        Ok(CliOutcome::Run(options)) => options,
+        Ok(CliOutcome::HelpRequested) => {
+            println!("{}", usage());
+            return;
+        }
         Err(err) => {
             eprintln!("{err}");
             std::process::exit(2);

@@ -2,14 +2,18 @@
 //! topology): the mean / 90th-percentile sweep over the congested-link
 //! fraction and the two CDFs at 10% congested links.
 
-use netcorr_eval::cli::CliOptions;
+use netcorr_eval::cli::{usage, CliOptions, CliOutcome};
 use netcorr_eval::figures::fig3;
 use netcorr_eval::report;
 use netcorr_eval::scenario::CorrelationLevel;
 
 fn main() {
     let options = match CliOptions::from_env() {
-        Ok(options) => options,
+        Ok(CliOutcome::Run(options)) => options,
+        Ok(CliOutcome::HelpRequested) => {
+            println!("{}", usage());
+            return;
+        }
         Err(err) => {
             eprintln!("{err}");
             std::process::exit(2);

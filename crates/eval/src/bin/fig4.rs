@@ -2,13 +2,17 @@
 //! the congested links are unidentifiable, on Brite- and PlanetLab-style
 //! topologies.
 
-use netcorr_eval::cli::CliOptions;
+use netcorr_eval::cli::{usage, CliOptions, CliOutcome};
 use netcorr_eval::figures::fig4;
 use netcorr_eval::report;
 
 fn main() {
     let options = match CliOptions::from_env() {
-        Ok(options) => options,
+        Ok(CliOutcome::Run(options)) => options,
+        Ok(CliOutcome::HelpRequested) => {
+            println!("{}", usage());
+            return;
+        }
         Err(err) => {
             eprintln!("{err}");
             std::process::exit(2);

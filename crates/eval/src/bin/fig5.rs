@@ -2,13 +2,17 @@
 //! 25% / 50% of the congested links are mislabeled (the worm / flooding
 //! scenario), on Brite- and PlanetLab-style topologies.
 
-use netcorr_eval::cli::CliOptions;
+use netcorr_eval::cli::{usage, CliOptions, CliOutcome};
 use netcorr_eval::figures::fig5;
 use netcorr_eval::report;
 
 fn main() {
     let options = match CliOptions::from_env() {
-        Ok(options) => options,
+        Ok(CliOutcome::Run(options)) => options,
+        Ok(CliOutcome::HelpRequested) => {
+            println!("{}", usage());
+            return;
+        }
         Err(err) => {
             eprintln!("{err}");
             std::process::exit(2);

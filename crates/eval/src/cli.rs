@@ -35,6 +35,30 @@ pub struct CliOptions {
     pub out_dir: PathBuf,
 }
 
+/// The outcome of a successful argument parse: either resolved options to
+/// run with, or an explicit help request (`--help` / `-h`). Help is **not
+/// an error** — the binaries print [`usage`] to stdout and exit 0 —
+/// whereas malformed arguments stay `Err` and exit nonzero.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliOutcome {
+    /// Run with these options.
+    Run(CliOptions),
+    /// `--help` / `-h` was given: print usage and exit successfully.
+    HelpRequested,
+}
+
+impl CliOutcome {
+    /// The options of a `Run` outcome; panics on `HelpRequested` (test
+    /// convenience).
+    #[cfg(test)]
+    fn unwrap_run(self) -> CliOptions {
+        match self {
+            CliOutcome::Run(options) => options,
+            CliOutcome::HelpRequested => panic!("expected options, got a help request"),
+        }
+    }
+}
+
 impl Default for CliOptions {
     fn default() -> Self {
         CliOptions {
@@ -48,7 +72,7 @@ impl Default for CliOptions {
 impl CliOptions {
     /// Parses options from an argument iterator (excluding the program
     /// name), starting from the defaults.
-    pub fn parse<I>(args: I) -> Result<Self, EvalError>
+    pub fn parse<I>(args: I) -> Result<CliOutcome, EvalError>
     where
         I: IntoIterator<Item = String>,
     {
@@ -57,7 +81,7 @@ impl CliOptions {
 
     /// Parses options from an argument iterator onto already-resolved
     /// base options (used to layer flags over environment overrides).
-    fn parse_onto<I>(base: Self, args: I) -> Result<Self, EvalError>
+    fn parse_onto<I>(base: Self, args: I) -> Result<CliOutcome, EvalError>
     where
         I: IntoIterator<Item = String>,
     {
@@ -86,8 +110,10 @@ impl CliOptions {
                         parse_number(&expect_value(&mut args, "--snapshots")?, "--snapshots")?;
                 }
                 "--seed" => {
+                    // Parsed as `u64` directly (not through `usize`), so
+                    // full-range seeds round-trip on 32-bit targets too.
                     options.experiment.base_seed =
-                        parse_number(&expect_value(&mut args, "--seed")?, "--seed")? as u64;
+                        parse_u64(&expect_value(&mut args, "--seed")?, "--seed")?;
                 }
                 "--out" => {
                     options.out_dir = PathBuf::from(expect_value(&mut args, "--out")?);
@@ -106,7 +132,7 @@ impl CliOptions {
                         parse_number(&expect_value(&mut args, "--shards")?, "--shards")?;
                 }
                 "--help" | "-h" => {
-                    return Err(EvalError::InvalidScenario(usage().to_string()));
+                    return Ok(CliOutcome::HelpRequested);
                 }
                 other => {
                     return Err(EvalError::InvalidScenario(format!(
@@ -116,7 +142,7 @@ impl CliOptions {
                 }
             }
         }
-        Ok(options)
+        Ok(CliOutcome::Run(options))
     }
 
     /// Applies environment-variable overrides (`NETCORR_TRIAL_THREADS`,
@@ -138,7 +164,7 @@ impl CliOptions {
     /// Parses options from the process environment and arguments:
     /// defaults, then `NETCORR_*` environment overrides, then flags (so
     /// flags always win).
-    pub fn from_env() -> Result<Self, EvalError> {
+    pub fn from_env() -> Result<CliOutcome, EvalError> {
         let mut options = CliOptions::default();
         options.apply_env_overrides(|key| std::env::var(key).ok())?;
         CliOptions::parse_onto(options, std::env::args().skip(1))
@@ -162,17 +188,23 @@ fn parse_number(value: &str, flag: &str) -> Result<usize, EvalError> {
         .map_err(|_| EvalError::InvalidScenario(format!("invalid number '{value}' for {flag}")))
 }
 
+fn parse_u64(value: &str, flag: &str) -> Result<u64, EvalError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| EvalError::InvalidScenario(format!("invalid number '{value}' for {flag}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<CliOptions, EvalError> {
+    fn parse(args: &[&str]) -> Result<CliOutcome, EvalError> {
         CliOptions::parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults_are_paper_scale() {
-        let options = parse(&[]).unwrap();
+        let options = parse(&[]).unwrap().unwrap_run();
         assert_eq!(options.scale, Scale::Paper);
         assert_eq!(options.experiment.trials, 3);
         assert!(options.experiment.parallel);
@@ -198,7 +230,8 @@ mod tests {
             "--shards",
             "8",
         ])
-        .unwrap();
+        .unwrap()
+        .unwrap_run();
         assert_eq!(options.scale, Scale::Smoke);
         assert_eq!(options.experiment.trials, 5);
         assert_eq!(options.experiment.snapshots, 123);
@@ -221,8 +254,9 @@ mod tests {
         assert_eq!(options.experiment.trial_threads, 3);
         assert_eq!(options.experiment.shards, 6);
         // A flag layered on top of the environment wins.
-        let options =
-            CliOptions::parse_onto(options, ["--shards".to_string(), "2".to_string()]).unwrap();
+        let options = CliOptions::parse_onto(options, ["--shards".to_string(), "2".to_string()])
+            .unwrap()
+            .unwrap_run();
         assert_eq!(options.experiment.shards, 2);
         assert_eq!(options.experiment.trial_threads, 3);
         // Malformed environment values are reported.
@@ -258,7 +292,8 @@ mod tests {
             "--shards",
             "2",
         ])
-        .unwrap();
+        .unwrap()
+        .unwrap_run();
         let base = planetlab::generate(
             &planetlab::PlanetLabConfig::small(),
             &mut StdRng::seed_from_u64(1),
@@ -276,6 +311,27 @@ mod tests {
         assert!(parse(&["--trials"]).is_err());
         assert!(parse(&["--trials", "abc"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
-        assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--seed", "-1"]).is_err());
+    }
+
+    #[test]
+    fn help_is_an_outcome_not_an_error() {
+        // `--help` / `-h` are deliberate requests, not argument mistakes:
+        // the binaries print usage to stdout and exit 0 on this outcome.
+        assert_eq!(parse(&["--help"]).unwrap(), CliOutcome::HelpRequested);
+        assert_eq!(parse(&["-h"]).unwrap(), CliOutcome::HelpRequested);
+        // Help wins even with other (valid) flags before it.
+        assert_eq!(
+            parse(&["--trials", "5", "--help"]).unwrap(),
+            CliOutcome::HelpRequested
+        );
+    }
+
+    #[test]
+    fn seeds_cover_the_full_u64_range() {
+        let options = parse(&["--seed", "18446744073709551615"])
+            .unwrap()
+            .unwrap_run();
+        assert_eq!(options.experiment.base_seed, u64::MAX);
     }
 }

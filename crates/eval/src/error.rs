@@ -27,10 +27,11 @@ pub enum EvalError {
     ScenarioInfeasible(String),
     /// Writing a report failed.
     Io(String),
-    /// Reading or parsing a persisted file failed; keeps the file path
-    /// and the underlying cause so corrupt-file failures are diagnosable.
+    /// Reading, parsing or writing a persisted file failed; keeps the
+    /// file path and the underlying cause so corrupt-file (and failed
+    /// atomic-write) failures are diagnosable.
     Persist {
-        /// The file being read.
+        /// The file being read or written.
         path: String,
         /// The underlying I/O or parse error.
         cause: String,
@@ -48,7 +49,7 @@ impl fmt::Display for EvalError {
             EvalError::ScenarioInfeasible(msg) => write!(f, "scenario infeasible: {msg}"),
             EvalError::Io(msg) => write!(f, "i/o error: {msg}"),
             EvalError::Persist { path, cause } => {
-                write!(f, "failed to read {path}: {cause}")
+                write!(f, "persistence error at {path}: {cause}")
             }
         }
     }

@@ -133,6 +133,7 @@ mod tests {
                 solver: SolverKind::DenseExact,
                 residual: 0.0,
                 uncovered_links: 0,
+                iterations: 0,
             },
         )
     }

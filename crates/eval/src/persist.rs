@@ -22,7 +22,8 @@
 //! studies can re-run inference against the truth that generated it.
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use netcorr_measure::observation::BINARY_MAGIC;
 use netcorr_measure::{BitMatrix, PathObservations};
@@ -34,27 +35,80 @@ use crate::error::EvalError;
 /// v1`): the observation binary block, then the packed link-state matrix.
 pub const TRACE_MAGIC: &[u8; 8] = b"NCTRCv1\n";
 
-/// Writes observations to `path` in the textual (`v2`) wire format,
-/// creating parent directories as needed.
-pub fn write_observations(path: &Path, observations: &PathObservations) -> Result<(), EvalError> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+/// Builds the [`EvalError::Persist`] for a failure at `path`.
+fn persist_err(path: &Path, cause: impl std::fmt::Display) -> EvalError {
+    EvalError::Persist {
+        path: path.display().to_string(),
+        cause: cause.to_string(),
     }
-    fs::write(path, observations.to_wire())?;
-    Ok(())
+}
+
+/// Per-process staging counter, so concurrent writers to the same target
+/// never share a temp file.
+static STAGE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to a unique temporary file **in the same directory** as
+/// `path` (so the commit rename below cannot cross a filesystem boundary)
+/// and returns the staged path. Until [`commit`] renames it over the
+/// target, the target is untouched — a writer that crashes mid-write
+/// leaves only an orphaned `.tmp` file, never a torn target.
+fn stage(path: &Path, bytes: &[u8]) -> Result<PathBuf, EvalError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| persist_err(path, "path has no file name"))?;
+    let tag = STAGE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        tag
+    );
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, bytes).map_err(|e| persist_err(&tmp, e))?;
+    Ok(tmp)
+}
+
+/// Atomically publishes a staged file at the target path.
+fn commit(tmp: &Path, path: &Path) -> Result<(), EvalError> {
+    fs::rename(tmp, path).map_err(|e| {
+        // Leave no orphan behind on a failed publish; the error reported
+        // is the rename failure, not the (best-effort) cleanup.
+        let _ = fs::remove_file(tmp);
+        persist_err(path, e)
+    })
+}
+
+/// Atomically replaces the file at `path` with `bytes`: the content is
+/// staged to a temporary file in the same directory and renamed over the
+/// target, so readers (and format sniffers) only ever see the old complete
+/// file or the new complete file — never a torn intermediate, even if the
+/// writer crashes mid-write or two writers race. Parent directories are
+/// created as needed.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), EvalError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| persist_err(path, e))?;
+        }
+    }
+    let tmp = stage(path, bytes)?;
+    commit(&tmp, path)
+}
+
+/// Writes observations to `path` in the textual (`v2`) wire format,
+/// atomically (temp file + rename) and creating parent directories as
+/// needed.
+pub fn write_observations(path: &Path, observations: &PathObservations) -> Result<(), EvalError> {
+    atomic_write(path, observations.to_wire().as_bytes())
 }
 
 /// Writes observations to `path` in the binary (`v3`) wire format,
-/// creating parent directories as needed.
+/// atomically (temp file + rename) and creating parent directories as
+/// needed.
 pub fn write_observations_binary(
     path: &Path,
     observations: &PathObservations,
 ) -> Result<(), EvalError> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    fs::write(path, observations.to_binary())?;
-    Ok(())
+    atomic_write(path, &observations.to_binary())
 }
 
 /// Reads observations previously written by [`write_observations`] or
@@ -109,14 +163,18 @@ pub fn write_trace(path: &Path, trace: &SimulationTrace) -> Result<(), EvalError
     for &word in states.words() {
         out.extend_from_slice(&word.to_le_bytes());
     }
-    fs::write(path, out)?;
-    Ok(())
+    atomic_write(path, &out)
 }
 
 /// Reads a trace previously written by [`write_trace`].
+///
+/// Every failure — the read itself, a corrupt header or body, an invalid
+/// embedded observation block — is reported as [`EvalError::Persist`]
+/// carrying the file path and the underlying cause (matching
+/// [`read_observations`]).
 pub fn read_trace(path: &Path) -> Result<SimulationTrace, EvalError> {
-    let bytes = fs::read(path)?;
-    let corrupt = |reason: &str| EvalError::Io(format!("corrupt trace file: {reason}"));
+    let bytes = fs::read(path).map_err(|e| persist_err(path, e))?;
+    let corrupt = |reason: &str| persist_err(path, format!("corrupt trace file: {reason}"));
     if bytes.len() < 16 || &bytes[..8] != TRACE_MAGIC {
         return Err(corrupt("missing NCTRCv1 header"));
     }
@@ -133,7 +191,8 @@ pub fn read_trace(path: &Path) -> Result<SimulationTrace, EvalError> {
     let obs_bytes = bytes
         .get(16..obs_end)
         .ok_or_else(|| corrupt("truncated observation block"))?;
-    let observations = PathObservations::from_binary(obs_bytes).map_err(EvalError::Measurement)?;
+    let observations = PathObservations::from_binary(obs_bytes)
+        .map_err(|e| persist_err(path, format!("invalid embedded observation block: {e}")))?;
 
     let width = usize::try_from(read_u64(obs_end)?).map_err(|_| corrupt("width overflow"))?;
     let rows = usize::try_from(read_u64(obs_end + 8)?).map_err(|_| corrupt("rows overflow"))?;
@@ -270,26 +329,95 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Asserts the error is a `Persist` carrying `bad.nctrc` as the path
+    /// and `fragment` inside the cause.
+    fn assert_trace_persist_error(result: Result<SimulationTrace, EvalError>, fragment: &str) {
+        match result {
+            Err(EvalError::Persist { path, cause }) => {
+                assert!(path.contains("bad.nctrc"), "{path}");
+                assert!(cause.contains(fragment), "{cause}");
+            }
+            Ok(_) => panic!("expected a Persist error, got a trace"),
+            Err(other) => panic!("expected a Persist error, got {other:?}"),
+        }
+    }
+
     #[test]
-    fn corrupt_traces_are_rejected() {
+    fn corrupt_traces_are_rejected_with_the_file_path() {
         let dir = std::env::temp_dir().join("netcorr_eval_persist_trace_corrupt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("bad.nctrc");
         std::fs::write(&file, b"junk").unwrap();
-        assert!(read_trace(&file).is_err());
+        assert_trace_persist_error(read_trace(&file), "missing NCTRCv1 header");
         // Valid magic but truncated body.
         std::fs::write(&file, b"NCTRCv1\n\x10\x00\x00\x00\x00\x00\x00\x00").unwrap();
-        assert!(read_trace(&file).is_err());
+        assert_trace_persist_error(read_trace(&file), "truncated observation block");
         // A full trace with one flipped link-state byte (tail violation).
         let (inst, model) = fig1a_simulator();
         let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
         let trace = sim.run_detailed_range(0..10, 3);
         write_trace(&file, &trace).unwrap();
-        let mut bytes = std::fs::read(&file).unwrap();
+        let good_bytes = std::fs::read(&file).unwrap();
+        let mut bytes = good_bytes.clone();
         let last = bytes.len() - 1;
         bytes[last] = 0xff;
         std::fs::write(&file, &bytes).unwrap();
-        assert!(read_trace(&file).is_err());
+        assert_trace_persist_error(read_trace(&file), "bits beyond the width");
+        // A corrupted *embedded* observation block also names the file.
+        let mut bytes = good_bytes;
+        bytes[20] ^= 0xff; // inside the NCOBSv3 header of the embedded block
+        std::fs::write(&file, &bytes).unwrap();
+        assert_trace_persist_error(read_trace(&file), "invalid embedded observation block");
+        // A failed read (missing file) carries the path and the I/O cause.
+        match read_trace(&dir.join("missing.nctrc")) {
+            Err(EvalError::Persist { path, cause }) => {
+                assert!(path.contains("missing.nctrc"), "{path}");
+                assert!(!cause.is_empty());
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_writes_never_become_visible_at_the_target_path() {
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let obs = sim.run(200, &mut StdRng::seed_from_u64(5));
+
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_atomic_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let file = dir.join("observations.ncobs3");
+        write_observations_binary(&file, &obs).unwrap();
+
+        // Simulate a writer that crashes mid-write: the staged temp file
+        // exists (in the same directory, so the commit rename would be
+        // atomic), but the commit never happens. The target file still
+        // holds the previous complete content — format sniffing never sees
+        // the torn bytes.
+        let torn = &obs.to_binary()[..10];
+        let staged = stage(&file, torn).unwrap();
+        assert!(staged.exists());
+        assert_eq!(staged.parent(), file.parent());
+        assert_ne!(staged, file);
+        assert_eq!(read_observations(&file).unwrap(), obs);
+
+        // A second writer completing normally replaces the target wholly,
+        // regardless of the orphaned staging file.
+        let other = sim.run(100, &mut StdRng::seed_from_u64(6));
+        write_observations_binary(&file, &other).unwrap();
+        assert_eq!(read_observations(&file).unwrap(), other);
+
+        // Committing the stale staged bytes is the crash-free path of the
+        // same writer; only then does the target change.
+        commit(&staged, &file).unwrap();
+        assert!(!staged.exists());
+        assert!(read_observations(&file).is_err(), "torn bytes now visible");
+
+        // Atomic text writes go through the same staging machinery.
+        let text_file = dir.join("observations.ncobs");
+        write_observations(&text_file, &obs).unwrap();
+        assert_eq!(read_observations(&text_file).unwrap(), obs);
         std::fs::remove_dir_all(&dir).ok();
     }
 

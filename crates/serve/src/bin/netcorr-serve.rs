@@ -1,0 +1,159 @@
+//! The online tomography daemon binary.
+//!
+//! Builds a topology (one of the named deterministic fixtures), wraps it
+//! in a [`TomographyService`] and serves the line-oriented protocol on a
+//! TCP or Unix socket until an in-band `SHUTDOWN` request arrives.
+//!
+//! ```text
+//! netcorr-serve --listen 127.0.0.1:7870 --topology planetlab-smoke
+//! netcorr-serve --listen unix:/run/netcorr.sock --topology fig1a
+//! ```
+
+use netcorr_core::AlgorithmConfig;
+use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
+use netcorr_serve::{ListenAddr, Server, TomographyService};
+use netcorr_topology::{toy, TopologyInstance};
+
+fn usage() -> &'static str {
+    "usage: netcorr-serve [--listen ADDR] [--topology NAME] [--topology-seed N] \
+     [--independence] [--dense-threshold N] [--cgls-iterations N] [--cgls-tolerance X]\n\
+     \n\
+     ADDR   host:port for TCP (port 0 binds an ephemeral port, reported on stdout),\n\
+     \x20       or unix:<path> for a Unix domain socket (default: 127.0.0.1:0)\n\
+     NAME   fig1a | planetlab-smoke | brite-smoke (default: fig1a); the smoke\n\
+     \x20       fixtures are regenerated deterministically from --topology-seed,\n\
+     \x20       so clients can reconstruct the identical instance"
+}
+
+struct Options {
+    listen: ListenAddr,
+    topology: String,
+    topology_seed: u64,
+    config: AlgorithmConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            listen: ListenAddr::Tcp("127.0.0.1:0".into()),
+            topology: "fig1a".into(),
+            topology_seed: 42,
+            config: AlgorithmConfig::default(),
+        }
+    }
+}
+
+enum Parsed {
+    Run(Box<Options>),
+    Help,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
+    let mut options = Options::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => options.listen = ListenAddr::parse(&value(&mut args, "--listen")?),
+            "--topology" => options.topology = value(&mut args, "--topology")?,
+            "--topology-seed" => {
+                options.topology_seed = parse(&value(&mut args, "--topology-seed")?)?
+            }
+            "--independence" => options.config.equations.respect_correlation = false,
+            "--dense-threshold" => {
+                options.config.solver.dense_threshold =
+                    parse(&value(&mut args, "--dense-threshold")?)?
+            }
+            "--cgls-iterations" => {
+                options.config.solver.cgls_iterations =
+                    parse(&value(&mut args, "--cgls-iterations")?)?
+            }
+            "--cgls-tolerance" => {
+                options.config.solver.cgls_tolerance =
+                    parse(&value(&mut args, "--cgls-tolerance")?)?
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Parsed::Run(Box::new(options)))
+}
+
+fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("missing value for {flag}"))
+}
+
+fn parse<T: std::str::FromStr>(value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}'"))
+}
+
+/// Builds one of the named deterministic topology fixtures. The smoke
+/// fixtures regenerate from `(name, seed)` alone, so an operator (or an
+/// end-to-end test) can reconstruct the exact instance the daemon runs.
+fn build_topology(name: &str, seed: u64) -> Result<TopologyInstance, String> {
+    match name {
+        "fig1a" => Ok(toy::figure_1a()),
+        "planetlab-smoke" => {
+            base_instance(TopologyFamily::PlanetLab, Scale::Smoke, seed).map_err(|e| e.to_string())
+        }
+        "brite-smoke" => {
+            base_instance(TopologyFamily::Brite, Scale::Smoke, seed).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown topology '{other}' (expected fig1a, planetlab-smoke or brite-smoke)"
+        )),
+    }
+}
+
+fn main() {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(options)) => options,
+        Ok(Parsed::Help) => {
+            println!("{}", usage());
+            return;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let instance = match build_topology(&options.topology, options.topology_seed) {
+        Ok(instance) => instance,
+        Err(message) => {
+            eprintln!("netcorr-serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    let service = match TomographyService::new(&instance, &options.config) {
+        Ok(service) => service,
+        Err(error) => {
+            eprintln!("netcorr-serve: failed to build the service: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "netcorr-serve: topology {} ({} paths, {} links, {:?} solver)",
+        options.topology,
+        service.num_paths(),
+        service.num_links(),
+        service.status().solver
+    );
+    let server = match Server::bind(service, &options.listen) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("netcorr-serve: failed to bind {}: {error}", options.listen);
+            std::process::exit(1);
+        }
+    };
+    // The e2e tests (and operator scripts) parse this line for the
+    // ephemeral port; keep the format stable.
+    println!("netcorr-serve: listening on {}", server.local_description());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    if let Err(error) = server.run() {
+        eprintln!("netcorr-serve: server failed: {error}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,278 @@
+//! A small typed client for the daemon's wire protocol.
+//!
+//! [`Client`] wraps any bidirectional byte stream (TCP, Unix socket, or
+//! an in-memory pipe in tests) and exposes one method per protocol
+//! command, parsing the single-line replies back into numbers. Because
+//! replies carry probabilities in Rust's shortest-round-trip `f64`
+//! representation, the values a client parses are **bit-identical** to
+//! the ones the service computed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+use netcorr_measure::PathObservations;
+
+use crate::protocol::frame_observations;
+use crate::service::ServiceStatus;
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The socket failed (connect, read or write).
+    Io(String),
+    /// The server replied `ERR <message>`.
+    Server(String),
+    /// The server's reply did not match the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "malformed reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// The parsed `INFER` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// Snapshots the estimate covers.
+    pub snapshots: usize,
+    /// The numerical path that produced it (`DenseExact`, `DenseL1`,
+    /// `SparseIterative`).
+    pub solver: String,
+    /// Euclidean residual over the collected equations.
+    pub residual: f64,
+    /// Iterations spent by the iterative solver (0 for the direct paths).
+    pub iterations: usize,
+}
+
+/// A protocol session over one connected stream.
+pub struct Client<S: Read + Write> {
+    stream: BufReader<S>,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Client::new(TcpStream::connect(addr)?))
+    }
+}
+
+#[cfg(unix)]
+impl Client<UnixStream> {
+    /// Connects over a Unix domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Client::new(UnixStream::connect(path)?))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Self {
+        Client {
+            stream: BufReader::new(stream),
+        }
+    }
+
+    /// Sends raw request bytes and reads the single-line reply, already
+    /// split into `OK` payload or [`ClientError::Server`].
+    fn exchange(&mut self, request: &[u8]) -> Result<String, ClientError> {
+        let stream = self.stream.get_mut();
+        stream.write_all(request)?;
+        stream.flush()?;
+        let mut reply = String::new();
+        if self.stream.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io("server closed the connection".into()));
+        }
+        let reply = reply.trim_end_matches(['\r', '\n']);
+        if let Some(payload) = reply.strip_prefix("OK") {
+            Ok(payload.trim_start().to_string())
+        } else if let Some(message) = reply.strip_prefix("ERR ") {
+            Err(ClientError::Server(message.to_string()))
+        } else {
+            Err(ClientError::Protocol(format!(
+                "reply is neither OK nor ERR: {reply:?}"
+            )))
+        }
+    }
+
+    fn command(&mut self, line: &str) -> Result<String, ClientError> {
+        self.exchange(format!("{line}\n").as_bytes())
+    }
+
+    /// `PING` — liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let payload = self.command("PING")?;
+        if payload == "pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "unexpected PING payload {payload:?}"
+            )))
+        }
+    }
+
+    /// `OBS` — streams an observation block; returns
+    /// `(snapshots ingested, total snapshots)`.
+    pub fn ingest(
+        &mut self,
+        observations: &PathObservations,
+    ) -> Result<(usize, usize), ClientError> {
+        let payload = self.exchange(&frame_observations(observations))?;
+        Ok((
+            parse_field(&payload, "ingested")?,
+            parse_field(&payload, "snapshots")?,
+        ))
+    }
+
+    /// `INFER` — refreshes the server's estimate.
+    pub fn infer(&mut self) -> Result<InferReply, ClientError> {
+        let payload = self.command("INFER")?;
+        Ok(InferReply {
+            snapshots: parse_field(&payload, "snapshots")?,
+            solver: text_field(&payload, "solver")?,
+            residual: parse_field(&payload, "residual")?,
+            iterations: parse_field(&payload, "iterations")?,
+        })
+    }
+
+    /// `PROB` — one link's latest congestion probability.
+    pub fn probability(&mut self, link: usize) -> Result<f64, ClientError> {
+        let payload = self.command(&format!("PROB {link}"))?;
+        payload
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("non-numeric probability {payload:?}")))
+    }
+
+    /// `PROBS` — every link's latest congestion probability.
+    pub fn probabilities(&mut self) -> Result<Vec<f64>, ClientError> {
+        let payload = self.command("PROBS")?;
+        let mut words = payload.split(' ');
+        let count: usize =
+            words.next().unwrap_or("").parse().map_err(|_| {
+                ClientError::Protocol(format!("missing PROBS count in {payload:?}"))
+            })?;
+        let probabilities = words
+            .map(|w| {
+                w.parse::<f64>().map_err(|_| {
+                    ClientError::Protocol(format!("non-numeric probability {w:?} in PROBS"))
+                })
+            })
+            .collect::<Result<Vec<f64>, ClientError>>()?;
+        if probabilities.len() != count {
+            return Err(ClientError::Protocol(format!(
+                "PROBS declared {count} values but carried {}",
+                probabilities.len()
+            )));
+        }
+        Ok(probabilities)
+    }
+
+    /// `STATE` — congested / good verdict for a link; `threshold`
+    /// defaults server-side to
+    /// [`crate::protocol::DEFAULT_STATE_THRESHOLD`]. Returns
+    /// `(congested, probability)`.
+    pub fn link_state(
+        &mut self,
+        link: usize,
+        threshold: Option<f64>,
+    ) -> Result<(bool, f64), ClientError> {
+        let line = match threshold {
+            Some(t) => format!("STATE {link} {t}"),
+            None => format!("STATE {link}"),
+        };
+        let payload = self.command(&line)?;
+        Ok((
+            text_field(&payload, "congested")? == "true",
+            parse_field(&payload, "probability")?,
+        ))
+    }
+
+    /// `STATUS` — the server's point-in-time summary.
+    pub fn status(&mut self) -> Result<ServiceStatus, ClientError> {
+        let payload = self.command("STATUS")?;
+        let solver = text_field(&payload, "solver")?;
+        Ok(ServiceStatus {
+            num_paths: parse_field(&payload, "paths")?,
+            num_links: parse_field(&payload, "links")?,
+            num_snapshots: parse_field(&payload, "snapshots")?,
+            num_equations: parse_field(&payload, "equations")?,
+            reinfers: parse_field(&payload, "reinfers")?,
+            solver: match solver.as_str() {
+                "DenseExact" => netcorr_core::SolverKind::DenseExact,
+                "DenseL1" => netcorr_core::SolverKind::DenseL1,
+                "SparseIterative" => netcorr_core::SolverKind::SparseIterative,
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unknown solver kind {other:?}"
+                    )))
+                }
+            },
+            inferred: text_field(&payload, "inferred")? == "true",
+        })
+    }
+
+    /// `SHUTDOWN` — asks the server to stop accepting connections and
+    /// exit once in-flight sessions finish.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.command("SHUTDOWN").map(|_| ())
+    }
+}
+
+/// Extracts `key=value` from a reply payload as text.
+fn text_field(payload: &str, key: &str) -> Result<String, ClientError> {
+    payload
+        .split(' ')
+        .find_map(|word| word.strip_prefix(key)?.strip_prefix('='))
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::Protocol(format!("missing field {key:?} in {payload:?}")))
+}
+
+/// Extracts and parses `key=value` from a reply payload.
+fn parse_field<T: std::str::FromStr>(payload: &str, key: &str) -> Result<T, ClientError> {
+    let value = text_field(payload, key)?;
+    value
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("invalid value {value:?} for field {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_fields_parse() {
+        let payload = "paths=3 links=4 snapshots=60 reinfers=2 inferred=true";
+        assert_eq!(parse_field::<usize>(payload, "links").unwrap(), 4);
+        assert_eq!(text_field(payload, "inferred").unwrap(), "true");
+        // `snapshots` must not match the prefix of another key.
+        assert_eq!(parse_field::<usize>(payload, "snapshots").unwrap(), 60);
+        assert!(text_field(payload, "absent").is_err());
+        assert!(parse_field::<usize>(payload, "inferred").is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ClientError::Server("no estimate".into())
+            .to_string()
+            .contains("no estimate"));
+        let e: ClientError = std::io::Error::other("refused").into();
+        assert!(e.to_string().contains("refused"));
+    }
+}

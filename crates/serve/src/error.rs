@@ -1,0 +1,115 @@
+//! Error type for the online tomography daemon.
+
+use std::fmt;
+
+use netcorr_core::CoreError;
+use netcorr_measure::MeasureError;
+
+/// Errors produced by the daemon's service, protocol and server layers.
+///
+/// Every variant renders to a single human-readable line, because the
+/// wire protocol reports failures as one `ERR <message>` reply per
+/// request (the connection stays open; one bad request never takes the
+/// session down).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// An inference problem (context construction, RHS refresh, solve).
+    Inference(CoreError),
+    /// A measurement problem (snapshot ingest, estimator queries).
+    Measurement(MeasureError),
+    /// An ingested observation block covers a different number of paths
+    /// than the topology the daemon was started with.
+    PathMismatch {
+        /// Paths in the ingested block.
+        block: usize,
+        /// Paths in the daemon's topology.
+        instance: usize,
+    },
+    /// A query referenced a link outside the topology.
+    UnknownLink {
+        /// The requested link index.
+        link: usize,
+        /// Number of links in the topology.
+        num_links: usize,
+    },
+    /// A probability/state query arrived before any `INFER` produced an
+    /// estimate.
+    NoEstimate,
+    /// A request line (or framed body) violated the wire protocol.
+    Protocol(String),
+    /// An I/O problem on the socket.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Inference(e) => write!(f, "inference error: {e}"),
+            ServeError::Measurement(e) => write!(f, "measurement error: {e}"),
+            ServeError::PathMismatch { block, instance } => write!(
+                f,
+                "observation block covers {block} paths, topology has {instance}"
+            ),
+            ServeError::UnknownLink { link, num_links } => {
+                write!(f, "unknown link {link} (topology has {num_links} links)")
+            }
+            ServeError::NoEstimate => {
+                write!(
+                    f,
+                    "no estimate yet: ingest observations and run INFER first"
+                )
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+impl From<MeasureError> for ServeError {
+    fn from(e: MeasureError) -> Self {
+        ServeError::Measurement(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ServeError = CoreError::NoUsableEquations.into();
+        assert!(e.to_string().contains("inference"));
+        let e: ServeError = MeasureError::NoSnapshots.into();
+        assert!(matches!(e, ServeError::Measurement(_)));
+        let e: ServeError = std::io::Error::other("peer hung up").into();
+        assert!(e.to_string().contains("peer hung up"));
+        let e = ServeError::PathMismatch {
+            block: 7,
+            instance: 3,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e = ServeError::UnknownLink {
+            link: 9,
+            num_links: 4,
+        };
+        assert!(e.to_string().contains("unknown link 9"));
+        assert!(ServeError::NoEstimate.to_string().contains("INFER"));
+        assert!(ServeError::Protocol("bad verb".into())
+            .to_string()
+            .contains("bad verb"));
+    }
+}

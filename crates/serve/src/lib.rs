@@ -1,0 +1,47 @@
+//! # netcorr-serve — the online tomography daemon
+//!
+//! The offline pipeline infers per-link congestion probabilities from a
+//! complete set of end-to-end observations. This crate closes the loop
+//! for a live deployment: a long-running daemon that
+//!
+//! 1. **ingests** observation snapshots as framed v3 wire-format blocks
+//!    over a socket (TCP or Unix domain), feeding a
+//!    [`netcorr_measure::StreamingEstimator`] at O(1) cost per snapshot;
+//! 2. **re-infers** on demand: the right-hand side refreshes in
+//!    `O(#equations)` through a
+//!    [`netcorr_core::IncrementalEquationBuilder`], and the solve runs
+//!    over a cached [`netcorr_core::InferenceContext`] — reusing the
+//!    equation structure, the independence selection and the dense QR
+//!    factorization (or blocked sparse matrix), with CGLS warm-started
+//!    from the previous solution on the sparse plan;
+//! 3. **answers** link-state and probability queries over a small
+//!    line-oriented request protocol ([`protocol`]), with per-request
+//!    `ERR` replies instead of connection drops and an in-band graceful
+//!    `SHUTDOWN`.
+//!
+//! On the dense solve plans (instances up to the solver's
+//! `dense_threshold`) every answer the daemon gives is **bit-identical**
+//! to the offline batch inference over the same accumulated
+//! observations; the daemon changes latency, not results.
+//!
+//! The layers are usable separately: [`service::TomographyService`] is
+//! the engine (no I/O), [`protocol`] parses/dispatches request lines
+//! (shared by the server and the benchmarks), [`server::Server`] is the
+//! socket front-end, and [`client::Client`] is a typed client used by
+//! the tests, the examples and operators' scripts. The `netcorr-serve`
+//! binary wires them together behind a CLI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError, InferReply};
+pub use error::ServeError;
+pub use protocol::{Reply, Request};
+pub use server::{ListenAddr, Server};
+pub use service::{ServiceStatus, TomographyService};

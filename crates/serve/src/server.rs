@@ -1,0 +1,403 @@
+//! The socket front-end: accept loop, per-connection sessions, graceful
+//! shutdown.
+//!
+//! [`Server`] listens on TCP (`host:port`) or, on Unix platforms, a Unix
+//! domain socket (`unix:/path`). Each accepted connection gets its own
+//! handler thread reading request lines and writing single-line replies;
+//! the [`TomographyService`] sits behind one mutex, so concurrent
+//! sessions observe a serializable history of ingests and inferences.
+//!
+//! Shutdown is cooperative: a `SHUTDOWN` request (or the
+//! [`Server::shutdown_handle`] flag flipping, e.g. from a signal
+//! handler) makes the nonblocking accept loop stop, the listener close,
+//! and `run` join every session thread before returning. In-flight
+//! requests finish; per-request failures are `ERR` replies, never
+//! connection drops.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol;
+use crate::service::TomographyService;
+
+/// How long the accept loop sleeps when no connection is pending; bounds
+/// the shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on accepted connections. A session blocked waiting for
+/// the next request wakes at this cadence to poll the shutdown flag, so
+/// `SHUTDOWN` (or a flipped [`Server::shutdown_handle`]) can join every
+/// session even while other clients sit idle on open connections.
+const SESSION_READ_POLL: Duration = Duration::from_millis(100);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP address (`host:port`; port 0 binds an ephemeral port).
+    Tcp(String),
+    /// A Unix domain socket path (Unix platforms only).
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parses an address argument: a `unix:` prefix selects a Unix
+    /// domain socket, anything else is a TCP `host:port`.
+    pub fn parse(arg: &str) -> ListenAddr {
+        match arg.strip_prefix("unix:") {
+            Some(path) => ListenAddr::Unix(PathBuf::from(path)),
+            None => ListenAddr::Tcp(arg.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(addr) => write!(f, "tcp://{addr}"),
+            ListenAddr::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// The daemon's socket server: one listener, one shared service, one
+/// session thread per connection.
+pub struct Server {
+    listener: Listener,
+    service: Arc<Mutex<TomographyService>>,
+    shutdown: Arc<AtomicBool>,
+    /// The Unix socket path to unlink once the server stops.
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the listener and wraps the service for concurrent sessions.
+    /// A stale Unix socket file from a previous run is replaced.
+    pub fn bind(service: TomographyService, addr: &ListenAddr) -> std::io::Result<Server> {
+        let (listener, unix_path) = match addr {
+            ListenAddr::Tcp(tcp) => (Listener::Tcp(TcpListener::bind(tcp.as_str())?), None),
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                // Binding fails with AddrInUse if the file exists, even
+                // when no process listens on it; remove leftovers first.
+                let _ = std::fs::remove_file(path);
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    Some(path.clone()),
+                )
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix domain sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Server {
+            listener,
+            service: Arc::new(Mutex::new(service)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            unix_path,
+        })
+    }
+
+    /// The bound address in `ListenAddr` display form — for TCP this is
+    /// the **actual** address, so binding port 0 reports the ephemeral
+    /// port a client should connect to.
+    pub fn local_description(&self) -> String {
+        match &self.listener {
+            Listener::Tcp(listener) => match listener.local_addr() {
+                Ok(addr) => format!("tcp://{addr}"),
+                Err(_) => "tcp://<unknown>".to_string(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(_) => match &self.unix_path {
+                Some(path) => format!("unix://{}", path.display()),
+                None => "unix://<unknown>".to_string(),
+            },
+        }
+    }
+
+    /// A handle that makes [`Server::run`] return when set to `true`
+    /// (the in-band `SHUTDOWN` request sets the same flag).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the accept loop until shutdown, then joins every session
+    /// thread and removes the Unix socket file (if any).
+    pub fn run(self) -> std::io::Result<()> {
+        match &self.listener {
+            Listener::Tcp(listener) => listener.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Unix(listener) => listener.set_nonblocking(true)?,
+        }
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let accepted = match &self.listener {
+                Listener::Tcp(listener) => match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        stream.set_read_timeout(Some(SESSION_READ_POLL))?;
+                        Some(spawn_session(stream, &self.service, &self.shutdown))
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+                #[cfg(unix)]
+                Listener::Unix(listener) => match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        stream.set_read_timeout(Some(SESSION_READ_POLL))?;
+                        Some(spawn_session(stream, &self.service, &self.shutdown))
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match accepted {
+                Some(handle) => {
+                    sessions.push(handle);
+                    // Opportunistically reap finished sessions so a
+                    // long-lived daemon does not accumulate handles.
+                    sessions.retain(|h| !h.is_finished());
+                }
+                None => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn spawn_session<S>(
+    stream: S,
+    service: &Arc<Mutex<TomographyService>>,
+    shutdown: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()>
+where
+    S: std::io::Read + Write + Send + 'static,
+{
+    let service = Arc::clone(service);
+    let shutdown = Arc::clone(shutdown);
+    std::thread::spawn(move || {
+        // Session errors (a peer vanishing mid-request) just end the
+        // session; the daemon itself keeps serving.
+        let _ = run_session(stream, &service, &shutdown);
+    })
+}
+
+/// Whether a read error is the periodic read-timeout tick (reported as
+/// `WouldBlock` on Unix, `TimedOut` on other platforms) rather than a
+/// real failure.
+fn is_read_poll(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// A reader that retries the underlying stream's read-timeout ticks
+/// until shutdown, so a framed `OBS` payload can span several ticks on a
+/// slow client without failing the request.
+struct PolledReader<'a, R> {
+    inner: &'a mut R,
+    shutdown: &'a AtomicBool,
+}
+
+impl<R: std::io::Read> std::io::Read for PolledReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e) if is_read_poll(&e) && !self.shutdown.load(Ordering::SeqCst) => continue,
+                result => return result,
+            }
+        }
+    }
+}
+
+/// Serves one connection: read a request line, dispatch it against the
+/// shared service (holding the lock across the OBS payload read, so a
+/// block ingests atomically), write the single-line reply. Returns on
+/// EOF, on a socket error, on shutdown (while idle between requests),
+/// or after replying to `SHUTDOWN`.
+fn run_session<S: std::io::Read + Write>(
+    stream: S,
+    service: &Mutex<TomographyService>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // A timed-out read keeps any partial line accumulated so far and
+        // polls the shutdown flag; a request already in flight is still
+        // completed before the session exits.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF: client closed the connection.
+            Ok(_) => {}
+            Err(e) if is_read_poll(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let request = line.trim_end_matches(['\r', '\n']);
+        let reply = if request.trim().is_empty() {
+            line.clear();
+            continue;
+        } else {
+            let mut service = service.lock().expect("service mutex poisoned");
+            let mut body = PolledReader {
+                inner: &mut reader,
+                shutdown,
+            };
+            protocol::execute(&mut service, request, &mut body)
+        };
+        line.clear();
+        let stream = reader.get_mut();
+        stream.write_all(reply.text.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        if reply.shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+    }
+}
+
+// Session streams the server accepts. (TcpStream/UnixStream already
+// implement Read + Write + Send; nothing to add — this block just keeps
+// the bound requirements in one visible place.)
+#[allow(dead_code)]
+fn _assert_session_streams() {
+    fn assert_stream<S: std::io::Read + Write + Send + 'static>() {}
+    assert_stream::<TcpStream>();
+    #[cfg(unix)]
+    assert_stream::<UnixStream>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use netcorr_core::AlgorithmConfig;
+    use netcorr_measure::PathObservations;
+    use netcorr_topology::toy;
+
+    fn service() -> TomographyService {
+        TomographyService::new(&toy::figure_1a(), &AlgorithmConfig::default()).unwrap()
+    }
+
+    fn observations(snapshots: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3);
+        for i in 0..snapshots {
+            obs.record_snapshot(&[i % 3 == 0, i % 4 == 0, i % 5 == 0])
+                .unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn listen_addresses_parse_and_display() {
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:9000"),
+            ListenAddr::Tcp("127.0.0.1:9000".into())
+        );
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/nc.sock"),
+            ListenAddr::Unix(PathBuf::from("/tmp/nc.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:9000").to_string(),
+            "tcp://127.0.0.1:9000"
+        );
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/nc.sock").to_string(),
+            "unix:///tmp/nc.sock"
+        );
+    }
+
+    #[test]
+    fn tcp_session_end_to_end_with_in_band_shutdown() {
+        let server = Server::bind(service(), &ListenAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let description = server.local_description();
+        let addr = description.strip_prefix("tcp://").unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect_tcp(&addr).unwrap();
+        client.ping().unwrap();
+        let obs = observations(30);
+        let (ingested, total) = client.ingest(&obs).unwrap();
+        assert_eq!((ingested, total), (30, 30));
+        let infer = client.infer().unwrap();
+        assert_eq!(infer.snapshots, 30);
+        let probs = client.probabilities().unwrap();
+        assert_eq!(probs.len(), 4);
+        // A second client sees the same state (sessions share the service).
+        let mut second = Client::connect_tcp(&addr).unwrap();
+        assert_eq!(second.probabilities().unwrap(), probs);
+        // An in-band error leaves both sessions usable.
+        assert!(second.probability(99).is_err());
+        second.ping().unwrap();
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_session_and_socket_file_cleanup() {
+        let path =
+            std::env::temp_dir().join(format!("netcorr-serve-test-{}.sock", std::process::id()));
+        let addr = ListenAddr::Unix(path.clone());
+        let server = Server::bind(service(), &addr).unwrap();
+        assert_eq!(
+            server.local_description(),
+            format!("unix://{}", path.display())
+        );
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect_unix(&path).unwrap();
+        client.ingest(&observations(16)).unwrap();
+        client.infer().unwrap();
+        assert!(client.status().unwrap().inferred);
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+        assert!(!path.exists(), "socket file should be removed on shutdown");
+        // Binding over a stale socket file works (simulate a crash leftover).
+        std::fs::write(&path, b"").unwrap();
+        let server = Server::bind(service(), &addr).unwrap();
+        server.shutdown_handle().store(true, Ordering::SeqCst);
+        server.run().unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn shutdown_handle_stops_an_idle_server() {
+        let server = Server::bind(service(), &ListenAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let flag = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+    }
+}

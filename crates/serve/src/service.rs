@@ -1,0 +1,339 @@
+//! The daemon's inference engine: streaming ingest + warm re-inference.
+//!
+//! [`TomographyService`] owns everything a long-running deployment needs
+//! to keep a live congestion estimate over a fixed topology:
+//!
+//! * a [`StreamingEstimator`] fed one snapshot at a time (O(1) counter
+//!   updates per snapshot, no history rescans);
+//! * an [`IncrementalEquationBuilder`] whose equation structure was built
+//!   once and whose right-hand side refreshes in `O(#equations)`;
+//! * a cached [`InferenceContext`] (equation structure + independence
+//!   selection + dense QR factorization or blocked sparse matrix), so a
+//!   re-inference costs one RHS refresh plus one back-substitution
+//!   (dense) or one warm-started CGLS run (sparse);
+//! * the previous solution, used to seed the next CGLS run — on live
+//!   streams consecutive refreshes are close, so the warm start converges
+//!   in a fraction of a cold run's iterations.
+//!
+//! On the dense plans (the default for instances up to
+//! `SolverConfig::dense_threshold` links) the warm seed is ignored and
+//! every [`TomographyService::reinfer`] is **bit-identical** to the
+//! offline [`InferenceContext::infer`] over the same accumulated
+//! observations; the daemon is then a pure latency optimisation, not a
+//! different estimator.
+
+use netcorr_core::context::InferenceContext;
+use netcorr_core::equations::IncrementalEquationBuilder;
+use netcorr_core::result::{SolverKind, TomographyEstimate};
+use netcorr_core::AlgorithmConfig;
+use netcorr_measure::{PathObservations, StreamingEstimator};
+use netcorr_topology::TopologyInstance;
+
+use crate::error::ServeError;
+
+/// A point-in-time summary of the service, the payload of the protocol's
+/// `STATUS` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStatus {
+    /// Number of measurement paths in the topology.
+    pub num_paths: usize,
+    /// Number of links (unknowns).
+    pub num_links: usize,
+    /// Snapshots ingested so far.
+    pub num_snapshots: usize,
+    /// Equations in the shared structure.
+    pub num_equations: usize,
+    /// Re-inferences performed so far (cache hits excluded).
+    pub reinfers: u64,
+    /// Which numerical path solves this topology's systems.
+    pub solver: SolverKind,
+    /// Whether an estimate is available for queries.
+    pub inferred: bool,
+}
+
+/// The online tomography engine: ingest snapshots, re-infer on demand,
+/// answer probability queries from the latest estimate.
+pub struct TomographyService {
+    context: InferenceContext,
+    builder: IncrementalEquationBuilder,
+    estimator: StreamingEstimator,
+    /// The solved log-good-probabilities of the previous re-inference,
+    /// seeding the next CGLS run on the sparse plan.
+    last_solution: Option<Vec<f64>>,
+    /// The latest estimate; queries are answered from here, so they are
+    /// O(1) and never trigger a solve.
+    estimate: Option<TomographyEstimate>,
+    /// Snapshot count at which `estimate` was computed; a re-inference
+    /// with no new data returns the cached estimate.
+    inferred_at: Option<usize>,
+    reinfers: u64,
+    num_paths: usize,
+}
+
+impl TomographyService {
+    /// Builds the service for a topology instance: inference context
+    /// (structure, selection, factorization), incremental equation
+    /// builder and an empty streaming estimator. All per-topology work
+    /// happens here; nothing later in the service's life rebuilds it.
+    pub fn new(instance: &TopologyInstance, config: &AlgorithmConfig) -> Result<Self, ServeError> {
+        let context = InferenceContext::new(instance, config)?;
+        let mut estimator = StreamingEstimator::new(instance.num_paths());
+        let builder = IncrementalEquationBuilder::new(instance, &mut estimator, &config.equations)?;
+        Ok(TomographyService {
+            context,
+            builder,
+            estimator,
+            last_solution: None,
+            estimate: None,
+            inferred_at: None,
+            reinfers: 0,
+            num_paths: instance.num_paths(),
+        })
+    }
+
+    /// Number of measurement paths in the topology.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+
+    /// Number of links (unknowns).
+    pub fn num_links(&self) -> usize {
+        self.context.num_links()
+    }
+
+    /// Snapshots ingested so far.
+    pub fn num_snapshots(&self) -> usize {
+        self.estimator.num_snapshots()
+    }
+
+    /// Re-inferences performed so far (cache hits excluded).
+    pub fn reinfers(&self) -> u64 {
+        self.reinfers
+    }
+
+    /// Ingests one framed v3 wire-format observation block (the payload
+    /// of an `OBS` request). Returns the number of snapshots the block
+    /// added. The block's snapshots append to the stream; a malformed
+    /// block or a path-count mismatch leaves the service untouched.
+    pub fn ingest_block(&mut self, bytes: &[u8]) -> Result<usize, ServeError> {
+        let block = PathObservations::from_binary(bytes)
+            .map_err(|e| ServeError::Protocol(format!("invalid observation block: {e}")))?;
+        self.ingest_observations(&block)
+    }
+
+    /// Ingests already-decoded observations snapshot by snapshot.
+    pub fn ingest_observations(&mut self, block: &PathObservations) -> Result<usize, ServeError> {
+        if block.num_paths() != self.num_paths {
+            return Err(ServeError::PathMismatch {
+                block: block.num_paths(),
+                instance: self.num_paths,
+            });
+        }
+        for snapshot in block.snapshots() {
+            self.estimator.push_snapshot(&snapshot)?;
+        }
+        Ok(block.num_snapshots())
+    }
+
+    /// Pushes a single snapshot (one congested flag per path).
+    pub fn push_snapshot(&mut self, congested: &[bool]) -> Result<(), ServeError> {
+        self.estimator.push_snapshot(congested)?;
+        Ok(())
+    }
+
+    /// Re-infers the per-link congestion probabilities from everything
+    /// ingested so far: refreshes the right-hand side in
+    /// `O(#equations)` from the streaming accumulators and re-solves over
+    /// the cached plan, seeding CGLS with the previous solution. If no
+    /// snapshot arrived since the last re-inference the cached estimate
+    /// is returned unchanged.
+    ///
+    /// On the dense plans the result is bit-identical to the offline
+    /// [`InferenceContext::infer`] over the same accumulated
+    /// observations.
+    pub fn reinfer(&mut self) -> Result<&TomographyEstimate, ServeError> {
+        if self.estimator.is_empty() {
+            return Err(ServeError::Protocol(
+                "no snapshots ingested yet: send OBS blocks before INFER".into(),
+            ));
+        }
+        if self.inferred_at != Some(self.estimator.num_snapshots()) {
+            let rhs = self.builder.rhs(&self.estimator)?;
+            let (estimate, x) = self.context.reinfer(&rhs, self.last_solution.as_deref())?;
+            self.last_solution = Some(x);
+            self.estimate = Some(estimate);
+            self.inferred_at = Some(self.estimator.num_snapshots());
+            self.reinfers += 1;
+        }
+        Ok(self.estimate.as_ref().expect("estimate was just stored"))
+    }
+
+    /// The latest estimate, if any re-inference has run.
+    pub fn estimate(&self) -> Option<&TomographyEstimate> {
+        self.estimate.as_ref()
+    }
+
+    /// The latest congestion probability of one link.
+    pub fn probability(&self, link: usize) -> Result<f64, ServeError> {
+        let estimate = self.estimate.as_ref().ok_or(ServeError::NoEstimate)?;
+        if link >= estimate.num_links() {
+            return Err(ServeError::UnknownLink {
+                link,
+                num_links: estimate.num_links(),
+            });
+        }
+        Ok(estimate.probabilities()[link])
+    }
+
+    /// The latest congestion probabilities of every link.
+    pub fn probabilities(&self) -> Result<&[f64], ServeError> {
+        Ok(self
+            .estimate
+            .as_ref()
+            .ok_or(ServeError::NoEstimate)?
+            .probabilities())
+    }
+
+    /// Whether a link's latest congestion probability exceeds
+    /// `threshold`, together with the probability itself.
+    pub fn link_state(&self, link: usize, threshold: f64) -> Result<(bool, f64), ServeError> {
+        let p = self.probability(link)?;
+        Ok((p > threshold, p))
+    }
+
+    /// A point-in-time summary for `STATUS` replies and logs.
+    pub fn status(&self) -> ServiceStatus {
+        ServiceStatus {
+            num_paths: self.num_paths,
+            num_links: self.context.num_links(),
+            num_snapshots: self.estimator.num_snapshots(),
+            num_equations: self.builder.structure().num_equations(),
+            reinfers: self.reinfers,
+            solver: self.context.solver_kind(),
+            inferred: self.estimate.is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcorr_topology::toy;
+
+    /// Deterministic synthetic observations over Figure 1(a)'s three
+    /// paths: a repeating pattern with all-good snapshots mixed in so
+    /// every estimator probability is strictly positive.
+    fn fig1a_observations(snapshots: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3);
+        for i in 0..snapshots {
+            let congested = [i % 3 == 0, i % 4 == 0, i % 5 == 0];
+            obs.record_snapshot(&congested).unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn ingest_then_reinfer_matches_offline_inference_bit_for_bit() {
+        let instance = toy::figure_1a();
+        let config = AlgorithmConfig::default();
+        let mut service = TomographyService::new(&instance, &config).unwrap();
+        let obs = fig1a_observations(60);
+
+        // Stream the same observations in three uneven batches, re-infer
+        // after each (exercising the warm chain), then compare the final
+        // answer against the offline batch path.
+        for range in [0..10, 10..25, 25..60] {
+            let mut block = PathObservations::new(3);
+            for i in range {
+                block.record_snapshot(&obs.snapshot(i)).unwrap();
+            }
+            let added = service.ingest_block(&block.to_binary()).unwrap();
+            assert_eq!(added, block.num_snapshots());
+            service.reinfer().unwrap();
+        }
+        assert_eq!(service.num_snapshots(), 60);
+        assert_eq!(service.reinfers(), 3);
+
+        let offline = InferenceContext::new(&instance, &config)
+            .unwrap()
+            .infer(&obs)
+            .unwrap();
+        assert_eq!(
+            service.probabilities().unwrap(),
+            offline.probabilities(),
+            "daemon-style streaming answer must be bit-identical to the offline batch answer"
+        );
+        for link in 0..service.num_links() {
+            assert_eq!(
+                service.probability(link).unwrap(),
+                offline.congestion_probability(netcorr_topology::LinkId(link))
+            );
+        }
+    }
+
+    #[test]
+    fn reinfer_with_no_new_data_reuses_the_cached_estimate() {
+        let instance = toy::figure_1a();
+        let mut service = TomographyService::new(&instance, &AlgorithmConfig::default()).unwrap();
+        service
+            .ingest_observations(&fig1a_observations(20))
+            .unwrap();
+        service.reinfer().unwrap();
+        assert_eq!(service.reinfers(), 1);
+        // No new snapshots: the estimate is served from cache.
+        service.reinfer().unwrap();
+        assert_eq!(service.reinfers(), 1);
+        // New data invalidates the cache.
+        service.push_snapshot(&[true, false, false]).unwrap();
+        service.reinfer().unwrap();
+        assert_eq!(service.reinfers(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_without_corrupting_the_service() {
+        let instance = toy::figure_1a();
+        let mut service = TomographyService::new(&instance, &AlgorithmConfig::default()).unwrap();
+
+        // Queries before any inference.
+        assert_eq!(service.probability(0), Err(ServeError::NoEstimate));
+        assert!(service.probabilities().is_err());
+        // Inference before any snapshot.
+        assert!(matches!(service.reinfer(), Err(ServeError::Protocol(_))));
+        // A garbage block.
+        assert!(matches!(
+            service.ingest_block(b"not a block"),
+            Err(ServeError::Protocol(_))
+        ));
+        // A block over the wrong number of paths.
+        let mut wrong = PathObservations::new(5);
+        wrong.record_snapshot(&[false; 5]).unwrap();
+        assert_eq!(
+            service.ingest_block(&wrong.to_binary()),
+            Err(ServeError::PathMismatch {
+                block: 5,
+                instance: 3
+            })
+        );
+        assert_eq!(service.num_snapshots(), 0, "failed ingests add nothing");
+
+        // The service still works afterwards.
+        service
+            .ingest_observations(&fig1a_observations(16))
+            .unwrap();
+        service.reinfer().unwrap();
+        let (congested, p) = service.link_state(0, 0.5).unwrap();
+        assert_eq!(congested, p > 0.5);
+        assert!(matches!(
+            service.probability(99),
+            Err(ServeError::UnknownLink { link: 99, .. })
+        ));
+
+        let status = service.status();
+        assert_eq!(status.num_paths, 3);
+        assert_eq!(status.num_links, 4);
+        assert_eq!(status.num_snapshots, 16);
+        assert!(status.inferred);
+        assert_eq!(status.reinfers, 1);
+        assert!(status.num_equations > 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end test of the `netcorr-serve` binary: spawn the daemon,
+//! stream observation batches over a real TCP socket, and check that
+//! the queried congestion probabilities are **bit-identical** to the
+//! offline batch inference over the same observations.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use netcorr_core::{AlgorithmConfig, InferenceContext};
+use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
+use netcorr_eval::scenario::{ScenarioBuilder, ScenarioConfig};
+use netcorr_measure::PathObservations;
+use netcorr_serve::Client;
+use netcorr_sim::{SimulationConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Kills the daemon if the test panics before the clean shutdown.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns the daemon and parses the ephemeral TCP address it reports.
+fn spawn_daemon(args: &[&str]) -> (Daemon, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_netcorr-serve"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn netcorr-serve");
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before announcing its address")
+            .expect("read daemon stdout");
+        if let Some(rest) = line.strip_prefix("netcorr-serve: listening on tcp://") {
+            break rest.to_string();
+        }
+    };
+    (Daemon(child), addr)
+}
+
+/// Simulated observations for the smoke PlanetLab instance, regenerated
+/// deterministically from the same seed the daemon uses for its
+/// topology.
+fn smoke_observations(seed: u64, snapshots: usize) -> PathObservations {
+    let base = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, seed).unwrap();
+    let scenario = ScenarioBuilder::new(ScenarioConfig::default())
+        .unwrap()
+        .build(&base, &mut StdRng::seed_from_u64(seed ^ 0x5eed))
+        .unwrap();
+    let simulator = Simulator::new(
+        &scenario.instance,
+        &scenario.model,
+        SimulationConfig::default(),
+    )
+    .unwrap();
+    let observations = simulator.run(snapshots, &mut StdRng::seed_from_u64(seed ^ 0x0b5));
+    assert_eq!(observations.num_paths(), base.num_paths());
+    observations
+}
+
+/// The `snapshots[range]` slice as its own observation block.
+fn slice_block(observations: &PathObservations, range: std::ops::Range<usize>) -> PathObservations {
+    let mut block = PathObservations::new(observations.num_paths());
+    for i in range {
+        block.record_snapshot(&observations.snapshot(i)).unwrap();
+    }
+    block
+}
+
+#[test]
+fn daemon_probabilities_are_bit_identical_to_offline_inference() {
+    const SEED: u64 = 7;
+    let (daemon, addr) = spawn_daemon(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--topology",
+        "planetlab-smoke",
+        "--topology-seed",
+        "7",
+    ]);
+    let observations = smoke_observations(SEED, 400);
+
+    // Stream the observations in three batches, re-inferring after each
+    // — the daemon's warm-start chain is exercised on every batch.
+    let mut client = Client::connect_tcp(addr.as_str()).expect("connect to the daemon");
+    for (lo, hi) in [(0, 100), (100, 250), (250, 400)] {
+        let block = slice_block(&observations, lo..hi);
+        let (ingested, total) = client.ingest(&block).unwrap();
+        assert_eq!(ingested, hi - lo);
+        assert_eq!(total, hi);
+        let infer = client.infer().unwrap();
+        assert_eq!(infer.snapshots, hi);
+    }
+
+    // Offline comparator: the exact computation `run_trial` performs for
+    // the correlation arm — a cached-context batch inference over the
+    // same instance and the same accumulated observations.
+    let instance = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, SEED).unwrap();
+    let offline = InferenceContext::new(&instance, &AlgorithmConfig::default())
+        .unwrap()
+        .infer(&observations)
+        .unwrap();
+
+    let daemon_probs = client.probabilities().unwrap();
+    assert_eq!(daemon_probs.len(), offline.num_links());
+    for (link, (&streamed, &batch)) in daemon_probs.iter().zip(offline.probabilities()).enumerate()
+    {
+        assert_eq!(
+            streamed.to_bits(),
+            batch.to_bits(),
+            "link {link}: daemon answered {streamed}, offline batch answered {batch}"
+        );
+    }
+
+    // Single-link queries agree with the bulk query bit for bit, and the
+    // STATE verdict is consistent with the probability.
+    for link in [0, 1, daemon_probs.len() - 1] {
+        let p = client.probability(link).unwrap();
+        assert_eq!(p.to_bits(), daemon_probs[link].to_bits());
+        let (congested, reported) = client.link_state(link, Some(0.5)).unwrap();
+        assert_eq!(reported.to_bits(), p.to_bits());
+        assert_eq!(congested, p > 0.5);
+    }
+
+    let status = client.status().unwrap();
+    assert_eq!(status.num_snapshots, 400);
+    assert_eq!(status.num_links, offline.num_links());
+    assert_eq!(status.reinfers, 3);
+    assert!(status.inferred);
+
+    // Graceful in-band shutdown: the daemon exits with status 0.
+    client.shutdown().unwrap();
+    let mut daemon = daemon;
+    let exit = daemon.0.wait().unwrap();
+    assert!(exit.success(), "daemon exited with {exit:?}");
+}
+
+#[test]
+fn daemon_replies_err_per_request_instead_of_dropping_connections() {
+    let (daemon, addr) = spawn_daemon(&["--listen", "127.0.0.1:0", "--topology", "fig1a"]);
+    let mut client = Client::connect_tcp(addr.as_str()).unwrap();
+
+    // Query before any data: a server-side error reply.
+    let err = client.probability(0).unwrap_err();
+    assert!(matches!(err, netcorr_serve::ClientError::Server(_)));
+    // INFER before any data likewise.
+    assert!(client.infer().is_err());
+    // A block over the wrong number of paths (fig1a has 3).
+    let mut wrong = PathObservations::new(9);
+    wrong.record_snapshot(&[false; 9]).unwrap();
+    let err = client.ingest(&wrong).unwrap_err();
+    assert!(err.to_string().contains("9"), "got: {err}");
+    // The session survived all of it.
+    client.ping().unwrap();
+
+    // And a well-formed session still works afterwards.
+    let mut obs = PathObservations::new(3);
+    for i in 0..24 {
+        obs.record_snapshot(&[i % 2 == 0, i % 3 == 0, i % 5 == 0])
+            .unwrap();
+    }
+    client.ingest(&obs).unwrap();
+    client.infer().unwrap();
+    assert_eq!(client.probabilities().unwrap().len(), 4);
+
+    client.shutdown().unwrap();
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+}
+
+#[test]
+fn help_exits_zero_and_bad_flags_exit_nonzero() {
+    let exe = env!("CARGO_BIN_EXE_netcorr-serve");
+    let help = Command::new(exe).arg("--help").output().unwrap();
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("usage:"));
+
+    let bad = Command::new(exe).arg("--bogus").output().unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown argument"));
+
+    let bad_topology = Command::new(exe)
+        .args(["--topology", "internet2"])
+        .output()
+        .unwrap();
+    assert!(!bad_topology.status.success());
+    assert!(String::from_utf8_lossy(&bad_topology.stderr).contains("unknown topology"));
+}

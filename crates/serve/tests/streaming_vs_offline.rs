@@ -1,0 +1,127 @@
+//! Differential tests of the streaming→inference loop: a daemon-style
+//! run (push snapshots incrementally, re-infer warm after every batch)
+//! must converge to the same link verdicts as the offline batch path —
+//! on the paper's Figure 1(a) toy topology and on the smoke PlanetLab
+//! fixture, on both the dense (bit-identical) and sparse (warm-started
+//! CGLS) solve plans.
+
+use netcorr_core::{AlgorithmConfig, InferenceContext};
+use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
+use netcorr_eval::scenario::{ScenarioBuilder, ScenarioConfig};
+use netcorr_measure::PathObservations;
+use netcorr_serve::TomographyService;
+use netcorr_sim::{SimulationConfig, Simulator};
+use netcorr_topology::{toy, TopologyInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The verdict threshold for "is this link congested".
+const VERDICT: f64 = 0.5;
+
+/// Simulates `snapshots` observations of a default scenario on `base`.
+fn simulate(base: &TopologyInstance, seed: u64, snapshots: usize) -> PathObservations {
+    let scenario = ScenarioBuilder::new(ScenarioConfig::default())
+        .unwrap()
+        .build(base, &mut StdRng::seed_from_u64(seed))
+        .unwrap();
+    let simulator = Simulator::new(
+        &scenario.instance,
+        &scenario.model,
+        SimulationConfig::default(),
+    )
+    .unwrap();
+    simulator.run(snapshots, &mut StdRng::seed_from_u64(seed.wrapping_add(1)))
+}
+
+/// Runs the daemon-style loop: ingest `batch`-sized chunks, re-infer
+/// (warm) after each, return the final probabilities.
+fn daemon_style(
+    instance: &TopologyInstance,
+    config: &AlgorithmConfig,
+    observations: &PathObservations,
+    batch: usize,
+) -> Vec<f64> {
+    let mut service = TomographyService::new(instance, config).unwrap();
+    let mut pushed = 0;
+    while pushed < observations.num_snapshots() {
+        let end = (pushed + batch).min(observations.num_snapshots());
+        for i in pushed..end {
+            service.push_snapshot(&observations.snapshot(i)).unwrap();
+        }
+        pushed = end;
+        // Every intermediate refresh must already produce a full estimate.
+        let estimate = service.reinfer().unwrap();
+        assert_eq!(estimate.num_links(), instance.num_links());
+    }
+    service.probabilities().unwrap().to_vec()
+}
+
+fn verdicts(probabilities: &[f64]) -> Vec<bool> {
+    probabilities.iter().map(|&p| p > VERDICT).collect()
+}
+
+#[test]
+fn incremental_warm_runs_match_offline_batch_on_fig1a() {
+    let instance = toy::figure_1a();
+    let config = AlgorithmConfig::default();
+    let observations = simulate(&instance, 11, 600);
+
+    let offline = InferenceContext::new(&instance, &config)
+        .unwrap()
+        .infer(&observations)
+        .unwrap();
+    // Several batch granularities, including one that does not divide
+    // the snapshot count.
+    for batch in [50, 128, 600] {
+        let streamed = daemon_style(&instance, &config, &observations, batch);
+        assert_eq!(
+            streamed, // dense plan: bit-identical, not merely close
+            offline.probabilities(),
+            "batch size {batch}"
+        );
+        assert_eq!(verdicts(&streamed), verdicts(offline.probabilities()));
+    }
+}
+
+#[test]
+fn incremental_warm_runs_match_offline_batch_on_smoke_planetlab() {
+    let instance = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, 3).unwrap();
+    let config = AlgorithmConfig::default();
+    let observations = simulate(&instance, 23, 500);
+
+    let offline = InferenceContext::new(&instance, &config)
+        .unwrap()
+        .infer(&observations)
+        .unwrap();
+    let streamed = daemon_style(&instance, &config, &observations, 100);
+    assert_eq!(streamed, offline.probabilities());
+    assert_eq!(verdicts(&streamed), verdicts(offline.probabilities()));
+}
+
+#[test]
+fn warm_started_sparse_runs_agree_with_cold_offline_solves() {
+    // Force the sparse CGLS plan (the scale path the warm start exists
+    // for): the daemon re-infers warm after every batch, the offline
+    // comparator solves cold from zero. At the default tolerance both
+    // converge to the same solution well past verdict precision.
+    let instance = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, 3).unwrap();
+    let mut config = AlgorithmConfig::default();
+    config.solver.dense_threshold = 0;
+    let observations = simulate(&instance, 29, 500);
+
+    let offline = InferenceContext::new(&instance, &config)
+        .unwrap()
+        .infer(&observations)
+        .unwrap();
+    let streamed = daemon_style(&instance, &config, &observations, 100);
+    let max_diff = streamed
+        .iter()
+        .zip(offline.probabilities())
+        .map(|(s, o)| (s - o).abs())
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max_diff <= 1e-6,
+        "warm-started stream drifted from the cold batch answer by {max_diff}"
+    );
+    assert_eq!(verdicts(&streamed), verdicts(offline.probabilities()));
+}
