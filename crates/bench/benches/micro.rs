@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use netcorr_bench::{bench_instance, fixture};
 use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::persist;
 use netcorr_eval::scenario::CorrelationLevel;
 use netcorr_linalg::{cgls, min_l1_norm_solution, solve_least_squares, Matrix, SparseMatrix};
 use netcorr_measure::bitset::simd;
@@ -127,13 +128,17 @@ fn solvers(c: &mut Criterion) {
     group.finish();
 }
 
-/// Pair-query and exact-state estimator benchmarks: the bit-packed
-/// columnar estimator against the scalar reference, on a PlanetLab-class
-/// observation matrix (1500 paths × 4096 snapshots). The pair set is
-/// every intersecting pair of a hub-structured path set (150 shared
-/// links × 10 paths each → 6750 pairs), mirroring how the equation
-/// builder enumerates candidates per shared link. The committed
-/// `BENCH_estimator.json` baseline tracks these numbers across PRs.
+/// Pair-query, exact-state and load-tier estimator benchmarks: the
+/// bit-packed columnar estimator against the scalar reference, on a
+/// PlanetLab-class observation matrix (1500 paths × 4096 snapshots). The
+/// pair set is every intersecting pair of a hub-structured path set (150
+/// shared links × 10 paths each → 6750 pairs), mirroring how the
+/// equation builder enumerates candidates per shared link. The load
+/// benchmarks persist the same matrix as a v3 file and compare the
+/// zero-copy mapped load (`persist::map_observations` — header
+/// validation only, no word copy) against the heap-copying loader
+/// (`persist::read_observations`). The committed `BENCH_estimator.json`
+/// baseline tracks these numbers across PRs.
 fn estimator_queries(c: &mut Criterion) {
     const PATHS: usize = 1500;
     const SNAPSHOTS: usize = 4096;
@@ -214,6 +219,35 @@ fn estimator_queries(c: &mut Criterion) {
             })
         },
     );
+    // The zero-copy memory tier: the same matrix persisted as a v3 file,
+    // loaded either by mapping it in place or by copying it onto the
+    // heap, then queried through the borrowed view.
+    let file =
+        std::env::temp_dir().join(format!("netcorr_bench_load_{}.ncobs3", std::process::id()));
+    persist::write_observations_binary(&file, &packed).expect("workload persists");
+    group.bench_function("load_zero_copy_mmap", |b| {
+        b.iter(|| {
+            let mapped = persist::map_observations(&file).expect("mapped load");
+            assert_eq!(mapped.num_snapshots(), SNAPSHOTS);
+            mapped
+        })
+    });
+    group.bench_function("load_heap_copy", |b| {
+        b.iter(|| {
+            let owned = persist::read_observations(&file).expect("heap load");
+            assert_eq!(owned.num_snapshots(), SNAPSHOTS);
+            owned
+        })
+    });
+    let mapped = persist::map_observations(&file).expect("mapped load");
+    group.bench_function(BenchmarkId::new("pair_queries_mapped", pairs.len()), |b| {
+        b.iter(|| {
+            mapped
+                .view()
+                .log_prob_pairs_good(&pairs)
+                .expect("valid pairs")
+        })
+    });
     group.bench_function(BenchmarkId::new("pair_queries_scalar", pairs.len()), |b| {
         b.iter(|| {
             pairs
@@ -235,6 +269,8 @@ fn estimator_queries(c: &mut Criterion) {
         b.iter(|| scalar_est.prob_all_paths_good())
     });
     group.finish();
+    drop(mapped);
+    std::fs::remove_file(&file).ok();
 }
 
 fn instance_statistics(c: &mut Criterion) {

@@ -8,6 +8,15 @@
 //!   `benches/micro.rs`): packed pair-query speedup over the scalar
 //!   reference must stay above `acceptance.pair_queries_speedup_floor`
 //!   in `BENCH_estimator.json` (8× by default).
+//! * **Zero-copy load** — the same matrix persisted as a v3 file:
+//!   mapping it query-ready (`persist::map_observations`, header
+//!   validation only) must beat the heap-copying loader
+//!   (`persist::read_observations`) by
+//!   `acceptance.zero_copy_load_speedup_floor` in
+//!   `BENCH_estimator.json` (3× by default). The gate also smoke-checks
+//!   the kernel ladder: the portable tier must agree bit-exactly with
+//!   the runtime dispatcher, and the active tier is printed for the
+//!   record.
 //! * **Inference** — the `inference` benchmark fixture (smoke-scale
 //!   PlanetLab): per-trial inference through a prebuilt
 //!   [`netcorr_core::InferenceContext`] (structure + selection + QR
@@ -39,7 +48,9 @@ use std::time::Instant;
 use netcorr_bench::{fixture, serve_reinfer_workload};
 use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, InferenceContext};
 use netcorr_eval::figures::TopologyFamily;
+use netcorr_eval::persist;
 use netcorr_eval::scenario::CorrelationLevel;
+use netcorr_measure::bitset::simd;
 use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
 use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
 use netcorr_topology::path::PathId;
@@ -50,6 +61,7 @@ const PATHS: usize = 1500;
 const SNAPSHOTS: usize = 4096;
 const HUBS: usize = 150;
 const DEFAULT_FLOOR: f64 = 8.0;
+const DEFAULT_LOAD_FLOOR: f64 = 3.0;
 const DEFAULT_INFERENCE_FLOOR: f64 = 2.0;
 const DEFAULT_QUERY_FLOOR: f64 = 50_000.0;
 const DEFAULT_WARM_FLOOR: f64 = 1.08;
@@ -162,6 +174,78 @@ fn main() {
 
     if speedup < floor {
         eprintln!("bench_gate: FAIL — packed/scalar speedup {speedup:.1}x is below {floor}x");
+        std::process::exit(1);
+    }
+
+    // --- Zero-copy load gate + kernel-ladder smoke check. ---
+    println!(
+        "bench_gate: active SIMD kernel tier: {}",
+        simd::active_tier().as_str()
+    );
+    // The portable fallback must agree bit-exactly with whatever tier
+    // the dispatcher picked on this host — a cheap ladder sanity check
+    // before trusting the timed numbers.
+    let lanes = packed.lanes();
+    let tail = lanes.last_word_mask();
+    let (la, lb) = (lanes.lane(0), lanes.lane(1));
+    assert_eq!(
+        simd::pair_good_count(la, lb, tail),
+        simd::pair_good_count_portable(la, lb, tail),
+        "portable pair kernel disagrees with the dispatcher"
+    );
+    let refs: Vec<&[u64]> = (0..8).map(|p| lanes.lane(p)).collect();
+    assert_eq!(
+        simd::all_good_count(&refs, lanes.used_words(), tail),
+        simd::all_good_count_portable(&refs, lanes.used_words(), tail),
+        "portable all-good kernel disagrees with the dispatcher"
+    );
+
+    let load_floor = match read_floor(&baseline, "zero_copy_load_speedup_floor") {
+        Some(f) => f,
+        None => {
+            eprintln!(
+                "bench_gate: no zero_copy_load_speedup_floor in {baseline}, using default \
+                 {DEFAULT_LOAD_FLOOR}x"
+            );
+            DEFAULT_LOAD_FLOOR
+        }
+    };
+    let file = std::env::temp_dir().join(format!(
+        "netcorr_bench_gate_load_{}.ncobs3",
+        std::process::id()
+    ));
+    persist::write_observations_binary(&file, &packed).expect("workload persists");
+    let mapped_mean = time_mean(3, 50, || {
+        let mapped = persist::map_observations(&file).expect("mapped load");
+        assert_eq!(mapped.num_snapshots(), SNAPSHOTS);
+    });
+    let heap_mean = time_mean(3, 20, || {
+        let owned = persist::read_observations(&file).expect("heap load");
+        assert_eq!(owned.num_snapshots(), SNAPSHOTS);
+    });
+    // The mapped view must answer bit-identically to the in-memory
+    // estimator it replaces.
+    let mapped = persist::map_observations(&file).expect("mapped load");
+    assert_eq!(
+        mapped.view().prob_all_paths_good().expect("non-empty"),
+        packed_est.prob_all_paths_good(),
+        "mapped view disagrees with the owning estimator"
+    );
+    drop(mapped);
+    std::fs::remove_file(&file).ok();
+    let load_speedup = heap_mean / mapped_mean;
+    println!(
+        "bench_gate: v3 load of {PATHS} paths x {SNAPSHOTS} snapshots ({} KiB)",
+        PATHS * SNAPSHOTS.div_ceil(64) * 8 / 1024
+    );
+    println!("  mapped (zero-copy) {:>9.1} us/load", mapped_mean * 1e6);
+    println!("  heap (copying)     {:>9.1} us/load", heap_mean * 1e6);
+    println!("  speedup            {load_speedup:>9.1}x (floor {load_floor}x from {baseline})");
+
+    if load_speedup < load_floor {
+        eprintln!(
+            "bench_gate: FAIL — zero-copy load speedup {load_speedup:.1}x is below {load_floor}x"
+        );
         std::process::exit(1);
     }
 

@@ -16,17 +16,22 @@
 //!   without parse cost).
 //!
 //! [`read_observations`] sniffs the leading bytes, so either format loads
-//! transparently. [`write_trace`] / [`read_trace`] additionally persist a
-//! full [`SimulationTrace`] — the observations *plus* the ground-truth
-//! per-snapshot link states (packed [`BitMatrix`]) — so separability
-//! studies can re-run inference against the truth that generated it.
+//! transparently. [`map_observations`] opens a `v3` file through the
+//! zero-copy tier instead — the lane words are memory-mapped and served
+//! in place (see [`netcorr_measure::MappedObservations`]), so a
+//! multi-gigabyte history becomes query-ready without the word copy and
+//! row rebuild a [`read_observations`] load pays. [`write_trace`] /
+//! [`read_trace`] additionally persist a full [`SimulationTrace`] — the
+//! observations *plus* the ground-truth per-snapshot link states (packed
+//! [`BitMatrix`]) — so separability studies can re-run inference against
+//! the truth that generated it.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use netcorr_measure::observation::BINARY_MAGIC;
-use netcorr_measure::{BitMatrix, PathObservations};
+use netcorr_measure::{BitMatrix, MappedObservations, PathObservations};
 use netcorr_sim::SimulationTrace;
 
 use crate::error::EvalError;
@@ -84,7 +89,12 @@ fn commit(tmp: &Path, path: &Path) -> Result<(), EvalError> {
 /// file or the new complete file — never a torn intermediate, even if the
 /// writer crashes mid-write or two writers race. Parent directories are
 /// created as needed.
-fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), EvalError> {
+///
+/// Public because the serve daemon persists its observation history
+/// through this path: rename-replacement never truncates the published
+/// file in place, so a mapping of the *previous* history file
+/// ([`map_observations`]) stays valid while the new one is written.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), EvalError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent).map_err(|e| persist_err(path, e))?;
@@ -135,6 +145,16 @@ pub fn read_observations(path: &Path) -> Result<PathObservations, EvalError> {
             "neither binary v3 nor valid UTF-8 text: {e}"
         ))),
     }
+}
+
+/// Opens a binary (`v3`) observation file through the zero-copy tier:
+/// the file is memory-mapped (heap fallback off Linux/x86-64), the
+/// header and per-lane zero-tail invariant are validated, and the lane
+/// words are served in place — no copy, no row rebuild. Corrupt files
+/// (truncated, dirty tails, bad magic) and text (`v2`) files surface as
+/// [`EvalError::Persist`] carrying the file path, never a panic.
+pub fn map_observations(path: &Path) -> Result<MappedObservations, EvalError> {
+    MappedObservations::open(path).map_err(|e| persist_err(path, e))
 }
 
 /// Writes a full simulation trace — observations plus ground-truth link
@@ -311,6 +331,59 @@ mod tests {
             binary_len < text_len,
             "binary {binary_len} vs text {text_len}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_observations_match_the_copying_loader() {
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let obs = sim.run(250, &mut StdRng::seed_from_u64(13));
+
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_map_test");
+        let file = dir.join("observations.ncobs3");
+        write_observations_binary(&file, &obs).unwrap();
+        let mapped = map_observations(&file).unwrap();
+        assert_eq!(mapped.num_paths(), obs.num_paths());
+        assert_eq!(mapped.num_snapshots(), 250);
+        assert_eq!(mapped.view().to_observations().unwrap(), obs);
+        assert_eq!(read_observations(&file).unwrap(), obs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_mapped_files_error_with_the_file_path() {
+        let (inst, model) = fig1a_simulator();
+        let sim = Simulator::new(&inst, &model, SimulationConfig::default()).unwrap();
+        let obs = sim.run(100, &mut StdRng::seed_from_u64(14));
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_map_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("history.ncobs3");
+        let block = obs.to_binary();
+
+        let expect_persist = |fragment: &str| match map_observations(&file) {
+            Err(EvalError::Persist { path, cause }) => {
+                assert!(path.contains("history.ncobs3"), "{path}");
+                assert!(cause.contains(fragment), "{cause}");
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        };
+
+        // Truncated lane region.
+        std::fs::write(&file, &block[..block.len() - 8]).unwrap();
+        expect_persist("expected");
+        // Dirty tail: a bit set beyond the declared snapshot count.
+        let mut dirty = block.clone();
+        let last = dirty.len() - 1;
+        dirty[last] |= 0x80;
+        std::fs::write(&file, &dirty).unwrap();
+        expect_persist("beyond slot");
+        // The text format cannot be mapped (no magic).
+        std::fs::write(&file, obs.to_wire()).unwrap();
+        expect_persist("magic");
+        // Both loaders agree the *same* corrupt file is corrupt.
+        std::fs::write(&file, &block[..block.len() - 8]).unwrap();
+        assert!(read_observations(&file).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

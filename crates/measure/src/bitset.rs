@@ -17,6 +17,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::MeasureError;
+
 #[path = "simd.rs"]
 pub mod simd;
 
@@ -188,29 +190,54 @@ impl BitLanes {
     /// Panics if `words.len()` is not `num_lanes * words_for(num_slots)`
     /// or if any bit beyond `num_slots` is set (the zero-tail invariant).
     pub fn from_lane_words(num_lanes: usize, num_slots: usize, words: &[u64]) -> Self {
+        match Self::try_from_lane_words(num_lanes, num_slots, words) {
+            Ok(lanes) => lanes,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`BitLanes::from_lane_words`] for untrusted input
+    /// (wire blocks, files): word-count and zero-tail violations surface
+    /// as [`MeasureError::Wire`] instead of a panic.
+    pub fn try_from_lane_words(
+        num_lanes: usize,
+        num_slots: usize,
+        words: &[u64],
+    ) -> Result<Self, MeasureError> {
         let used = words_for(num_slots);
-        assert_eq!(
-            words.len(),
-            num_lanes * used,
-            "expected {num_lanes} lanes x {used} words, got {} words",
-            words.len()
-        );
+        if words.len() != num_lanes * used {
+            return Err(MeasureError::Wire(format!(
+                "expected {num_lanes} lanes x {used} words, got {} words",
+                words.len()
+            )));
+        }
         let mask = tail_mask(num_slots);
         let mut lanes = BitLanes::with_capacity(num_lanes, num_slots.max(1));
         for lane in 0..num_lanes {
             let src = &words[lane * used..(lane + 1) * used];
             if num_slots > 0 {
-                assert_eq!(
-                    src[used - 1] & !mask,
-                    0,
-                    "lane {lane} has bits set beyond slot {num_slots}"
-                );
+                if src[used - 1] & !mask != 0 {
+                    return Err(MeasureError::Wire(format!(
+                        "lane {lane} has bits set beyond slot {num_slots}"
+                    )));
+                }
                 lanes.words[lane * lanes.words_per_lane..lane * lanes.words_per_lane + used]
                     .copy_from_slice(src);
             }
         }
         lanes.num_slots = num_slots;
-        lanes
+        Ok(lanes)
+    }
+
+    /// A borrowed, read-only view of this store (the heap tier of the
+    /// memory ladder viewed through the common query interface).
+    pub fn as_view(&self) -> BitLanesView<'_> {
+        BitLanesView {
+            num_lanes: self.num_lanes,
+            num_slots: self.num_slots,
+            stride: self.words_per_lane,
+            words: &self.words,
+        }
     }
 
     /// Appends every slot of `other` after this store's slots, by
@@ -262,6 +289,140 @@ impl PartialEq for BitLanes {
 }
 
 impl Eq for BitLanes {}
+
+/// Borrowed, lifetime-parameterized view over packed lane words — the
+/// zero-copy tier of the observation memory ladder.
+///
+/// A view never owns its words: it can borrow a heap-owned [`BitLanes`]
+/// ([`BitLanes::as_view`]), a slice of a memory-mapped v3 file, or any
+/// other little-endian lane-word buffer. Lane `l` starts at word
+/// `l * stride`; the packed wire layout has `stride == words_for(slots)`
+/// while a borrowed [`BitLanes`] keeps its capacity stride. All query
+/// accessors mirror [`BitLanes`] bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct BitLanesView<'a> {
+    num_lanes: usize,
+    num_slots: usize,
+    /// Words between consecutive lane starts.
+    stride: usize,
+    words: &'a [u64],
+}
+
+impl<'a> BitLanesView<'a> {
+    /// Builds a view over tightly packed lane words (the v3 wire layout:
+    /// `num_lanes` consecutive groups of `words_for(num_slots)` words, or
+    /// no words at all when `num_slots == 0`). No word is copied.
+    ///
+    /// Word-count and zero-tail violations surface as
+    /// [`MeasureError::Wire`].
+    pub fn try_from_lane_words(
+        num_lanes: usize,
+        num_slots: usize,
+        words: &'a [u64],
+    ) -> Result<Self, MeasureError> {
+        let used = if num_slots == 0 {
+            0
+        } else {
+            words_for(num_slots)
+        };
+        if words.len() != num_lanes * used {
+            return Err(MeasureError::Wire(format!(
+                "expected {num_lanes} lanes x {used} words, got {} words",
+                words.len()
+            )));
+        }
+        let mask = tail_mask(num_slots);
+        if num_slots > 0 {
+            for lane in 0..num_lanes {
+                if words[(lane + 1) * used - 1] & !mask != 0 {
+                    return Err(MeasureError::Wire(format!(
+                        "lane {lane} has bits set beyond slot {num_slots}"
+                    )));
+                }
+            }
+        }
+        Ok(BitLanesView {
+            num_lanes,
+            num_slots,
+            stride: used,
+            words,
+        })
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.num_lanes
+    }
+
+    /// Number of recorded slots.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of words of each lane that carry recorded slots (zero for an
+    /// empty view — a packed view holds no words at all then).
+    pub fn used_words(&self) -> usize {
+        if self.num_slots == 0 {
+            0
+        } else {
+            words_for(self.num_slots)
+        }
+    }
+
+    /// Mask of the valid bits in the last used word (for queries over
+    /// complemented lanes).
+    pub fn last_word_mask(&self) -> u64 {
+        tail_mask(self.num_slots)
+    }
+
+    /// The used prefix of lane `lane` (tail bits of the last word are
+    /// guaranteed zero by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= num_lanes`.
+    pub fn lane(&self, lane: usize) -> &'a [u64] {
+        assert!(
+            lane < self.num_lanes,
+            "lane {lane} out of range ({} lanes)",
+            self.num_lanes
+        );
+        let start = lane * self.stride;
+        &self.words[start..start + self.used_words()]
+    }
+
+    /// Whether bit `slot` of lane `lane` is set.
+    pub fn get(&self, lane: usize, slot: usize) -> bool {
+        assert!(
+            slot < self.num_slots,
+            "slot {slot} out of range ({} recorded)",
+            self.num_slots
+        );
+        let word = self.lane(lane)[slot / WORD_BITS];
+        word >> (slot % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of set bits in lane `lane`.
+    pub fn count_ones(&self, lane: usize) -> usize {
+        self.lane(lane)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Copies the view into an owned [`BitLanes`] (promoting the zero-copy
+    /// tier back to the heap tier).
+    pub fn to_owned_lanes(&self) -> BitLanes {
+        let mut lanes = BitLanes::with_capacity(self.num_lanes, self.num_slots.max(1));
+        let used = self.used_words();
+        for lane in 0..self.num_lanes {
+            lanes.words[lane * lanes.words_per_lane..lane * lanes.words_per_lane + used]
+                .copy_from_slice(self.lane(lane));
+        }
+        lanes.num_slots = self.num_slots;
+        lanes
+    }
+}
 
 /// Row-major packed bit matrix: an append-only sequence of fixed-width
 /// rows, one word-aligned packed row per append.

@@ -28,6 +28,10 @@ pub enum MeasureError {
     /// never registered (streaming queries only cover registered
     /// accumulators; use the batch estimator for ad-hoc queries).
     Unregistered(String),
+    /// A mapped history segment was attached or used incorrectly (e.g.
+    /// attached twice, attached after snapshots were already recorded,
+    /// or a delta-only operation was requested while one is attached).
+    History(String),
 }
 
 impl fmt::Display for MeasureError {
@@ -49,6 +53,9 @@ impl fmt::Display for MeasureError {
             }
             MeasureError::Unregistered(what) => {
                 write!(f, "streaming query for unregistered {what}")
+            }
+            MeasureError::History(reason) => {
+                write!(f, "history segment misuse: {reason}")
             }
         }
     }

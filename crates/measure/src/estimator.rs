@@ -30,6 +30,13 @@
 //! specification in [`crate::reference`]; the differential property tests
 //! assert bit-exact agreement between the two on random observation
 //! matrices.
+//!
+//! This estimator *borrows* a heap-owned [`PathObservations`]. The same
+//! queries are also available over **borrowed or memory-mapped lane
+//! words** through [`crate::view::ObservationsView`] — the zero-copy
+//! memory tier, bit-identical answers without owning the store — and
+//! both ride the same SIMD kernel ladder in [`crate::bitset::simd`]
+//! (AVX-512 → AVX2 → portable, chosen per call at runtime).
 
 use std::collections::BTreeSet;
 

@@ -21,10 +21,18 @@
 //!   O(1) per pushed snapshot, so registered pair / pattern queries are
 //!   O(1) counter reads with no lane scan (long-running deployments
 //!   re-estimate per snapshot batch at constant incremental cost).
-//! * [`bitset::simd`] — the SIMD kernel tier behind both estimators:
-//!   AVX2 popcount / row-matching kernels with runtime feature detection
-//!   and a 4-wide unrolled portable fallback, all bit-exact against each
-//!   other and the scalar reference.
+//! * [`ObservationsView`] / [`MappedObservations`] — the zero-copy
+//!   memory tier: a lifetime-parameterized view answering every
+//!   estimator query over *borrowed* lane words, and an owning handle
+//!   that memory-maps a v3 observation file straight into that view (no
+//!   word copy, no row rebuild). The streaming estimator can seed its
+//!   accumulators from a mapped history segment, which is how the
+//!   daemon survives restarts without re-ingesting its stream.
+//! * [`bitset::simd`] — the SIMD kernel ladder behind all estimators:
+//!   AVX-512 `vpopcntdq` kernels (8 words/instruction), AVX2 popcount /
+//!   row-matching kernels (4 words/instruction), and a 4-wide unrolled
+//!   portable fallback, selected per call by runtime feature detection
+//!   and all bit-exact against each other and the scalar reference.
 //! * [`reference`] — the scalar (one-`bool`-per-cell) implementation kept
 //!   as the executable specification; the differential property tests
 //!   assert bit-exact agreement between it and the packed estimator.
@@ -34,20 +42,25 @@
 //! experiments.
 
 #![warn(missing_docs)]
-// `deny` rather than `forbid`: the AVX2 kernel tier in `bitset::simd` is
-// the single, explicitly allowed `unsafe` island in this crate (runtime
-// feature detection guards every `#[target_feature]` call).
+// `deny` rather than `forbid`: the SIMD kernel tiers in `bitset::simd`
+// (runtime feature detection guards every `#[target_feature]` call), the
+// raw mmap binding in `mapped`, and the byte→word reinterpretation in
+// `view` are the explicitly allowed `unsafe` islands in this crate.
 #![deny(unsafe_code)]
 
 pub mod bitset;
 pub mod error;
 pub mod estimator;
+pub mod mapped;
 pub mod observation;
 pub mod reference;
 pub mod streaming;
+pub mod view;
 
-pub use bitset::{BitLanes, BitMatrix};
+pub use bitset::{BitLanes, BitLanesView, BitMatrix};
 pub use error::MeasureError;
 pub use estimator::ProbabilityEstimator;
+pub use mapped::MappedObservations;
 pub use observation::PathObservations;
 pub use streaming::StreamingEstimator;
+pub use view::ObservationsView;

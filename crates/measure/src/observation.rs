@@ -315,22 +315,7 @@ impl PathObservations {
             }
             return Ok(PathObservations::new(num_paths));
         }
-        let used = num_snapshots.div_ceil(crate::bitset::WORD_BITS);
-        if words.len() != num_paths * used {
-            return Err(MeasureError::Wire(format!(
-                "expected {num_paths} lanes x {used} words, got {} words",
-                words.len()
-            )));
-        }
-        let mask = crate::bitset::tail_mask(num_snapshots);
-        for (path, lane) in words.chunks_exact(used).enumerate() {
-            if lane[used - 1] & !mask != 0 {
-                return Err(MeasureError::Wire(format!(
-                    "lane {path} has bits set beyond snapshot {num_snapshots}"
-                )));
-            }
-        }
-        let lanes = BitLanes::from_lane_words(num_paths, num_snapshots, words);
+        let lanes = BitLanes::try_from_lane_words(num_paths, num_snapshots, words)?;
         let mut rows = BitMatrix::with_capacity(num_paths, num_snapshots);
         let mut snapshot = vec![false; num_paths];
         for s in 0..num_snapshots {
@@ -376,43 +361,57 @@ impl PathObservations {
     /// [`PathObservations::to_binary`]. The lane words are copied straight
     /// into the packed lane view; only the redundant row view is rebuilt.
     pub fn from_binary(bytes: &[u8]) -> Result<Self, MeasureError> {
-        if bytes.len() < 24 {
-            return Err(MeasureError::Wire(format!(
-                "binary observations need a 24-byte header, got {} bytes",
-                bytes.len()
-            )));
-        }
-        if &bytes[..8] != BINARY_MAGIC {
-            return Err(MeasureError::Wire(format!(
-                "bad magic {:?} (expected {BINARY_MAGIC:?})",
-                &bytes[..8]
-            )));
-        }
-        let read_u64 =
-            |offset: usize| u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
-        let num_paths = usize::try_from(read_u64(8))
-            .map_err(|_| MeasureError::Wire("path count overflows usize".to_string()))?;
-        let num_snapshots = usize::try_from(read_u64(16))
-            .map_err(|_| MeasureError::Wire("snapshot count overflows usize".to_string()))?;
-        let used = num_snapshots.div_ceil(crate::bitset::WORD_BITS);
-        let expected = 24
-            + num_paths
-                .checked_mul(used)
-                .and_then(|w| w.checked_mul(8))
-                .ok_or_else(|| MeasureError::Wire("lane region size overflows".to_string()))?;
-        if bytes.len() != expected {
-            return Err(MeasureError::Wire(format!(
-                "expected {expected} bytes for {num_paths} paths x {num_snapshots} snapshots, \
-                 got {}",
-                bytes.len()
-            )));
-        }
-        let words: Vec<u64> = bytes[24..]
+        let (num_paths, num_snapshots) = parse_binary_header(bytes)?;
+        let words: Vec<u64> = bytes[BINARY_HEADER_LEN..]
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
         Self::from_lane_word_data(num_paths, num_snapshots, &words)
     }
+}
+
+/// Length of the fixed v3 header: [`BINARY_MAGIC`] plus two little-endian
+/// `u64` counts.
+pub const BINARY_HEADER_LEN: usize = 24;
+
+/// Validates a v3 binary observation block's header — magic, counts, and
+/// the exact total length implied by them — and returns
+/// `(num_paths, num_snapshots)`. The lane-word region is the remaining
+/// `bytes[BINARY_HEADER_LEN..]`, untouched (zero-tail validation happens
+/// when the words are turned into lanes or a lane view).
+pub fn parse_binary_header(bytes: &[u8]) -> Result<(usize, usize), MeasureError> {
+    if bytes.len() < BINARY_HEADER_LEN {
+        return Err(MeasureError::Wire(format!(
+            "binary observations need a {BINARY_HEADER_LEN}-byte header, got {} bytes",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != BINARY_MAGIC {
+        return Err(MeasureError::Wire(format!(
+            "bad magic {:?} (expected {BINARY_MAGIC:?})",
+            &bytes[..8]
+        )));
+    }
+    let read_u64 =
+        |offset: usize| u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
+    let num_paths = usize::try_from(read_u64(8))
+        .map_err(|_| MeasureError::Wire("path count overflows usize".to_string()))?;
+    let num_snapshots = usize::try_from(read_u64(16))
+        .map_err(|_| MeasureError::Wire("snapshot count overflows usize".to_string()))?;
+    let used = num_snapshots.div_ceil(crate::bitset::WORD_BITS);
+    let expected = BINARY_HEADER_LEN
+        + num_paths
+            .checked_mul(used)
+            .and_then(|w| w.checked_mul(8))
+            .ok_or_else(|| MeasureError::Wire("lane region size overflows".to_string()))?;
+    if bytes.len() != expected {
+        return Err(MeasureError::Wire(format!(
+            "expected {expected} bytes for {num_paths} paths x {num_snapshots} snapshots, \
+             got {}",
+            bytes.len()
+        )));
+    }
+    Ok((num_paths, num_snapshots))
 }
 
 impl PartialEq for PathObservations {

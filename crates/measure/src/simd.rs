@@ -12,26 +12,33 @@
 //! * **row-mask matching** — counting packed snapshot rows that are
 //!   word-equal to a target mask (or all-zero, for `P(ψ(S) = ∅)`).
 //!
-//! Each kernel exists in three tiers:
+//! Each kernel exists in four tiers:
 //!
-//! 1. `*_avx2` — AVX2 `std::arch` intrinsics, processing four `u64`
-//!    words per instruction. Popcounts use the classic nibble-lookup
-//!    (`vpshufb` against a 16-entry table, then `vpsadbw` to fold bytes
-//!    into per-`u64` sums), which needs no cross-lane work until the
-//!    final horizontal reduction.
-//! 2. `*_portable` — safe scalar code, 4-wide unrolled with independent
+//! 1. `*_avx512` — AVX-512 `std::arch` intrinsics, processing eight
+//!    `u64` words per instruction. Popcounts are a single `vpopcntdq`
+//!    (`_mm512_popcnt_epi64`) per vector — no nibble lookup at all —
+//!    and row comparisons collapse to one `vpcmpeqq` mask test. Gated
+//!    on `avx512f` **and** `avx512vpopcntdq` (Ice Lake / Zen 4 and
+//!    newer).
+//! 2. `*_avx2` — AVX2 intrinsics, four `u64` words per instruction.
+//!    Popcounts use the classic nibble-lookup (`vpshufb` against a
+//!    16-entry table, then `vpsadbw` to fold bytes into per-`u64`
+//!    sums), which needs no cross-lane work until the final horizontal
+//!    reduction.
+//! 3. `*_portable` — safe scalar code, 4-wide unrolled with independent
 //!    accumulators so the backend can keep four `popcnt` chains in
 //!    flight (and auto-vectorize where profitable).
-//! 3. The un-suffixed dispatcher — checks AVX2 availability per call via
-//!    `std::arch::is_x86_feature_detected!` (the result is cached by
-//!    `std` in an atomic, so the check costs a load and a branch) and
-//!    falls back to the portable tier on other CPUs.
+//! 4. The un-suffixed dispatcher — walks the ladder top-down per call
+//!    via `std::arch::is_x86_feature_detected!` (the result is cached
+//!    by `std` in an atomic, so each check costs a load and a branch):
+//!    AVX-512 first, then AVX2, then the portable fallback.
 //!
-//! All three tiers are `pub` so the differential test suite can assert
+//! All tiers are `pub` so the differential test suite can assert
 //! bit-exact agreement between them (and against the scalar reference
-//! implementation in [`crate::reference`]) on random inputs. The `_avx2`
-//! entry points return `None` when the CPU lacks AVX2 instead of
-//! exposing `unsafe` to callers.
+//! implementation in [`crate::reference`]) on random inputs. The
+//! `_avx512` / `_avx2` entry points return `None` (or report `false`)
+//! when the CPU lacks the feature instead of exposing `unsafe` to
+//! callers, so tests skip cleanly on older hardware.
 //!
 //! # Conventions
 //!
@@ -43,10 +50,51 @@
 //! same zero-tail invariant, which row masks share, so row matching
 //! never needs masking.
 
-// The AVX2 tier is the one place in this crate where `unsafe` is
+// The SIMD tiers are the one place in this crate where `unsafe` is
 // justified: `#[target_feature]` functions are only called behind a
 // runtime CPU-feature check.
 #![allow(unsafe_code)]
+
+use std::fmt;
+
+/// The kernel tiers of the runtime dispatch ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// AVX-512 (`avx512f` + `avx512vpopcntdq`): 8 words per instruction.
+    Avx512,
+    /// AVX2: 4 words per instruction, nibble-LUT popcounts.
+    Avx2,
+    /// Safe scalar fallback, 4-wide unrolled.
+    Portable,
+}
+
+impl KernelTier {
+    /// The tier's wire name, as reported by `netcorr-serve STATUS`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelTier::Avx512 => "avx512",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Portable => "portable",
+        }
+    }
+}
+
+impl fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The tier the un-suffixed dispatchers select on this CPU.
+pub fn active_tier() -> KernelTier {
+    if avx512_available() {
+        KernelTier::Avx512
+    } else if avx2_available() {
+        KernelTier::Avx2
+    } else {
+        KernelTier::Portable
+    }
+}
 
 /// Counts the slots in which **both** lanes are zero (both paths good):
 /// `Σ_w popcount(!(a_w | b_w))` with the last word masked by `tail_mask`.
@@ -56,9 +104,15 @@
 #[inline]
 pub fn pair_good_count(a: &[u64], b: &[u64], tail_mask: u64) -> usize {
     #[cfg(target_arch = "x86_64")]
-    if avx2_available() {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { avx2::pair_good_count(a, b, tail_mask) };
+    {
+        if avx512_available() {
+            // SAFETY: AVX-512 support was just verified at runtime.
+            return unsafe { avx512::pair_good_count(a, b, tail_mask) };
+        }
+        if avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { avx2::pair_good_count(a, b, tail_mask) };
+        }
     }
     pair_good_count_portable(a, b, tail_mask)
 }
@@ -101,15 +155,34 @@ pub fn pair_good_count_avx2(a: &[u64], b: &[u64], tail_mask: u64) -> Option<usiz
     None
 }
 
+/// AVX-512 tier of [`pair_good_count`]; `None` when the CPU lacks
+/// `avx512f`/`avx512vpopcntdq`.
+pub fn pair_good_count_avx512(a: &[u64], b: &[u64], tail_mask: u64) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: AVX-512 support was just verified at runtime.
+        return Some(unsafe { avx512::pair_good_count(a, b, tail_mask) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (a, b, tail_mask);
+    None
+}
+
 /// Counts the slots in which **every** given lane is zero (all paths
 /// good): `Σ_w popcount(m_w & Π !lane_w)`. With no lanes this is the
 /// number of valid slots (the vacuous conjunction).
 #[inline]
 pub fn all_good_count(lanes: &[&[u64]], used: usize, tail_mask: u64) -> usize {
     #[cfg(target_arch = "x86_64")]
-    if avx2_available() {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { avx2::all_good_count(lanes, used, tail_mask) };
+    {
+        if avx512_available() {
+            // SAFETY: AVX-512 support was just verified at runtime.
+            return unsafe { avx512::all_good_count(lanes, used, tail_mask) };
+        }
+        if avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { avx2::all_good_count(lanes, used, tail_mask) };
+        }
     }
     all_good_count_portable(lanes, used, tail_mask)
 }
@@ -175,14 +248,33 @@ pub fn all_good_count_avx2(lanes: &[&[u64]], used: usize, tail_mask: u64) -> Opt
     None
 }
 
+/// AVX-512 tier of [`all_good_count`]; `None` when the CPU lacks
+/// `avx512f`/`avx512vpopcntdq`.
+pub fn all_good_count_avx512(lanes: &[&[u64]], used: usize, tail_mask: u64) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: AVX-512 support was just verified at runtime.
+        return Some(unsafe { avx512::all_good_count(lanes, used, tail_mask) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (lanes, used, tail_mask);
+    None
+}
+
 /// Counts the rows of a packed row buffer (`num_rows × words_per_row`
 /// contiguous words) that are word-equal to `mask`.
 #[inline]
 pub fn count_equal_rows(words: &[u64], words_per_row: usize, mask: &[u64]) -> usize {
     #[cfg(target_arch = "x86_64")]
-    if avx2_available() {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { avx2::count_equal_rows(words, words_per_row, mask) };
+    {
+        if avx512_available() {
+            // SAFETY: AVX-512 support was just verified at runtime.
+            return unsafe { avx512::count_equal_rows(words, words_per_row, mask) };
+        }
+        if avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { avx2::count_equal_rows(words, words_per_row, mask) };
+        }
     }
     count_equal_rows_portable(words, words_per_row, mask)
 }
@@ -211,6 +303,19 @@ pub fn count_equal_rows_avx2(words: &[u64], words_per_row: usize, mask: &[u64]) 
     None
 }
 
+/// AVX-512 tier of [`count_equal_rows`]; `None` when the CPU lacks
+/// `avx512f`/`avx512vpopcntdq`.
+pub fn count_equal_rows_avx512(words: &[u64], words_per_row: usize, mask: &[u64]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: AVX-512 support was just verified at runtime.
+        return Some(unsafe { avx512::count_equal_rows(words, words_per_row, mask) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (words, words_per_row, mask);
+    None
+}
+
 /// For each mask in `masks`, counts the rows word-equal to it, in a
 /// single streaming pass over the row buffer (rows outer, masks inner —
 /// the row stays in registers while every mask is tried against it).
@@ -225,12 +330,65 @@ pub fn match_rows_batch(
         return;
     }
     #[cfg(target_arch = "x86_64")]
-    if avx2_available() {
-        // SAFETY: AVX2 support was just verified at runtime.
-        unsafe { avx2::match_rows_batch(words, words_per_row, masks, counts) };
-        return;
+    {
+        if avx512_available() {
+            // SAFETY: AVX-512 support was just verified at runtime.
+            unsafe { avx512::match_rows_batch(words, words_per_row, masks, counts) };
+            return;
+        }
+        if avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { avx2::match_rows_batch(words, words_per_row, masks, counts) };
+            return;
+        }
     }
     match_rows_batch_portable(words, words_per_row, masks, counts);
+}
+
+/// AVX2 tier of [`match_rows_batch`]; reports `false` (leaving `counts`
+/// untouched) when the CPU lacks AVX2.
+pub fn match_rows_batch_avx2(
+    words: &[u64],
+    words_per_row: usize,
+    masks: &[Vec<u64>],
+    counts: &mut [usize],
+) -> bool {
+    assert_eq!(masks.len(), counts.len(), "one count slot per mask");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        if words_per_row == 0 || masks.is_empty() {
+            return true;
+        }
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { avx2::match_rows_batch(words, words_per_row, masks, counts) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (words, words_per_row, masks, counts);
+    false
+}
+
+/// AVX-512 tier of [`match_rows_batch`]; reports `false` (leaving
+/// `counts` untouched) when the CPU lacks `avx512f`/`avx512vpopcntdq`.
+pub fn match_rows_batch_avx512(
+    words: &[u64],
+    words_per_row: usize,
+    masks: &[Vec<u64>],
+    counts: &mut [usize],
+) -> bool {
+    assert_eq!(masks.len(), counts.len(), "one count slot per mask");
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        if words_per_row == 0 || masks.is_empty() {
+            return true;
+        }
+        // SAFETY: AVX-512 support was just verified at runtime.
+        unsafe { avx512::match_rows_batch(words, words_per_row, masks, counts) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (words, words_per_row, masks, counts);
+    false
 }
 
 /// Every mask must be exactly one row wide; like [`check_lanes`] this is
@@ -268,9 +426,15 @@ pub fn match_rows_batch_portable(
 #[inline]
 pub fn count_zero_rows(words: &[u64], words_per_row: usize) -> usize {
     #[cfg(target_arch = "x86_64")]
-    if avx2_available() {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { avx2::count_zero_rows(words, words_per_row) };
+    {
+        if avx512_available() {
+            // SAFETY: AVX-512 support was just verified at runtime.
+            return unsafe { avx512::count_zero_rows(words, words_per_row) };
+        }
+        if avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { avx2::count_zero_rows(words, words_per_row) };
+        }
     }
     count_zero_rows_portable(words, words_per_row)
 }
@@ -286,11 +450,52 @@ pub fn count_zero_rows_portable(words: &[u64], words_per_row: usize) -> usize {
         .count()
 }
 
-/// Whether the AVX2 kernel tier is active on this CPU.
+/// AVX2 tier of [`count_zero_rows`]; `None` when the CPU lacks AVX2.
+pub fn count_zero_rows_avx2(words: &[u64], words_per_row: usize) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return Some(unsafe { avx2::count_zero_rows(words, words_per_row) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (words, words_per_row);
+    None
+}
+
+/// AVX-512 tier of [`count_zero_rows`]; `None` when the CPU lacks
+/// `avx512f`/`avx512vpopcntdq`.
+pub fn count_zero_rows_avx512(words: &[u64], words_per_row: usize) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: AVX-512 support was just verified at runtime.
+        return Some(unsafe { avx512::count_zero_rows(words, words_per_row) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (words, words_per_row);
+    None
+}
+
+/// Whether the AVX2 kernel tier is available on this CPU.
 pub fn avx2_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the AVX-512 kernel tier is available on this CPU. The whole
+/// tier is gated on `avx512f` **and** `avx512vpopcntdq` together — the
+/// row-matching kernels only need the former, but a single gate keeps
+/// the ladder a ladder.
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -474,6 +679,157 @@ mod avx2 {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512 implementations. Callers must verify `avx512f` and
+    //! `avx512vpopcntdq` support first.
+    //!
+    //! The structure mirrors [`super::avx2`] — a vector body over the
+    //! leading full words, a scalar remainder, and a masked final word —
+    //! but each vector step covers **eight** `u64` words, the popcount
+    //! is a single `vpopcntdq` instead of the nibble dance, and row
+    //! comparisons produce a compare *mask* directly instead of a
+    //! byte-movemask round-trip.
+
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn pair_good_count(a: &[u64], b: &[u64], tail_mask: u64) -> usize {
+        // The length equality is a soundness bound here: the loop's raw
+        // 512-bit loads are in-bounds for `a` by the loop condition and
+        // for `b` only via this assert.
+        assert_eq!(a.len(), b.len(), "pair lanes must have equal length");
+        if a.is_empty() {
+            return 0;
+        }
+        let body = a.len() - 1;
+        let ones = _mm512_set1_epi8(-1);
+        let mut acc = _mm512_setzero_si512();
+        let mut w = 0;
+        while w + 8 <= body {
+            let va = _mm512_loadu_si512(a.as_ptr().add(w) as *const __m512i);
+            let vb = _mm512_loadu_si512(b.as_ptr().add(w) as *const __m512i);
+            // !(a | b): one andnot against all-ones instead of two NOTs.
+            let good = _mm512_andnot_si512(_mm512_or_si512(va, vb), ones);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(good));
+            w += 8;
+        }
+        let mut count = _mm512_reduce_add_epi64(acc) as u64;
+        while w < body {
+            count += (!(a[w] | b[w])).count_ones() as u64;
+            w += 1;
+        }
+        count += (!(a[body] | b[body]) & tail_mask).count_ones() as u64;
+        count as usize
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn all_good_count(lanes: &[&[u64]], used: usize, tail_mask: u64) -> usize {
+        super::check_lanes(lanes, used);
+        if used == 0 {
+            return 0;
+        }
+        let body = used - 1;
+        let ones = _mm512_set1_epi8(-1);
+        let mut acc = _mm512_setzero_si512();
+        let mut w = 0;
+        while w + 8 <= body {
+            let mut good = ones;
+            for lane in lanes {
+                let v = _mm512_loadu_si512(lane.as_ptr().add(w) as *const __m512i);
+                good = _mm512_andnot_si512(v, good);
+            }
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(good));
+            w += 8;
+        }
+        let mut count = _mm512_reduce_add_epi64(acc) as u64;
+        while w < used {
+            let mut word = if w + 1 == used { tail_mask } else { !0u64 };
+            for lane in lanes {
+                word &= !lane[w];
+                if word == 0 {
+                    break;
+                }
+            }
+            count += word.count_ones() as u64;
+            w += 1;
+        }
+        count as usize
+    }
+
+    /// Whether `row` and `mask` (equal length) are word-equal, comparing
+    /// eight words per `vpcmpeqq` mask test.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn row_equals(row: &[u64], mask: &[u64]) -> bool {
+        let n = row.len();
+        let mut w = 0;
+        while w + 8 <= n {
+            let vr = _mm512_loadu_si512(row.as_ptr().add(w) as *const __m512i);
+            let vm = _mm512_loadu_si512(mask.as_ptr().add(w) as *const __m512i);
+            if _mm512_cmpeq_epi64_mask(vr, vm) != 0xff {
+                return false;
+            }
+            w += 8;
+        }
+        row[w..] == mask[w..]
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn count_equal_rows(words: &[u64], words_per_row: usize, mask: &[u64]) -> usize {
+        assert_eq!(mask.len(), words_per_row, "mask width must match rows");
+        if words_per_row == 0 {
+            return 0;
+        }
+        words
+            .chunks_exact(words_per_row)
+            .filter(|row| row_equals(row, mask))
+            .count()
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn match_rows_batch(
+        words: &[u64],
+        words_per_row: usize,
+        masks: &[Vec<u64>],
+        counts: &mut [usize],
+    ) {
+        super::check_masks(masks, words_per_row);
+        for row in words.chunks_exact(words_per_row) {
+            for (mask, count) in masks.iter().zip(counts.iter_mut()) {
+                if row_equals(row, mask) {
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn count_zero_rows(words: &[u64], words_per_row: usize) -> usize {
+        if words_per_row == 0 {
+            return 0;
+        }
+        words
+            .chunks_exact(words_per_row)
+            .filter(|row| {
+                let n = row.len();
+                let mut w = 0;
+                // Early exit per 8-word chunk, for the same locality
+                // reason as the AVX2 tier: most rows are refuted by
+                // their first words on dense observations.
+                while w + 8 <= n {
+                    let v = _mm512_loadu_si512(row.as_ptr().add(w) as *const __m512i);
+                    if _mm512_test_epi64_mask(v, v) != 0 {
+                        return false;
+                    }
+                    w += 8;
+                }
+                row[w..].iter().all(|&word| word == 0)
+            })
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +868,9 @@ mod tests {
                 if let Some(simd) = pair_good_count_avx2(&a, &b, tail) {
                     assert_eq!(simd, expected);
                 }
+                if let Some(simd) = pair_good_count_avx512(&a, &b, tail) {
+                    assert_eq!(simd, expected);
+                }
             }
         }
     }
@@ -537,6 +896,9 @@ mod tests {
                 assert_eq!(all_good_count_portable(&refs, len, tail), expected);
                 assert_eq!(all_good_count(&refs, len, tail), expected);
                 if let Some(simd) = all_good_count_avx2(&refs, len, tail) {
+                    assert_eq!(simd, expected);
+                }
+                if let Some(simd) = all_good_count_avx512(&refs, len, tail) {
                     assert_eq!(simd, expected);
                 }
             }
@@ -575,8 +937,17 @@ mod tests {
             if let Some(simd) = count_equal_rows_avx2(&words, words_per_row, &mask) {
                 assert_eq!(simd, expected_eq);
             }
+            if let Some(simd) = count_equal_rows_avx512(&words, words_per_row, &mask) {
+                assert_eq!(simd, expected_eq);
+            }
             assert_eq!(count_zero_rows_portable(&words, words_per_row), 2);
             assert_eq!(count_zero_rows(&words, words_per_row), 2);
+            if let Some(simd) = count_zero_rows_avx2(&words, words_per_row) {
+                assert_eq!(simd, 2);
+            }
+            if let Some(simd) = count_zero_rows_avx512(&words, words_per_row) {
+                assert_eq!(simd, 2);
+            }
 
             let masks = vec![mask.clone(), vec![0u64; words_per_row]];
             let mut counts = vec![0usize; 2];
@@ -585,6 +956,32 @@ mod tests {
             let mut portable_counts = vec![0usize; 2];
             match_rows_batch_portable(&words, words_per_row, &masks, &mut portable_counts);
             assert_eq!(portable_counts, counts);
+            let mut avx2_counts = vec![0usize; 2];
+            if match_rows_batch_avx2(&words, words_per_row, &masks, &mut avx2_counts) {
+                assert_eq!(avx2_counts, counts);
+            }
+            let mut avx512_counts = vec![0usize; 2];
+            if match_rows_batch_avx512(&words, words_per_row, &masks, &mut avx512_counts) {
+                assert_eq!(avx512_counts, counts);
+            }
+        }
+    }
+
+    #[test]
+    fn active_tier_matches_feature_detection() {
+        let tier = active_tier();
+        if avx512_available() {
+            assert_eq!(tier, KernelTier::Avx512);
+        } else if avx2_available() {
+            assert_eq!(tier, KernelTier::Avx2);
+        } else {
+            assert_eq!(tier, KernelTier::Portable);
+        }
+        assert!(["avx512", "avx2", "portable"].contains(&tier.as_str()));
+        assert_eq!(tier.to_string(), tier.as_str());
+        // The ladder is monotone: vpopcntdq-class CPUs all have AVX2.
+        if avx512_available() {
+            assert!(avx2_available());
         }
     }
 

@@ -30,6 +30,19 @@
 //! back to the batch estimator ([`StreamingEstimator::batch`]), and the
 //! differential suite can assert that streaming and batch answers are
 //! bit-exact (both sides count integers and divide by the same `N`).
+//!
+//! # Mapped history segments
+//!
+//! A freshly built estimator can *attach* a memory-mapped observation
+//! file ([`StreamingEstimator::attach_history`]) as an immutable **base
+//! segment**: every accumulator is seeded from the mapped lanes through
+//! the same SIMD kernels a live run would have used, so the counters —
+//! and therefore every probability — are bit-identical to an estimator
+//! that streamed those snapshots one by one. New snapshots accumulate in
+//! the owned **delta** store on top;
+//! [`StreamingEstimator::history_binary`] re-serializes base ++ delta as
+//! one v3 block for the next persist/restart cycle. This is how the
+//! `netcorr-serve` daemon reloads weeks of history in microseconds.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,6 +51,7 @@ use netcorr_topology::path::PathId;
 use crate::bitset::simd;
 use crate::error::MeasureError;
 use crate::estimator::ProbabilityEstimator;
+use crate::mapped::MappedObservations;
 use crate::observation::PathObservations;
 
 /// Normalized pair key: the two path ids in increasing order.
@@ -49,7 +63,12 @@ fn pair_key(a: PathId, b: PathId) -> (PathId, PathId) {
 /// queries, O(1)-per-accumulator updates per pushed snapshot.
 #[derive(Debug, Clone)]
 pub struct StreamingEstimator {
+    /// The owned *delta* store: snapshots pushed since construction (or
+    /// since the attached history segment ended).
     observations: PathObservations,
+    /// Optional immutable base segment served from a mapped v3 file;
+    /// accumulators cover base + delta.
+    base: Option<MappedObservations>,
     /// Per-path congested-snapshot counts.
     congested: Vec<u64>,
     /// Registered pairs, normalized, in handle order (parallel to
@@ -80,6 +99,7 @@ impl StreamingEstimator {
     pub fn with_capacity(num_paths: usize, snapshots: usize) -> Self {
         StreamingEstimator {
             observations: PathObservations::with_capacity(num_paths, snapshots),
+            base: None,
             congested: vec![0; num_paths],
             pairs: Vec::new(),
             pair_index: BTreeMap::new(),
@@ -103,6 +123,7 @@ impl StreamingEstimator {
             congested,
             all_good,
             observations,
+            base: None,
             pairs: Vec::new(),
             pair_index: BTreeMap::new(),
             pair_good: Vec::new(),
@@ -117,30 +138,124 @@ impl StreamingEstimator {
         self.observations.num_paths()
     }
 
-    /// Number of snapshots recorded so far.
+    /// Number of snapshots recorded so far (attached history segment
+    /// included).
     pub fn num_snapshots(&self) -> usize {
-        self.observations.num_snapshots()
+        self.base_snapshots() + self.observations.num_snapshots()
     }
 
-    /// Returns `true` if no snapshots have been recorded.
+    /// Returns `true` if no snapshots have been recorded (and no history
+    /// segment is attached).
     pub fn is_empty(&self) -> bool {
-        self.observations.is_empty()
+        self.num_snapshots() == 0
     }
 
-    /// The underlying bit-packed observation store.
+    /// Snapshots covered by the attached history segment (0 without one).
+    fn base_snapshots(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.num_snapshots())
+    }
+
+    /// The underlying bit-packed observation store. With a history
+    /// segment attached this is the **delta only** — snapshots pushed
+    /// since [`StreamingEstimator::attach_history`]; use
+    /// [`StreamingEstimator::history_binary`] for the full record.
     pub fn observations(&self) -> &PathObservations {
         &self.observations
     }
 
-    /// Consumes the estimator, returning the observation store.
+    /// Consumes the estimator, returning the (delta) observation store.
     pub fn into_observations(self) -> PathObservations {
         self.observations
     }
 
     /// A batch estimator over the same observations, for ad-hoc queries
-    /// outside the registered set.
+    /// outside the registered set. Errors with
+    /// [`MeasureError::History`] when a mapped history segment is
+    /// attached: the batch estimator borrows the owned store, which then
+    /// holds only the delta, and serving partial-history probabilities
+    /// would silently disagree with the streaming counters.
     pub fn batch(&self) -> Result<ProbabilityEstimator<'_>, MeasureError> {
+        if self.base.is_some() {
+            return Err(MeasureError::History(
+                "batch estimation over the owned store is unavailable while a mapped history \
+                 segment is attached (the owned store holds only the delta)"
+                    .to_string(),
+            ));
+        }
         ProbabilityEstimator::new(&self.observations)
+    }
+
+    /// The attached mapped history segment, if any.
+    pub fn base(&self) -> Option<&MappedObservations> {
+        self.base.as_ref()
+    }
+
+    /// Snapshots recorded in the owned delta store (excludes the attached
+    /// history segment).
+    pub fn delta_snapshots(&self) -> usize {
+        self.observations.num_snapshots()
+    }
+
+    /// Attaches a mapped observation file as the immutable **base
+    /// segment** and seeds every accumulator from its lanes through the
+    /// SIMD kernels, making the estimator bit-identical to one that
+    /// streamed those snapshots live. Pairs and patterns may be
+    /// registered before or after attaching — both orders catch up
+    /// through the same kernels. Returns the number of history snapshots
+    /// absorbed.
+    ///
+    /// Errors with [`MeasureError::History`] if a segment is already
+    /// attached or snapshots have already been pushed, and with
+    /// [`MeasureError::WrongSnapshotWidth`] if the file's path count
+    /// differs from the estimator's.
+    pub fn attach_history(&mut self, history: MappedObservations) -> Result<usize, MeasureError> {
+        if self.base.is_some() {
+            return Err(MeasureError::History(
+                "a history segment is already attached".to_string(),
+            ));
+        }
+        if !self.observations.is_empty() {
+            return Err(MeasureError::History(format!(
+                "cannot attach a history segment after {} snapshots were already recorded",
+                self.observations.num_snapshots()
+            )));
+        }
+        if history.num_paths() != self.num_paths() {
+            return Err(MeasureError::WrongSnapshotWidth {
+                expected: self.num_paths(),
+                actual: history.num_paths(),
+            });
+        }
+        let view = history.view();
+        for (p, count) in self.congested.iter_mut().enumerate() {
+            *count = view.lanes().count_ones(p) as u64;
+        }
+        let all_paths: Vec<PathId> = (0..self.num_paths()).map(PathId).collect();
+        self.all_good = view.all_good_count(&all_paths)? as u64;
+        for (&(a, b), count) in self.pairs.iter().zip(&mut self.pair_good) {
+            *count = view.all_good_count(&[a, b])? as u64;
+        }
+        for (pattern, &slot) in &self.pattern_index {
+            self.pattern_matches[slot] = view.pattern_count(pattern)? as u64;
+        }
+        let absorbed = history.num_snapshots();
+        self.base = Some(history);
+        Ok(absorbed)
+    }
+
+    /// Serializes the **full** observation history — attached base
+    /// segment followed by the owned delta — as one v3 binary block,
+    /// suitable for atomic persistence and a later
+    /// [`StreamingEstimator::attach_history`] on restart. Without a base
+    /// segment this is simply the owned store's serialization.
+    pub fn history_binary(&self) -> Vec<u8> {
+        match &self.base {
+            Some(base) => base
+                .view()
+                .merged_binary(&self.observations)
+                .expect("base and delta share the path count by construction"),
+            None => self.observations.to_binary(),
+        }
     }
 
     /// The registered pairs, in registration-independent normalized order.
@@ -182,8 +297,12 @@ impl StreamingEstimator {
         if let Some(&handle) = self.pair_index.get(&key) {
             return Ok(handle);
         }
+        let base_count = match &self.base {
+            Some(base) => base.view().all_good_count(&[key.0, key.1])? as u64,
+            None => 0,
+        };
         let lanes = self.observations.lanes();
-        let count = if self.is_empty() {
+        let delta_count = if self.observations.is_empty() {
             0
         } else {
             simd::pair_good_count(
@@ -192,6 +311,7 @@ impl StreamingEstimator {
                 lanes.last_word_mask(),
             ) as u64
         };
+        let count = base_count + delta_count;
         let handle = self.pair_good.len();
         self.pair_index.insert(key, handle);
         self.pairs.push(key);
@@ -227,9 +347,14 @@ impl StreamingEstimator {
         if self.pattern_index.contains_key(pattern) {
             return Ok(());
         }
+        let base_count = match &self.base {
+            Some(base) => base.view().pattern_count(pattern)? as u64,
+            None => 0,
+        };
         let rows = self.observations.rows();
         let mask = rows.pack_mask(pattern.iter().map(|p| p.index()));
-        let count = simd::count_equal_rows(rows.words(), rows.words_per_row(), &mask) as u64;
+        let delta_count = simd::count_equal_rows(rows.words(), rows.words_per_row(), &mask) as u64;
+        let count = base_count + delta_count;
         self.pattern_index
             .insert(pattern.clone(), self.pattern_matches.len());
         self.pattern_masks.push(mask);
@@ -524,6 +649,174 @@ mod tests {
         let mut bad = StreamingEstimator::new(2);
         assert!(bad.register_pair(PathId(0), PathId(5)).is_err());
         assert!(bad.push_snapshot(&[true]).is_err());
+    }
+
+    fn temp_history(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("netcorr_streaming_{tag}_{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    /// A pseudo-random congestion pattern, deterministic per snapshot.
+    fn wide_snapshot(paths: usize, s: usize) -> Vec<bool> {
+        (0..paths)
+            .map(|p| (s * 7 + p * 13).is_multiple_of(5) || (s + p).is_multiple_of(11))
+            .collect()
+    }
+
+    #[test]
+    fn attached_history_matches_uninterrupted_streaming() {
+        let paths = 4;
+        let pattern = BTreeSet::from([PathId(0), PathId(2)]);
+        // 57 is deliberately not a multiple of 64: the base segment ends
+        // mid-word, exercising the shifted merge and tail masks.
+        for split in [0usize, 57, 64, 120] {
+            let mut live = StreamingEstimator::new(paths);
+            live.register_pair(PathId(0), PathId(1)).unwrap();
+            live.register_pattern(&pattern).unwrap();
+            let mut base_obs = PathObservations::new(paths);
+            for s in 0..137 {
+                let snap = wide_snapshot(paths, s);
+                live.push_snapshot(&snap).unwrap();
+                if s < split {
+                    base_obs.record_snapshot(&snap).unwrap();
+                }
+            }
+
+            let path = temp_history(&format!("attach{split}"), &base_obs.to_binary());
+            let mapped = MappedObservations::open(&path).unwrap();
+            let mut resumed = StreamingEstimator::new(paths);
+            resumed.register_pair(PathId(0), PathId(1)).unwrap();
+            assert_eq!(resumed.attach_history(mapped).unwrap(), split);
+            assert_eq!(resumed.num_snapshots(), split);
+            assert_eq!(resumed.delta_snapshots(), 0);
+            // Pattern registered *after* attaching: catch-up must read
+            // the mapped base too.
+            resumed.register_pattern(&pattern).unwrap();
+            for s in split..137 {
+                resumed.push_snapshot(&wide_snapshot(paths, s)).unwrap();
+            }
+
+            assert_eq!(resumed.num_snapshots(), 137);
+            assert_eq!(resumed.delta_snapshots(), 137 - split);
+            assert!(resumed.base().is_some());
+            for p in 0..paths {
+                assert_eq!(
+                    live.prob_path_congested(PathId(p)).unwrap(),
+                    resumed.prob_path_congested(PathId(p)).unwrap(),
+                    "path {p}, split {split}"
+                );
+                assert_eq!(
+                    live.log_prob_path_good(PathId(p)).unwrap(),
+                    resumed.log_prob_path_good(PathId(p)).unwrap()
+                );
+            }
+            assert_eq!(
+                live.prob_pair_good(PathId(0), PathId(1)).unwrap(),
+                resumed.prob_pair_good(PathId(0), PathId(1)).unwrap()
+            );
+            assert_eq!(
+                live.prob_all_paths_good().unwrap(),
+                resumed.prob_all_paths_good().unwrap()
+            );
+            assert_eq!(
+                live.prob_exactly_congested(&pattern).unwrap(),
+                resumed.prob_exactly_congested(&pattern).unwrap()
+            );
+            // Late pair registration with a base attached catches up
+            // across base + delta.
+            let mut both = (live.clone(), resumed);
+            both.0.register_pair(PathId(2), PathId(3)).unwrap();
+            both.1.register_pair(PathId(2), PathId(3)).unwrap();
+            assert_eq!(
+                both.0.prob_pair_good(PathId(2), PathId(3)).unwrap(),
+                both.1.prob_pair_good(PathId(2), PathId(3)).unwrap()
+            );
+            // The serialized full history is byte-identical to the
+            // uninterrupted store's serialization.
+            assert_eq!(both.1.history_binary(), live.observations().to_binary());
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn history_binary_supports_another_restart_cycle() {
+        // Persist → attach → push → persist → attach again: two restart
+        // cycles end bit-identical to one uninterrupted run.
+        let paths = 3;
+        let mut live = StreamingEstimator::new(paths);
+        let mut first = PathObservations::new(paths);
+        for s in 0..90 {
+            let snap = wide_snapshot(paths, s);
+            live.push_snapshot(&snap).unwrap();
+            if s < 30 {
+                first.record_snapshot(&snap).unwrap();
+            }
+        }
+        let path = temp_history("cycle", &first.to_binary());
+        let mut mid = StreamingEstimator::new(paths);
+        mid.attach_history(MappedObservations::open(&path).unwrap())
+            .unwrap();
+        for s in 30..60 {
+            mid.push_snapshot(&wide_snapshot(paths, s)).unwrap();
+        }
+        std::fs::write(&path, mid.history_binary()).unwrap();
+        drop(mid);
+        let mut last = StreamingEstimator::new(paths);
+        last.attach_history(MappedObservations::open(&path).unwrap())
+            .unwrap();
+        for s in 60..90 {
+            last.push_snapshot(&wide_snapshot(paths, s)).unwrap();
+        }
+        assert_eq!(last.history_binary(), live.observations().to_binary());
+        assert_eq!(
+            last.prob_all_paths_good().unwrap(),
+            live.prob_all_paths_good().unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attach_history_misuse_errors() {
+        let obs = {
+            let mut o = PathObservations::new(2);
+            o.record_snapshot(&[true, false]).unwrap();
+            o.to_binary()
+        };
+        let path = temp_history("misuse", &obs);
+        let mapped = MappedObservations::open(&path).unwrap();
+
+        // Path-count mismatch.
+        let mut wrong = StreamingEstimator::new(3);
+        assert!(matches!(
+            wrong.attach_history(mapped.clone()),
+            Err(MeasureError::WrongSnapshotWidth {
+                expected: 3,
+                actual: 2
+            })
+        ));
+
+        // Attach after snapshots were already pushed.
+        let mut started = StreamingEstimator::new(2);
+        started.push_snapshot(&[false, false]).unwrap();
+        assert!(matches!(
+            started.attach_history(mapped.clone()),
+            Err(MeasureError::History(_))
+        ));
+
+        // Double attach.
+        let mut est = StreamingEstimator::new(2);
+        est.attach_history(mapped.clone()).unwrap();
+        assert!(matches!(
+            est.attach_history(mapped),
+            Err(MeasureError::History(_))
+        ));
+
+        // Batch estimation is refused while a base is attached (the
+        // owned store holds only the delta).
+        assert!(matches!(est.batch(), Err(MeasureError::History(_))));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Zero-copy estimator queries over borrowed lane words.
+//!
+//! [`ObservationsView`] is the read-only counterpart of
+//! [`PathObservations`](crate::observation::PathObservations): the same
+//! path-major packed lanes, but *borrowed* — from a heap-owned store,
+//! from a byte buffer holding a v3 binary block, or from a memory-mapped
+//! v3 file ([`crate::mapped::MappedObservations`]). No lane word is ever
+//! copied and no snapshot-major row view is materialised; row-shaped
+//! queries (`P(ψ(S) = ∅)`, `P(ψ(S) = ψ(A))`) are answered from the lanes
+//! instead, as AND-of-(possibly complemented)-lane sweeps.
+//!
+//! Every query is **bit-identical** to the corresponding
+//! [`ProbabilityEstimator`](crate::estimator::ProbabilityEstimator)
+//! query: both sides compute the same integer count and divide by the
+//! same snapshot total, so the resulting `f64`s agree to the last bit
+//! (the differential tests pin this).
+
+// `align_to::<u64>` is the only unsafe here: reinterpreting bytes as
+// `u64`s is valid for every bit pattern, and the empty-prefix/suffix
+// check guarantees the whole region was covered.
+#![allow(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+use netcorr_topology::path::PathId;
+
+use crate::bitset::{simd, tail_mask, BitLanesView, WORD_BITS};
+use crate::error::MeasureError;
+use crate::observation::{parse_binary_header, PathObservations, BINARY_HEADER_LEN, BINARY_MAGIC};
+
+/// Read-only, borrow-based view of path observations: `num_paths` packed
+/// lanes, one bit per snapshot, answering every estimator query without
+/// owning (or copying) the underlying words.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservationsView<'a> {
+    lanes: BitLanesView<'a>,
+}
+
+impl<'a> ObservationsView<'a> {
+    /// Wraps a validated lane view.
+    pub fn new(lanes: BitLanesView<'a>) -> Self {
+        ObservationsView { lanes }
+    }
+
+    /// Borrows a heap-owned observation store (the heap tier seen through
+    /// the common view interface).
+    pub fn from_observations(observations: &'a PathObservations) -> Self {
+        ObservationsView {
+            lanes: observations.lanes().as_view(),
+        }
+    }
+
+    /// Parses a v3 binary observation block **in place**: the header is
+    /// validated, the lane-word region is reinterpreted as little-endian
+    /// `u64`s without copying, and the zero-tail invariant is checked per
+    /// lane. The bytes must keep the words 8-byte aligned (a mapped file
+    /// or any allocation whose word region starts at a multiple of 8);
+    /// misaligned buffers are rejected — copy through
+    /// [`PathObservations::from_binary`] instead.
+    ///
+    /// Only available on little-endian hosts, where the wire byte order
+    /// *is* the in-memory byte order.
+    #[cfg(target_endian = "little")]
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, MeasureError> {
+        let (num_paths, num_snapshots) = parse_binary_header(bytes)?;
+        let region = &bytes[BINARY_HEADER_LEN..];
+        // SAFETY: every bit pattern is a valid `u64`; `align_to` returns
+        // word-aligned, in-bounds subslices by contract. The empty
+        // prefix/suffix check below guarantees the whole region was
+        // reinterpreted.
+        let (prefix, words, suffix) = unsafe { region.align_to::<u64>() };
+        if !prefix.is_empty() || !suffix.is_empty() {
+            return Err(MeasureError::Wire(format!(
+                "lane region is not 8-byte aligned (offset {}): zero-copy parse needs an \
+                 aligned buffer",
+                prefix.len()
+            )));
+        }
+        let lanes = BitLanesView::try_from_lane_words(num_paths, num_snapshots, words)?;
+        Ok(ObservationsView { lanes })
+    }
+
+    /// Number of paths per snapshot.
+    pub fn num_paths(&self) -> usize {
+        self.lanes.num_lanes()
+    }
+
+    /// Number of snapshots covered by the view.
+    pub fn num_snapshots(&self) -> usize {
+        self.lanes.num_slots()
+    }
+
+    /// Returns `true` if the view covers no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.num_snapshots() == 0
+    }
+
+    /// The underlying lane view.
+    pub fn lanes(&self) -> BitLanesView<'a> {
+        self.lanes
+    }
+
+    /// The probability floor used when clamping zero frequencies before
+    /// taking logarithms: `1 / (2 N)`.
+    pub fn probability_floor(&self) -> f64 {
+        1.0 / (2.0 * self.num_snapshots() as f64)
+    }
+
+    fn require_snapshots(&self) -> Result<(), MeasureError> {
+        if self.is_empty() {
+            return Err(MeasureError::NoSnapshots);
+        }
+        Ok(())
+    }
+
+    fn check_path(&self, path: PathId) -> Result<(), MeasureError> {
+        if path.index() >= self.num_paths() {
+            return Err(MeasureError::UnknownPath {
+                index: path.index(),
+                num_paths: self.num_paths(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of snapshots in which `path` was congested.
+    pub fn congested_count(&self, path: PathId) -> Result<usize, MeasureError> {
+        self.check_path(path)?;
+        Ok(self.lanes.count_ones(path.index()))
+    }
+
+    /// Number of snapshots in which *all* the given paths were good,
+    /// dispatched to the SIMD kernel ladder exactly like the owning
+    /// estimator.
+    pub fn all_good_count(&self, paths: &[PathId]) -> Result<usize, MeasureError> {
+        for &p in paths {
+            self.check_path(p)?;
+        }
+        let used = self.lanes.used_words();
+        let mask = self.lanes.last_word_mask();
+        if let [a, b] = paths {
+            return Ok(simd::pair_good_count(
+                self.lanes.lane(a.index()),
+                self.lanes.lane(b.index()),
+                mask,
+            ));
+        }
+        let lane_refs: Vec<&[u64]> = paths.iter().map(|&p| self.lanes.lane(p.index())).collect();
+        Ok(simd::all_good_count(&lane_refs, used, mask))
+    }
+
+    /// Number of snapshots in which the congested paths were *exactly*
+    /// the given set: an AND sweep over every lane, complementing the
+    /// lanes outside the pattern. The owning estimator answers this from
+    /// its snapshot-major rows; the integer counts are equal, so the
+    /// probabilities are bit-identical.
+    pub fn pattern_count(&self, congested: &BTreeSet<PathId>) -> Result<usize, MeasureError> {
+        for &p in congested {
+            self.check_path(p)?;
+        }
+        let num_paths = self.num_paths();
+        let mut member = vec![false; num_paths];
+        for p in congested {
+            member[p.index()] = true;
+        }
+        let used = self.lanes.used_words();
+        let mask = self.lanes.last_word_mask();
+        let lanes: Vec<&[u64]> = (0..num_paths).map(|p| self.lanes.lane(p)).collect();
+        let mut count = 0usize;
+        for w in 0..used {
+            let mut acc = if w + 1 == used { mask } else { !0u64 };
+            for (lane, &is_member) in lanes.iter().zip(&member) {
+                let word = lane[w];
+                acc &= if is_member { word } else { !word };
+                if acc == 0 {
+                    break;
+                }
+            }
+            count += acc.count_ones() as usize;
+        }
+        Ok(count)
+    }
+
+    /// Empirical `P(Y_i = 1)`.
+    pub fn prob_path_congested(&self, path: PathId) -> Result<f64, MeasureError> {
+        self.require_snapshots()?;
+        Ok(self.congested_count(path)? as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Empirical `P(Y_i = 0)`.
+    pub fn prob_path_good(&self, path: PathId) -> Result<f64, MeasureError> {
+        Ok(1.0 - self.prob_path_congested(path)?)
+    }
+
+    /// Empirical probability that *all* the given paths were good in the
+    /// same snapshot.
+    pub fn prob_paths_good(&self, paths: &[PathId]) -> Result<f64, MeasureError> {
+        self.require_snapshots()?;
+        Ok(self.all_good_count(paths)? as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Batch form of the path-pair query, one `P(Y_i = 0, Y_j = 0)` per
+    /// pair.
+    pub fn prob_pairs_good(&self, pairs: &[(PathId, PathId)]) -> Result<Vec<f64>, MeasureError> {
+        self.require_snapshots()?;
+        for &(a, b) in pairs {
+            self.check_path(a)?;
+            self.check_path(b)?;
+        }
+        let mask = self.lanes.last_word_mask();
+        let n = self.num_snapshots() as f64;
+        Ok(pairs
+            .iter()
+            .map(|&(a, b)| {
+                let count = simd::pair_good_count(
+                    self.lanes.lane(a.index()),
+                    self.lanes.lane(b.index()),
+                    mask,
+                );
+                count as f64 / n
+            })
+            .collect())
+    }
+
+    /// Batch clamped `log P(Y_i = 0, Y_j = 0)` per pair.
+    pub fn log_prob_pairs_good(
+        &self,
+        pairs: &[(PathId, PathId)],
+    ) -> Result<Vec<f64>, MeasureError> {
+        let floor = self.probability_floor();
+        Ok(self
+            .prob_pairs_good(pairs)?
+            .into_iter()
+            .map(|p| p.max(floor).ln())
+            .collect())
+    }
+
+    /// `log P(all given paths good)`, clamped below by the probability
+    /// floor.
+    pub fn log_prob_paths_good(&self, paths: &[PathId]) -> Result<f64, MeasureError> {
+        let p = self.prob_paths_good(paths)?;
+        Ok(p.max(self.probability_floor()).ln())
+    }
+
+    /// Empirical `P(ψ(S) = ∅)`: every path good.
+    pub fn prob_all_paths_good(&self) -> Result<f64, MeasureError> {
+        self.require_snapshots()?;
+        let paths: Vec<PathId> = (0..self.num_paths()).map(PathId).collect();
+        Ok(self.all_good_count(&paths)? as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Empirical `P(ψ(S) = ψ(A))`: the congested paths are exactly the
+    /// given set.
+    pub fn prob_exactly_congested(
+        &self,
+        congested: &BTreeSet<PathId>,
+    ) -> Result<f64, MeasureError> {
+        self.require_snapshots()?;
+        Ok(self.pattern_count(congested)? as f64 / self.num_snapshots() as f64)
+    }
+
+    /// Batch form of [`ObservationsView::prob_exactly_congested`].
+    pub fn prob_exactly_congested_batch(
+        &self,
+        patterns: &[BTreeSet<PathId>],
+    ) -> Result<Vec<f64>, MeasureError> {
+        patterns
+            .iter()
+            .map(|pattern| self.prob_exactly_congested(pattern))
+            .collect()
+    }
+
+    /// Paths that were congested during at least one snapshot.
+    pub fn ever_congested_paths(&self) -> Vec<PathId> {
+        (0..self.num_paths())
+            .filter(|&p| self.lanes.lane(p).iter().any(|&w| w != 0))
+            .map(PathId)
+            .collect()
+    }
+
+    /// Copies the view into an owned [`PathObservations`] (rebuilding the
+    /// snapshot-major row view) — the promotion back to the heap tier.
+    pub fn to_observations(&self) -> Result<PathObservations, MeasureError> {
+        let mut words = Vec::with_capacity(self.num_paths() * self.lanes.used_words());
+        for p in 0..self.num_paths() {
+            words.extend_from_slice(self.lanes.lane(p));
+        }
+        let mut block = self.serialized_header(self.num_snapshots());
+        for word in &words {
+            block.extend_from_slice(&word.to_le_bytes());
+        }
+        PathObservations::from_binary(&block)
+    }
+
+    fn serialized_header(&self, total_snapshots: usize) -> Vec<u8> {
+        let used = total_snapshots.div_ceil(WORD_BITS);
+        let mut out = Vec::with_capacity(BINARY_HEADER_LEN + self.num_paths() * used * 8);
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(&(self.num_paths() as u64).to_le_bytes());
+        out.extend_from_slice(&(total_snapshots as u64).to_le_bytes());
+        out
+    }
+
+    /// Serializes the view followed by `delta` as one v3 binary block —
+    /// the full-history serialization of a streaming estimator whose base
+    /// segment is this view. When the view's snapshot count is not a
+    /// multiple of 64 the delta words are bit-shifted into the base
+    /// lanes' tail words (the packed equivalent of replaying the delta).
+    pub fn merged_binary(&self, delta: &PathObservations) -> Result<Vec<u8>, MeasureError> {
+        if delta.num_paths() != self.num_paths() {
+            return Err(MeasureError::WrongSnapshotWidth {
+                expected: self.num_paths(),
+                actual: delta.num_paths(),
+            });
+        }
+        let base_n = self.num_snapshots();
+        let delta_n = delta.num_snapshots();
+        let total = base_n + delta_n;
+        let used_total = total.div_ceil(WORD_BITS);
+        let delta_used = delta_n.div_ceil(WORD_BITS);
+        let shift = base_n % WORD_BITS;
+        let mut out = self.serialized_header(total);
+        let mut merged: Vec<u64> = Vec::with_capacity(used_total);
+        for p in 0..self.num_paths() {
+            merged.clear();
+            merged.extend_from_slice(self.lanes.lane(p));
+            let delta_lane = if delta_n > 0 {
+                &delta.lanes().lane(p)[..delta_used]
+            } else {
+                &[]
+            };
+            if shift == 0 {
+                merged.extend_from_slice(delta_lane);
+            } else {
+                for &d in delta_lane {
+                    let last = merged.len() - 1;
+                    merged[last] |= d << shift;
+                    merged.push(d >> (WORD_BITS - shift));
+                }
+                merged.truncate(used_total);
+            }
+            debug_assert_eq!(merged.len(), used_total);
+            if used_total > 0 {
+                debug_assert_eq!(merged[used_total - 1] & !tail_mask(total), 0);
+            }
+            for word in &merged {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(paths: usize, snapshots: usize) -> PathObservations {
+        let mut obs = PathObservations::new(paths);
+        let mut row = vec![false; paths];
+        for s in 0..snapshots {
+            for (p, bit) in row.iter_mut().enumerate() {
+                *bit = (s * 7 + p * 13) % 5 == 0 || (s + p) % 11 == 0;
+            }
+            obs.record_snapshot(&row).unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn borrowed_view_matches_owned_bits() {
+        let obs = sample(4, 150);
+        let view = ObservationsView::from_observations(&obs);
+        assert_eq!(view.num_paths(), 4);
+        assert_eq!(view.num_snapshots(), 150);
+        for p in 0..4 {
+            assert_eq!(view.lanes().count_ones(p), obs.lanes().count_ones(p));
+            for s in 0..150 {
+                assert_eq!(view.lanes().get(p, s), obs.lanes().get(p, s));
+            }
+        }
+        assert_eq!(view.ever_congested_paths(), obs.ever_congested_paths());
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn zero_copy_parse_round_trips() {
+        let obs = sample(5, 203);
+        let block = obs.to_binary();
+        // `Vec<u8>` from `to_binary` starts at the allocator's alignment;
+        // the 24-byte header keeps the word region 8-aligned whenever the
+        // buffer itself is. Re-align defensively via a u64 buffer.
+        let mut aligned = vec![0u64; block.len().div_ceil(8)];
+        let bytes = {
+            let dst = unsafe { aligned.align_to_mut::<u8>().1 };
+            dst[..block.len()].copy_from_slice(&block);
+            &dst[..block.len()]
+        };
+        let view = ObservationsView::parse(bytes).unwrap();
+        assert_eq!(view.num_paths(), 5);
+        assert_eq!(view.num_snapshots(), 203);
+        let rebuilt = view.to_observations().unwrap();
+        assert_eq!(rebuilt, obs);
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn zero_copy_parse_rejects_corruption() {
+        let obs = sample(3, 70);
+        let mut aligned = vec![0u64; obs.to_binary().len().div_ceil(8)];
+        let block = obs.to_binary();
+        let n = block.len();
+        let bytes = unsafe { &mut aligned.align_to_mut::<u8>().1[..n] };
+        bytes.copy_from_slice(&block);
+        // Dirty tail: set a bit beyond snapshot 70 in lane 0's last word.
+        bytes[BINARY_HEADER_LEN + 15] |= 0x80;
+        let err = ObservationsView::parse(bytes).unwrap_err();
+        assert!(err.to_string().contains("beyond slot"), "got: {err}");
+        // Misaligned region: skip one byte.
+        bytes[BINARY_HEADER_LEN + 15] &= !0x80;
+        let mut shifted = vec![0u8; n + 1];
+        shifted[1..].copy_from_slice(bytes);
+        let err = ObservationsView::parse(&shifted[1..]).unwrap_err();
+        assert!(err.to_string().contains("aligned"), "got: {err}");
+    }
+
+    #[test]
+    fn merged_binary_equals_replayed_serialization() {
+        // Aligned (128) and unaligned (57, 191) base boundaries.
+        for split in [0usize, 57, 128, 191, 260] {
+            let whole = sample(3, 260);
+            let base = {
+                let mut b = PathObservations::new(3);
+                for s in 0..split {
+                    b.record_snapshot(&whole.snapshot(s)).unwrap();
+                }
+                b
+            };
+            let delta = {
+                let mut d = PathObservations::new(3);
+                for s in split..260 {
+                    d.record_snapshot(&whole.snapshot(s)).unwrap();
+                }
+                d
+            };
+            let view = ObservationsView::from_observations(&base);
+            let merged = view.merged_binary(&delta).unwrap();
+            assert_eq!(merged, whole.to_binary(), "split at {split}");
+        }
+        // Path-count mismatch is rejected.
+        let base = sample(3, 10);
+        let view = ObservationsView::from_observations(&base);
+        assert!(view.merged_binary(&PathObservations::new(2)).is_err());
+    }
+
+    #[test]
+    fn empty_views_error_instead_of_dividing_by_zero() {
+        let obs = PathObservations::new(3);
+        let view = ObservationsView::from_observations(&obs);
+        assert!(view.is_empty());
+        assert_eq!(
+            view.prob_path_good(PathId(0)).unwrap_err(),
+            MeasureError::NoSnapshots
+        );
+        assert_eq!(
+            view.prob_all_paths_good().unwrap_err(),
+            MeasureError::NoSnapshots
+        );
+        assert_eq!(
+            view.prob_exactly_congested(&BTreeSet::new()).unwrap_err(),
+            MeasureError::NoSnapshots
+        );
+    }
+}

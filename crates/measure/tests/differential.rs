@@ -2,8 +2,14 @@
 //!
 //! * the bit-packed estimator must agree **bit-exactly** with the scalar
 //!   reference implementation on random observation matrices;
-//! * the three SIMD kernel tiers (AVX2 / 4-wide portable / dispatcher)
-//!   must agree bit-exactly with each other and with scalar counting;
+//! * the SIMD kernel tiers (AVX-512 / AVX2 / 4-wide portable /
+//!   dispatcher) must agree bit-exactly with each other and with scalar
+//!   counting — the AVX-512 assertions run only where the host supports
+//!   `avx512f` + `avx512vpopcntdq` and skip cleanly elsewhere;
+//! * the zero-copy memory tier ([`ObservationsView`] borrowed from the
+//!   heap, parsed in place from a v3 block, or served from a mapped
+//!   file) must agree bit-exactly with the owning estimator on every
+//!   query family;
 //! * the [`StreamingEstimator`]'s accumulators must agree bit-exactly
 //!   with the batch estimator at **every prefix** of an interleaved
 //!   push/query sequence.
@@ -24,7 +30,10 @@ use std::collections::BTreeSet;
 
 use netcorr_measure::bitset::simd;
 use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
-use netcorr_measure::{PathObservations, ProbabilityEstimator, StreamingEstimator};
+use netcorr_measure::{
+    MappedObservations, ObservationsView, PathObservations, ProbabilityEstimator,
+    StreamingEstimator,
+};
 use netcorr_topology::path::PathId;
 use proptest::prelude::*;
 
@@ -184,6 +193,9 @@ proptest! {
                 if let Some(avx2) = simd::pair_good_count_avx2(la, lb, tail) {
                     prop_assert_eq!(avx2, expected);
                 }
+                if let Some(avx512) = simd::pair_good_count_avx512(la, lb, tail) {
+                    prop_assert_eq!(avx512, expected);
+                }
             }
         }
 
@@ -200,6 +212,9 @@ proptest! {
             if let Some(avx2) = simd::all_good_count_avx2(&refs, used, tail) {
                 prop_assert_eq!(avx2, expected);
             }
+            if let Some(avx512) = simd::all_good_count_avx512(&refs, used, tail) {
+                prop_assert_eq!(avx512, expected);
+            }
         }
 
         // Families 3–4: row kernels against scalar row scans.
@@ -212,6 +227,12 @@ proptest! {
             simd::count_zero_rows_portable(rows.words(), rows.words_per_row()),
             zero_expected
         );
+        if let Some(avx2) = simd::count_zero_rows_avx2(rows.words(), rows.words_per_row()) {
+            prop_assert_eq!(avx2, zero_expected);
+        }
+        if let Some(avx512) = simd::count_zero_rows_avx512(rows.words(), rows.words_per_row()) {
+            prop_assert_eq!(avx512, zero_expected);
+        }
         let target: Vec<usize> = (0..paths).filter(|p| selector >> ((p + 7) % 64) & 1 == 1).collect();
         let mask = rows.pack_mask(target.iter().copied());
         let eq_expected = (0..snapshots)
@@ -228,6 +249,11 @@ proptest! {
         if let Some(avx2) = simd::count_equal_rows_avx2(rows.words(), rows.words_per_row(), &mask) {
             prop_assert_eq!(avx2, eq_expected);
         }
+        if let Some(avx512) =
+            simd::count_equal_rows_avx512(rows.words(), rows.words_per_row(), &mask)
+        {
+            prop_assert_eq!(avx512, eq_expected);
+        }
         let masks = vec![mask, vec![0u64; rows.words_per_row()]];
         let mut counts = vec![0usize; 2];
         simd::match_rows_batch(rows.words(), rows.words_per_row(), &masks, &mut counts);
@@ -239,7 +265,109 @@ proptest! {
             &masks,
             &mut portable_counts,
         );
-        prop_assert_eq!(portable_counts, counts);
+        prop_assert_eq!(&portable_counts, &counts);
+        let mut avx2_counts = vec![0usize; 2];
+        if simd::match_rows_batch_avx2(rows.words(), rows.words_per_row(), &masks, &mut avx2_counts)
+        {
+            prop_assert_eq!(&avx2_counts, &counts);
+        }
+        let mut avx512_counts = vec![0usize; 2];
+        if simd::match_rows_batch_avx512(
+            rows.words(),
+            rows.words_per_row(),
+            &masks,
+            &mut avx512_counts,
+        ) {
+            prop_assert_eq!(&avx512_counts, &counts);
+        }
+    }
+
+    #[test]
+    fn zero_copy_views_agree_with_the_owning_estimator(
+        paths in 1usize..=MAX_PATHS,
+        snapshots in 1usize..=MAX_SNAPSHOTS,
+        cells in cell_pool(),
+        selector in 0u64..u64::MAX,
+    ) {
+        let (packed, _) = build_both(paths, snapshots, &cells);
+        let owning = ProbabilityEstimator::new(&packed).unwrap();
+
+        // Three routes into the zero-copy tier: a borrow of the owned
+        // store, and a memory-mapped v3 file (with its heap-read control
+        // arm) — all must answer every query family bit-identically.
+        let file = std::env::temp_dir().join(format!(
+            "netcorr_differential_view_{}",
+            std::process::id()
+        ));
+        std::fs::write(&file, packed.to_binary()).unwrap();
+        let mapped = MappedObservations::open(&file).unwrap();
+        let heap_read = MappedObservations::open_heap(&file).unwrap();
+        let views = [
+            ObservationsView::from_observations(&packed),
+            mapped.view(),
+            heap_read.view(),
+        ];
+
+        let mut pairs = Vec::new();
+        for a in 0..paths {
+            for b in a..paths {
+                pairs.push((PathId(a), PathId(b)));
+            }
+        }
+        let all: Vec<PathId> = (0..paths).map(PathId).collect();
+        let pattern: BTreeSet<PathId> = (0..paths)
+            .filter(|p| selector >> (p % 64) & 1 == 1)
+            .map(PathId)
+            .collect();
+        let patterns = [BTreeSet::new(), pattern];
+
+        for view in views {
+            prop_assert_eq!(view.num_snapshots(), snapshots);
+            prop_assert_eq!(view.probability_floor(), owning.probability_floor());
+            for p in 0..paths {
+                prop_assert_eq!(
+                    view.prob_path_good(PathId(p)).unwrap(),
+                    owning.prob_path_good(PathId(p)).unwrap()
+                );
+                prop_assert_eq!(
+                    view.prob_path_congested(PathId(p)).unwrap(),
+                    owning.prob_path_congested(PathId(p)).unwrap()
+                );
+            }
+            prop_assert_eq!(
+                view.prob_pairs_good(&pairs).unwrap(),
+                owning.prob_pairs_good(&pairs).unwrap()
+            );
+            prop_assert_eq!(
+                view.log_prob_pairs_good(&pairs).unwrap(),
+                owning.log_prob_pairs_good(&pairs).unwrap()
+            );
+            prop_assert_eq!(
+                view.prob_paths_good(&all).unwrap(),
+                owning.prob_paths_good(&all).unwrap()
+            );
+            prop_assert_eq!(
+                view.log_prob_paths_good(&all).unwrap(),
+                owning.log_prob_paths_good(&all).unwrap()
+            );
+            prop_assert_eq!(
+                view.prob_all_paths_good().unwrap(),
+                owning.prob_all_paths_good()
+            );
+            for pattern in &patterns {
+                prop_assert_eq!(
+                    view.prob_exactly_congested(pattern).unwrap(),
+                    owning.prob_exactly_congested(pattern).unwrap()
+                );
+            }
+            prop_assert_eq!(
+                view.prob_exactly_congested_batch(&patterns).unwrap(),
+                owning.prob_exactly_congested_batch(&patterns).unwrap()
+            );
+            prop_assert_eq!(view.ever_congested_paths(), owning.ever_congested_paths());
+            prop_assert_eq!(view.to_observations().unwrap(), packed.clone());
+        }
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

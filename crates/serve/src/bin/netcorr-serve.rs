@@ -16,19 +16,24 @@ use netcorr_topology::{toy, TopologyInstance};
 
 fn usage() -> &'static str {
     "usage: netcorr-serve [--listen ADDR] [--topology NAME] [--topology-seed N] \
-     [--independence] [--dense-threshold N] [--cgls-iterations N] [--cgls-tolerance X]\n\
+     [--history PATH] [--independence] [--dense-threshold N] [--cgls-iterations N] \
+     [--cgls-tolerance X]\n\
      \n\
      ADDR   host:port for TCP (port 0 binds an ephemeral port, reported on stdout),\n\
      \x20       or unix:<path> for a Unix domain socket (default: 127.0.0.1:0)\n\
      NAME   fig1a | planetlab-smoke | brite-smoke (default: fig1a); the smoke\n\
      \x20       fixtures are regenerated deterministically from --topology-seed,\n\
-     \x20       so clients can reconstruct the identical instance"
+     \x20       so clients can reconstruct the identical instance\n\
+     PATH   persistent observation history: every ingest atomically rewrites this\n\
+     \x20       v3 file, and on restart it is memory-mapped (zero-copy) and attached\n\
+     \x20       to the estimator, so the daemon resumes bit-identically"
 }
 
 struct Options {
     listen: ListenAddr,
     topology: String,
     topology_seed: u64,
+    history: Option<std::path::PathBuf>,
     config: AlgorithmConfig,
 }
 
@@ -38,6 +43,7 @@ impl Default for Options {
             listen: ListenAddr::Tcp("127.0.0.1:0".into()),
             topology: "fig1a".into(),
             topology_seed: 42,
+            history: None,
             config: AlgorithmConfig::default(),
         }
     }
@@ -57,6 +63,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> 
             "--topology" => options.topology = value(&mut args, "--topology")?,
             "--topology-seed" => {
                 options.topology_seed = parse(&value(&mut args, "--topology-seed")?)?
+            }
+            "--history" => {
+                options.history = Some(std::path::PathBuf::from(value(&mut args, "--history")?))
             }
             "--independence" => options.config.equations.respect_correlation = false,
             "--dense-threshold" => {
@@ -126,13 +135,35 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let service = match TomographyService::new(&instance, &options.config) {
+    let mut service = match TomographyService::new(&instance, &options.config) {
         Ok(service) => service,
         Err(error) => {
             eprintln!("netcorr-serve: failed to build the service: {error}");
             std::process::exit(1);
         }
     };
+    if let Some(path) = &options.history {
+        match service.enable_history(path) {
+            Ok(reloaded) => {
+                let status = service.status();
+                let backing = status
+                    .history
+                    .as_ref()
+                    .map_or("heap", |h| h.backing.as_str());
+                println!(
+                    "netcorr-serve: history {} ({reloaded} snapshots reloaded, {backing} backed)",
+                    path.display()
+                );
+            }
+            Err(error) => {
+                eprintln!(
+                    "netcorr-serve: failed to reload history {}: {error}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "netcorr-serve: topology {} ({} paths, {} links, {:?} solver)",
         options.topology,

@@ -17,7 +17,7 @@ use std::path::Path;
 use netcorr_measure::PathObservations;
 
 use crate::protocol::frame_observations;
-use crate::service::ServiceStatus;
+use crate::service::{HistoryStatus, ServiceStatus};
 
 /// Client-side failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +141,20 @@ impl<S: Read + Write> Client<S> {
         ))
     }
 
+    /// `OBS` with a pre-encoded (possibly malformed) payload, framed
+    /// exactly like [`Client::ingest`] — lets tests and replay tools
+    /// push raw v3 blocks without decoding them first. Returns
+    /// `(snapshots ingested, total snapshots)`.
+    pub fn ingest_raw_block(&mut self, block: &[u8]) -> Result<(usize, usize), ClientError> {
+        let mut framed = format!("OBS {}\n", block.len()).into_bytes();
+        framed.extend_from_slice(block);
+        let payload = self.exchange(&framed)?;
+        Ok((
+            parse_field(&payload, "ingested")?,
+            parse_field(&payload, "snapshots")?,
+        ))
+    }
+
     /// `INFER` — refreshes the server's estimate.
     pub fn infer(&mut self) -> Result<InferReply, ClientError> {
         let payload = self.command("INFER")?;
@@ -225,6 +239,23 @@ impl<S: Read + Write> Client<S> {
                 }
             },
             inferred: text_field(&payload, "inferred")? == "true",
+            kernel: text_field(&payload, "kernel")?,
+            history: match text_field(&payload, "history")?.as_str() {
+                "none" => None,
+                spec => {
+                    let (backing, path) = spec.split_once(':').ok_or_else(|| {
+                        ClientError::Protocol(format!(
+                            "history field {spec:?} is not `backing:path`"
+                        ))
+                    })?;
+                    Some(HistoryStatus {
+                        path: path.to_string(),
+                        backing: backing.to_string(),
+                        snapshots: parse_field(&payload, "history_snapshots")?,
+                        bytes: parse_field(&payload, "history_bytes")?,
+                    })
+                }
+            },
         })
     }
 
@@ -265,6 +296,35 @@ mod tests {
         assert_eq!(parse_field::<usize>(payload, "snapshots").unwrap(), 60);
         assert!(text_field(payload, "absent").is_err());
         assert!(parse_field::<usize>(payload, "inferred").is_err());
+    }
+
+    #[test]
+    fn history_fields_parse() {
+        // `history` must not swallow `history_snapshots` / `history_bytes`
+        // (the `=` requirement after the key prevents prefix matches).
+        let payload =
+            "kernel=avx512 history=mmap:/var/lib/netcorr/history.ncobs3 history_snapshots=57 \
+             history_bytes=1464";
+        assert_eq!(
+            text_field(payload, "history").unwrap(),
+            "mmap:/var/lib/netcorr/history.ncobs3"
+        );
+        assert_eq!(
+            parse_field::<usize>(payload, "history_snapshots").unwrap(),
+            57
+        );
+        assert_eq!(
+            parse_field::<usize>(payload, "history_bytes").unwrap(),
+            1464
+        );
+        assert_eq!(text_field(payload, "kernel").unwrap(), "avx512");
+        let (backing, path) = text_field(payload, "history")
+            .unwrap()
+            .split_once(':')
+            .map(|(b, p)| (b.to_string(), p.to_string()))
+            .unwrap();
+        assert_eq!(backing, "mmap");
+        assert_eq!(path, "/var/lib/netcorr/history.ncobs3");
     }
 
     #[test]

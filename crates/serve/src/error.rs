@@ -3,6 +3,7 @@
 use std::fmt;
 
 use netcorr_core::CoreError;
+use netcorr_eval::EvalError;
 use netcorr_measure::MeasureError;
 
 /// Errors produced by the daemon's service, protocol and server layers.
@@ -37,6 +38,9 @@ pub enum ServeError {
     NoEstimate,
     /// A request line (or framed body) violated the wire protocol.
     Protocol(String),
+    /// A history-file problem: mapping the persisted observation history
+    /// on startup, or atomically rewriting it after an ingest.
+    Persist(String),
     /// An I/O problem on the socket.
     Io(String),
 }
@@ -60,6 +64,7 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Persist(msg) => write!(f, "history persistence error: {msg}"),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -82,6 +87,12 @@ impl From<MeasureError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e.to_string())
+    }
+}
+
+impl From<EvalError> for ServeError {
+    fn from(e: EvalError) -> Self {
+        ServeError::Persist(e.to_string())
     }
 }
 
@@ -111,5 +122,12 @@ mod tests {
         assert!(ServeError::Protocol("bad verb".into())
             .to_string()
             .contains("bad verb"));
+        let e: ServeError = EvalError::Persist {
+            path: "history.ncobs3".into(),
+            cause: "disk full".into(),
+        }
+        .into();
+        assert!(matches!(e, ServeError::Persist(_)));
+        assert!(e.to_string().contains("disk full"), "{e}");
     }
 }

@@ -17,7 +17,13 @@
 //! 3. **answers** link-state and probability queries over a small
 //!    line-oriented request protocol ([`protocol`]), with per-request
 //!    `ERR` replies instead of connection drops and an in-band graceful
-//!    `SHUTDOWN`.
+//!    `SHUTDOWN`;
+//! 4. **persists** its observation history (opt-in via `--history`):
+//!    every ingest atomically rewrites a v3 history file, and on restart
+//!    the file is memory-mapped through
+//!    [`netcorr_measure::MappedObservations`] and attached to the
+//!    estimator as a zero-copy base segment — the daemon resumes with
+//!    bit-identical accumulators without re-ingesting its stream.
 //!
 //! On the dense solve plans (instances up to the solver's
 //! `dense_threshold`) every answer the daemon gives is **bit-identical**
@@ -44,4 +50,4 @@ pub use client::{Client, ClientError, InferReply};
 pub use error::ServeError;
 pub use protocol::{Reply, Request};
 pub use server::{ListenAddr, Server};
-pub use service::{ServiceStatus, TomographyService};
+pub use service::{HistoryStatus, ServiceStatus, TomographyService};

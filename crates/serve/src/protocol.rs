@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! PING                      → OK pong
-//! STATUS                    → OK paths=3 links=4 snapshots=60 equations=6 reinfers=2 solver=DenseExact inferred=true
+//! STATUS                    → OK paths=3 links=4 snapshots=60 equations=6 reinfers=2 solver=DenseExact inferred=true kernel=avx512 history=none
 //! OBS <len>\n<len raw bytes> → OK ingested=25 snapshots=60
 //! INFER                     → OK snapshots=60 solver=DenseExact residual=0.0000000019 iterations=0
 //! PROB <link>               → OK 0.24719056413242677
@@ -183,16 +183,27 @@ fn try_execute(
         Request::Ping => Ok(Reply::ok("pong".into())),
         Request::Status => {
             let s = service.status();
-            Ok(Reply::ok(format!(
-                "paths={} links={} snapshots={} equations={} reinfers={} solver={:?} inferred={}",
+            let mut text = format!(
+                "paths={} links={} snapshots={} equations={} reinfers={} solver={:?} inferred={} kernel={}",
                 s.num_paths,
                 s.num_links,
                 s.num_snapshots,
                 s.num_equations,
                 s.reinfers,
                 s.solver,
-                s.inferred
-            )))
+                s.inferred,
+                s.kernel
+            );
+            match &s.history {
+                Some(h) => {
+                    text.push_str(&format!(
+                        " history={}:{} history_snapshots={} history_bytes={}",
+                        h.backing, h.path, h.snapshots, h.bytes
+                    ));
+                }
+                None => text.push_str(" history=none"),
+            }
+            Ok(Reply::ok(text))
         }
         Request::Obs { len } => {
             let mut bytes = vec![0u8; len];
@@ -351,6 +362,16 @@ mod tests {
         assert!(reply.text.contains("threshold=0.9"));
         let reply = execute(&mut service, "STATUS", &mut empty);
         assert!(reply.text.contains("snapshots=40") && reply.text.contains("inferred=true"));
+        // The kernel tier is reported, and without --history the history
+        // field reads `none`.
+        assert!(
+            reply.text.contains("kernel=avx512")
+                || reply.text.contains("kernel=avx2")
+                || reply.text.contains("kernel=portable"),
+            "got {}",
+            reply.text
+        );
+        assert!(reply.text.contains("history=none"), "got {}", reply.text);
 
         let reply = execute(&mut service, "SHUTDOWN", &mut empty);
         assert_eq!(reply.text, "OK bye");

@@ -21,15 +21,43 @@
 //! offline [`InferenceContext::infer`] over the same accumulated
 //! observations; the daemon is then a pure latency optimisation, not a
 //! different estimator.
+//!
+//! With [`TomographyService::enable_history`] the service additionally
+//! persists its observation stream: after every successful ingest the
+//! full history is atomically rewritten to a v3 file, and on startup an
+//! existing file is memory-mapped (zero-copy, see
+//! [`netcorr_measure::MappedObservations`]) and attached to the
+//! streaming estimator as its base segment — a restarted daemon resumes
+//! with bit-identical accumulators without re-ingesting its stream.
+
+use std::path::{Path, PathBuf};
 
 use netcorr_core::context::InferenceContext;
 use netcorr_core::equations::IncrementalEquationBuilder;
 use netcorr_core::result::{SolverKind, TomographyEstimate};
 use netcorr_core::AlgorithmConfig;
+use netcorr_eval::persist;
+use netcorr_measure::bitset::simd;
 use netcorr_measure::{PathObservations, StreamingEstimator};
 use netcorr_topology::TopologyInstance;
 
 use crate::error::ServeError;
+
+/// The persisted-observation-history portion of a [`ServiceStatus`]:
+/// present only when the service was started with a history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryStatus {
+    /// The history file's path.
+    pub path: String,
+    /// How the reloaded history is served: `"mmap"` when the startup
+    /// reload mapped the file through the zero-copy tier, `"heap"` when
+    /// it fell back to a copying read (or the file did not exist yet).
+    pub backing: String,
+    /// Snapshots covered by the persisted file.
+    pub snapshots: usize,
+    /// Size of the persisted file in bytes.
+    pub bytes: usize,
+}
 
 /// A point-in-time summary of the service, the payload of the protocol's
 /// `STATUS` reply.
@@ -49,6 +77,21 @@ pub struct ServiceStatus {
     pub solver: SolverKind,
     /// Whether an estimate is available for queries.
     pub inferred: bool,
+    /// The active SIMD kernel tier (`avx512`, `avx2` or `portable`).
+    pub kernel: String,
+    /// Observation-history persistence, when enabled.
+    pub history: Option<HistoryStatus>,
+}
+
+/// The service's live record of its history file.
+struct HistoryFile {
+    path: PathBuf,
+    /// `"mmap"` or `"heap"` — how the startup reload is served.
+    backing: &'static str,
+    /// Bytes in the file as of the last persist (or the startup reload).
+    bytes: usize,
+    /// Snapshots in the file as of the last persist.
+    snapshots: usize,
 }
 
 /// The online tomography engine: ingest snapshots, re-infer on demand,
@@ -68,6 +111,9 @@ pub struct TomographyService {
     inferred_at: Option<usize>,
     reinfers: u64,
     num_paths: usize,
+    /// Set by [`TomographyService::enable_history`]: the on-disk history
+    /// file rewritten (atomically) after every successful ingest.
+    history: Option<HistoryFile>,
 }
 
 impl TomographyService {
@@ -88,7 +134,76 @@ impl TomographyService {
             inferred_at: None,
             reinfers: 0,
             num_paths: instance.num_paths(),
+            history: None,
         })
+    }
+
+    /// Enables persistent observation history at `path`. If the file
+    /// exists it is reloaded through the zero-copy tier: the v3 block is
+    /// memory-mapped, validated, and attached to the streaming estimator
+    /// as its immutable base segment — the accumulators are seeded from
+    /// the mapped lanes, so the restarted daemon answers every query
+    /// bit-identically to one that never stopped, without re-ingesting a
+    /// single snapshot. If the file does not exist yet it is created on
+    /// the first ingest. Either way, every subsequent successful ingest
+    /// atomically rewrites the file with the full history (base + delta).
+    ///
+    /// Must be called before any snapshot is ingested. Returns the
+    /// number of history snapshots reloaded (0 for a fresh file).
+    pub fn enable_history(&mut self, path: &Path) -> Result<usize, ServeError> {
+        if self.history.is_some() {
+            return Err(ServeError::Persist(
+                "observation history is already enabled".into(),
+            ));
+        }
+        if self.estimator.num_snapshots() != 0 {
+            return Err(ServeError::Persist(format!(
+                "cannot enable history after {} snapshots were already ingested",
+                self.estimator.num_snapshots()
+            )));
+        }
+        if path.exists() {
+            let mapped = persist::map_observations(path)?;
+            if mapped.num_paths() != self.num_paths {
+                return Err(ServeError::PathMismatch {
+                    block: mapped.num_paths(),
+                    instance: self.num_paths,
+                });
+            }
+            let backing = mapped.backing();
+            let bytes = mapped.byte_len();
+            let snapshots = self.estimator.attach_history(mapped)?;
+            self.history = Some(HistoryFile {
+                path: path.to_path_buf(),
+                backing,
+                bytes,
+                snapshots,
+            });
+            Ok(snapshots)
+        } else {
+            self.history = Some(HistoryFile {
+                path: path.to_path_buf(),
+                backing: "heap",
+                bytes: 0,
+                snapshots: 0,
+            });
+            Ok(0)
+        }
+    }
+
+    /// Rewrites the history file with the full accumulated history
+    /// (attached base segment + owned delta), atomically: a reader — or
+    /// a concurrently restarting daemon — only ever sees a complete v3
+    /// block. The previously mapped file is rename-replaced, never
+    /// truncated, so the live mapping stays valid.
+    fn persist_history(&mut self) -> Result<(), ServeError> {
+        if let Some(history) = &mut self.history {
+            let bytes = self.estimator.history_binary();
+            persist::atomic_write(&history.path, &bytes)?;
+            history.bytes = bytes.len();
+            history.snapshots = self.estimator.num_snapshots();
+        }
+        Ok(())
     }
 
     /// Number of measurement paths in the topology.
@@ -132,12 +247,14 @@ impl TomographyService {
         for snapshot in block.snapshots() {
             self.estimator.push_snapshot(&snapshot)?;
         }
+        self.persist_history()?;
         Ok(block.num_snapshots())
     }
 
     /// Pushes a single snapshot (one congested flag per path).
     pub fn push_snapshot(&mut self, congested: &[bool]) -> Result<(), ServeError> {
         self.estimator.push_snapshot(congested)?;
+        self.persist_history()?;
         Ok(())
     }
 
@@ -211,6 +328,13 @@ impl TomographyService {
             reinfers: self.reinfers,
             solver: self.context.solver_kind(),
             inferred: self.estimate.is_some(),
+            kernel: simd::active_tier().as_str().to_string(),
+            history: self.history.as_ref().map(|h| HistoryStatus {
+                path: h.path.display().to_string(),
+                backing: h.backing.to_string(),
+                snapshots: h.snapshots,
+                bytes: h.bytes,
+            }),
         }
     }
 }
@@ -335,5 +459,137 @@ mod tests {
         assert!(status.inferred);
         assert_eq!(status.reinfers, 1);
         assert!(status.num_equations > 0);
+        assert!(["avx512", "avx2", "portable"].contains(&status.kernel.as_str()));
+        assert_eq!(status.history, None);
+    }
+
+    #[test]
+    fn history_survives_a_service_restart_bit_identically() {
+        let instance = toy::figure_1a();
+        let config = AlgorithmConfig::default();
+        let dir =
+            std::env::temp_dir().join(format!("netcorr_serve_history_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let file = dir.join("history.ncobs3");
+        let obs = fig1a_observations(140);
+
+        // First life: fresh history file, ingest snapshots 0..57 (not a
+        // multiple of 64, so the persisted block ends mid-word), infer.
+        let mut first = TomographyService::new(&instance, &config).unwrap();
+        assert_eq!(first.enable_history(&file).unwrap(), 0);
+        let status = first.status();
+        let history = status.history.expect("history enabled");
+        assert_eq!(history.backing, "heap");
+        assert_eq!(history.snapshots, 0);
+        first
+            .ingest_observations(&{
+                let mut block = PathObservations::new(3);
+                for i in 0..57 {
+                    block.record_snapshot(&obs.snapshot(i)).unwrap();
+                }
+                block
+            })
+            .unwrap();
+        first.reinfer().unwrap();
+        assert!(file.exists());
+        drop(first);
+
+        // Second life: the history file is mapped and attached; the
+        // service resumes at snapshot 57 without re-ingesting.
+        let mut second = TomographyService::new(&instance, &config).unwrap();
+        assert_eq!(second.enable_history(&file).unwrap(), 57);
+        assert_eq!(second.num_snapshots(), 57);
+        let history = second.status().history.expect("history enabled");
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert_eq!(history.backing, "mmap");
+        assert_eq!(history.snapshots, 57);
+        assert_eq!(
+            history.bytes,
+            std::fs::metadata(&file).unwrap().len() as usize
+        );
+        second
+            .ingest_observations(&{
+                let mut block = PathObservations::new(3);
+                for i in 57..140 {
+                    block.record_snapshot(&obs.snapshot(i)).unwrap();
+                }
+                block
+            })
+            .unwrap();
+        second.reinfer().unwrap();
+
+        // Uninterrupted comparator over the same 140 snapshots.
+        let mut whole = TomographyService::new(&instance, &config).unwrap();
+        whole.ingest_observations(&obs).unwrap();
+        whole.reinfer().unwrap();
+        assert_eq!(
+            second.probabilities().unwrap(),
+            whole.probabilities().unwrap(),
+            "restarted service must answer bit-identically to an uninterrupted one"
+        );
+
+        // The persisted file now carries the full 140-snapshot history.
+        let final_history = second.status().history.unwrap();
+        assert_eq!(final_history.snapshots, 140);
+        assert_eq!(
+            netcorr_eval::persist::read_observations(&file).unwrap(),
+            obs
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn history_misuse_and_corruption_are_reported() {
+        let instance = toy::figure_1a();
+        let config = AlgorithmConfig::default();
+        let dir = std::env::temp_dir().join(format!(
+            "netcorr_serve_history_misuse_test_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("history.ncobs3");
+
+        // Enabling twice, or after snapshots already arrived.
+        let mut service = TomographyService::new(&instance, &config).unwrap();
+        service.enable_history(&file).unwrap();
+        assert!(matches!(
+            service.enable_history(&file),
+            Err(ServeError::Persist(_))
+        ));
+        let mut late = TomographyService::new(&instance, &config).unwrap();
+        late.push_snapshot(&[false, false, false]).unwrap();
+        assert!(matches!(
+            late.enable_history(&file),
+            Err(ServeError::Persist(_))
+        ));
+
+        // A corrupt history file fails the startup reload with a Persist
+        // error naming the file — never a panic.
+        service.push_snapshot(&[true, false, false]).unwrap();
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80; // dirty tail beyond the snapshot count
+        std::fs::write(&file, &bytes).unwrap();
+        let mut reloaded = TomographyService::new(&instance, &config).unwrap();
+        match reloaded.enable_history(&file) {
+            Err(ServeError::Persist(msg)) => {
+                assert!(msg.contains("beyond slot"), "{msg}");
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+
+        // A history file over the wrong path count is rejected up front.
+        let mut wrong = PathObservations::new(7);
+        wrong.record_snapshot(&[false; 7]).unwrap();
+        std::fs::write(&file, wrong.to_binary()).unwrap();
+        let mut mismatched = TomographyService::new(&instance, &config).unwrap();
+        assert_eq!(
+            mismatched.enable_history(&file),
+            Err(ServeError::PathMismatch {
+                block: 7,
+                instance: 3
+            })
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

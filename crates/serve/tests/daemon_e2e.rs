@@ -178,6 +178,147 @@ fn daemon_replies_err_per_request_instead_of_dropping_connections() {
 }
 
 #[test]
+fn restarted_daemon_reloads_mmap_history_and_answers_bit_identically() {
+    const SEED: u64 = 11;
+    let dir = std::env::temp_dir().join(format!("netcorr_daemon_restart_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let history = dir.join("history.ncobs3");
+    let history_arg = history.display().to_string();
+    let observations = smoke_observations(SEED, 140);
+    let base_args = [
+        "--listen",
+        "127.0.0.1:0",
+        "--topology",
+        "planetlab-smoke",
+        "--topology-seed",
+        "11",
+        "--history",
+        history_arg.as_str(),
+    ];
+
+    // First life: ingest snapshots 0..57 (deliberately not a multiple of
+    // 64, so the persisted history ends mid lane word), infer, shut down.
+    {
+        let (daemon, addr) = spawn_daemon(&base_args);
+        let mut client = Client::connect_tcp(addr.as_str()).unwrap();
+        let status = client.status().unwrap();
+        let h = status.history.expect("history enabled via --history");
+        assert_eq!(h.snapshots, 0, "fresh history file");
+        client.ingest(&slice_block(&observations, 0..57)).unwrap();
+        client.infer().unwrap();
+        client.shutdown().unwrap();
+        let mut daemon = daemon;
+        assert!(daemon.0.wait().unwrap().success());
+    }
+    assert!(history.exists(), "history persisted before shutdown");
+
+    // Second life: the daemon reloads the 57 persisted snapshots through
+    // the zero-copy map and continues the stream where it stopped.
+    let (daemon, addr) = spawn_daemon(&base_args);
+    let mut client = Client::connect_tcp(addr.as_str()).unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.num_snapshots, 57, "history reloaded on startup");
+    let h = status.history.expect("history enabled via --history");
+    assert_eq!(h.snapshots, 57);
+    assert!(h.bytes > 0);
+    assert_eq!(h.path, history_arg);
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    assert_eq!(h.backing, "mmap", "reload is served from the mapping");
+    assert!(["avx512", "avx2", "portable"].contains(&status.kernel.as_str()));
+
+    let (ingested, total) = client.ingest(&slice_block(&observations, 57..140)).unwrap();
+    assert_eq!(ingested, 83);
+    assert_eq!(total, 140);
+    client.infer().unwrap();
+    let restarted_probs = client.probabilities().unwrap();
+    let restarted_state = client.link_state(0, Some(0.5)).unwrap();
+    client.shutdown().unwrap();
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+
+    // Uninterrupted comparator: a fresh daemon fed the whole stream in
+    // one life (no history file) must answer bit-identically.
+    let (daemon, addr) = spawn_daemon(&base_args[..6]);
+    let mut client = Client::connect_tcp(addr.as_str()).unwrap();
+    client.ingest(&slice_block(&observations, 0..140)).unwrap();
+    client.infer().unwrap();
+    let whole_probs = client.probabilities().unwrap();
+    let whole_state = client.link_state(0, Some(0.5)).unwrap();
+    client.shutdown().unwrap();
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+
+    assert_eq!(restarted_probs.len(), whole_probs.len());
+    for (link, (&restarted, &whole)) in restarted_probs.iter().zip(&whole_probs).enumerate() {
+        assert_eq!(
+            restarted.to_bits(),
+            whole.to_bits(),
+            "link {link}: restarted daemon answered {restarted}, uninterrupted answered {whole}"
+        );
+    }
+    assert_eq!(restarted_state.0, whole_state.0);
+    assert_eq!(restarted_state.1.to_bits(), whole_state.1.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_history_fails_startup_and_corrupt_obs_keeps_the_session() {
+    let dir = std::env::temp_dir().join(format!("netcorr_daemon_corrupt_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let history = dir.join("history.ncobs3");
+    // A corrupt history file (dirty tail) must fail startup with a clear
+    // error instead of panicking or serving wrong counts.
+    let mut obs = PathObservations::new(3);
+    for i in 0..10 {
+        obs.record_snapshot(&[i % 2 == 0, i % 3 == 0, false])
+            .unwrap();
+    }
+    let mut bytes = obs.to_binary();
+    let last = bytes.len() - 1;
+    bytes[last] |= 0x80;
+    std::fs::write(&history, &bytes).unwrap();
+    let history_arg = history.display().to_string();
+    let out = Command::new(env!("CARGO_BIN_EXE_netcorr-serve"))
+        .args(["--topology", "fig1a", "--history", history_arg.as_str()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed to reload history"), "got: {stderr}");
+
+    // A corrupt OBS payload over the wire produces an ERR reply and the
+    // session — and the persisted history — survive it untouched.
+    std::fs::remove_file(&history).unwrap();
+    let (daemon, addr) = spawn_daemon(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--topology",
+        "fig1a",
+        "--history",
+        history_arg.as_str(),
+    ]);
+    let mut client = Client::connect_tcp(addr.as_str()).unwrap();
+    client.ingest(&obs).unwrap();
+    // Hand-roll a framed OBS whose payload is a v3 block with a dirty
+    // tail: the server must reject it without panicking.
+    let err = client.ingest_raw_block(&bytes).unwrap_err();
+    assert!(
+        err.to_string().contains("invalid observation block"),
+        "got: {err}"
+    );
+    client.ping().unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.num_snapshots, 10, "failed ingest added nothing");
+    assert_eq!(status.history.unwrap().snapshots, 10);
+    client.shutdown().unwrap();
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_exits_zero_and_bad_flags_exit_nonzero() {
     let exe = env!("CARGO_BIN_EXE_netcorr-serve");
     let help = Command::new(exe).arg("--help").output().unwrap();
