@@ -40,8 +40,8 @@
 //! ```
 //!
 //! The baseline paths can be overridden with the `BENCH_BASELINE`,
-//! `BENCH_INFERENCE_BASELINE` and `BENCH_SERVE_BASELINE` environment
-//! variables.
+//! `BENCH_INFERENCE_BASELINE`, `BENCH_SERVE_BASELINE` and
+//! `BENCH_ROBUSTNESS_BASELINE` environment variables.
 
 use std::time::Instant;
 
@@ -49,6 +49,7 @@ use netcorr_bench::{fixture, serve_reinfer_workload};
 use netcorr_core::{AlgorithmConfig, CorrelationAlgorithm, InferenceContext};
 use netcorr_eval::figures::TopologyFamily;
 use netcorr_eval::persist;
+use netcorr_eval::robustness::RobustnessConfig;
 use netcorr_eval::scenario::CorrelationLevel;
 use netcorr_measure::bitset::simd;
 use netcorr_measure::reference::{ScalarEstimator, ScalarObservations};
@@ -418,6 +419,62 @@ fn main() {
              {warm_floor}x"
         );
         std::process::exit(1);
+    }
+
+    // --- Robustness gate: degradation curves vs committed thresholds. ---
+    // Re-runs the seeded model-misspecification matrix (deterministic, a
+    // few seconds at smoke scale) and compares every cell against the
+    // per-cell thresholds committed in ROBUSTNESS.json, plus the asserted
+    // worm scenario. A change that silently degrades accuracy or
+    // identifiability under perturbed conditions fails here even when the
+    // clean-model tests still pass.
+    let robustness_baseline =
+        std::env::var("BENCH_ROBUSTNESS_BASELINE").unwrap_or_else(|_| "ROBUSTNESS.json".into());
+    match std::fs::read_to_string(&robustness_baseline) {
+        Err(err) => {
+            eprintln!(
+                "bench_gate: robustness baseline {robustness_baseline} unreadable ({err}); \
+                 skipping the robustness gate"
+            );
+        }
+        Ok(baseline) => {
+            let report = netcorr_eval::robustness::run_matrix(&RobustnessConfig::smoke())
+                .expect("robustness matrix runs");
+            if let Err(message) = report.worm.check() {
+                eprintln!("bench_gate: FAIL — {message}");
+                std::process::exit(1);
+            }
+            let checks = netcorr_eval::robustness::check_against_baseline(&report, &baseline)
+                .expect("committed robustness baseline covers the smoke matrix");
+            let failures: Vec<_> = checks.iter().filter(|c| !c.passes()).collect();
+            println!(
+                "bench_gate: robustness — {} cells vs {robustness_baseline}, worm correlation \
+                 mean {:.4} <= independence {:.4}",
+                checks.len(),
+                report.worm.correlation.mean,
+                report.worm.independence.mean
+            );
+            for check in &failures {
+                eprintln!(
+                    "  REGRESSION {}: mean error {:.4} (max {:.4}), detection rate {:.4} (min \
+                     {:.4})",
+                    check.cell,
+                    check.measured_mean,
+                    check.max_mean,
+                    check.measured_detection,
+                    check.min_detection
+                );
+            }
+            if !failures.is_empty() {
+                eprintln!(
+                    "bench_gate: FAIL — {}/{} robustness cells regressed past their committed \
+                     thresholds",
+                    failures.len(),
+                    checks.len()
+                );
+                std::process::exit(1);
+            }
+        }
     }
     println!("bench_gate: OK");
 }

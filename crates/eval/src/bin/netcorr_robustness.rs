@@ -1,0 +1,171 @@
+//! `netcorr-robustness` — runs the model-misspecification matrix and
+//! either regenerates `ROBUSTNESS.json` or checks a fresh run against the
+//! committed thresholds.
+//!
+//! ```text
+//! netcorr-robustness [--out FILE]        run the matrix, write the report
+//! netcorr-robustness --check [BASELINE]  run the matrix, compare against
+//!                                        the committed report, exit 1 on
+//!                                        any threshold regression
+//! ```
+//!
+//! Further flags: `--trials N`, `--snapshots N`, `--seed N`, `--shards N`
+//! override the smoke matrix; `--help` prints usage. The default baseline
+//! path is `ROBUSTNESS.json` in the current directory (CI runs from the
+//! workspace root); `BENCH_ROBUSTNESS_BASELINE` overrides it, mirroring
+//! the other `bench_gate` baselines.
+
+use std::path::PathBuf;
+
+use netcorr_eval::robustness::{check_against_baseline, run_matrix, RobustnessConfig};
+use netcorr_eval::EvalError;
+
+const USAGE: &str = "usage: netcorr-robustness [--check [BASELINE]] [--out FILE] [--trials N] \
+                     [--snapshots N] [--seed N] [--shards N]";
+
+struct Options {
+    config: RobustnessConfig,
+    out: PathBuf,
+    check: bool,
+    baseline: PathBuf,
+}
+
+fn default_baseline() -> PathBuf {
+    std::env::var("BENCH_ROBUSTNESS_BASELINE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("ROBUSTNESS.json"))
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut options = Options {
+        config: RobustnessConfig::smoke(),
+        out: PathBuf::from("ROBUSTNESS.json"),
+        check: false,
+        baseline: default_baseline(),
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--check" => {
+                options.check = true;
+                if let Some(next) = args.peek() {
+                    if !next.starts_with("--") {
+                        options.baseline = PathBuf::from(args.next().expect("peeked"));
+                    }
+                }
+            }
+            "--out" => {
+                options.out = PathBuf::from(value(&mut args, "--out")?);
+            }
+            "--trials" => {
+                options.config.trials = number(&mut args, "--trials")?;
+            }
+            "--snapshots" => {
+                options.config.snapshots = number(&mut args, "--snapshots")?;
+            }
+            "--shards" => {
+                options.config.shards = number(&mut args, "--shards")?;
+            }
+            "--seed" => {
+                options.config.base_seed = value(&mut args, "--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "invalid number for --seed".to_string())?;
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Some(options))
+}
+
+fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("missing value for {flag}"))
+}
+
+fn number(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    value(args, flag)?
+        .parse::<usize>()
+        .map_err(|_| format!("invalid number for {flag}"))
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(err) = run(&options) {
+        eprintln!("netcorr-robustness failed: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run(options: &Options) -> Result<(), EvalError> {
+    println!(
+        "netcorr-robustness: {} trials x {} snapshots, seed {}",
+        options.config.trials, options.config.snapshots, options.config.base_seed
+    );
+    let report = run_matrix(&options.config)?;
+    println!(
+        "  {} cells measured; worm scenario: correlation mean {:.4} vs independence {:.4}",
+        report.cells.len(),
+        report.worm.correlation.mean,
+        report.worm.independence.mean
+    );
+    if let Err(message) = report.worm.check() {
+        eprintln!("netcorr-robustness: {message}");
+        std::process::exit(1);
+    }
+
+    if options.check {
+        let baseline = std::fs::read_to_string(&options.baseline).map_err(|err| {
+            EvalError::Io(format!(
+                "cannot read baseline {}: {err}",
+                options.baseline.display()
+            ))
+        })?;
+        let checks = check_against_baseline(&report, &baseline)?;
+        let mut failures = 0;
+        for check in &checks {
+            if !check.passes() {
+                failures += 1;
+                eprintln!(
+                    "REGRESSION {}: mean error {:.4} (max {:.4}), detection rate {:.4} (min {:.4})",
+                    check.cell,
+                    check.measured_mean,
+                    check.max_mean,
+                    check.measured_detection,
+                    check.min_detection
+                );
+            }
+        }
+        if failures > 0 {
+            eprintln!(
+                "netcorr-robustness: {failures}/{} cells regressed past the committed thresholds \
+                 of {}",
+                checks.len(),
+                options.baseline.display()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "netcorr-robustness: all {} cells within the committed thresholds of {}",
+            checks.len(),
+            options.baseline.display()
+        );
+    } else {
+        report.write(&options.out)?;
+        println!(
+            "netcorr-robustness: report written to {}",
+            options.out.display()
+        );
+    }
+    Ok(())
+}

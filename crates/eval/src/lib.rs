@@ -22,6 +22,9 @@
 //!   corresponding parameter sweep.
 //! * [`report`] — plain-text tables and CSV emission used by the
 //!   `fig3` / `fig4` / `fig5` / `all_experiments` binaries.
+//! * [`robustness`] — the model-misspecification matrix: perturbation
+//!   family × intensity × topology degradation curves with committed
+//!   regression thresholds (`netcorr-robustness`, `ROBUSTNESS.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,10 +35,12 @@ pub mod figures;
 pub mod metrics;
 pub mod persist;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod scenario;
 
 pub use error::EvalError;
 pub use metrics::ErrorSummary;
+pub use robustness::{PerturbationFamily, RobustnessConfig, RobustnessReport, RobustnessTopology};
 pub use runner::{ExperimentConfig, ExperimentResult, TrialResult};
 pub use scenario::{CongestionScenario, CorrelationLevel, ScenarioBuilder, ScenarioConfig};

@@ -81,6 +81,97 @@ impl ErrorSummary {
     }
 }
 
+/// Congestion-detection counts of an estimate against the ground truth,
+/// used by the robustness harness: beyond the absolute error of the
+/// inferred probabilities, a degraded run should still *detect* which
+/// links are congested at all.
+///
+/// A link counts as congested (truly or by the estimate) when its
+/// congestion probability is at least `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectionSummary {
+    /// The probability threshold above which a link counts as congested.
+    pub threshold: f64,
+    /// Links whose true marginal is ≥ threshold (within the scored set).
+    pub actual_congested: usize,
+    /// Truly congested links the estimate also flags.
+    pub detected: usize,
+    /// Links whose true marginal is < threshold (within the scored set).
+    pub actual_clear: usize,
+    /// Truly clear links the estimate flags anyway.
+    pub false_alarms: usize,
+}
+
+impl DetectionSummary {
+    /// An empty summary (no links scored yet) at the given threshold.
+    pub fn empty(threshold: f64) -> Self {
+        DetectionSummary {
+            threshold,
+            actual_congested: 0,
+            detected: 0,
+            actual_clear: 0,
+            false_alarms: 0,
+        }
+    }
+
+    /// Fraction of truly congested links the estimate detected (1.0 when
+    /// nothing was truly congested).
+    pub fn detection_rate(&self) -> f64 {
+        if self.actual_congested == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.actual_congested as f64
+        }
+    }
+
+    /// Fraction of truly clear links the estimate flagged (0.0 when
+    /// nothing was truly clear).
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.actual_clear == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.actual_clear as f64
+        }
+    }
+
+    /// Accumulates another summary's counts (thresholds must agree).
+    pub fn merge(&mut self, other: &DetectionSummary) {
+        debug_assert_eq!(self.threshold, other.threshold);
+        self.actual_congested += other.actual_congested;
+        self.detected += other.detected;
+        self.actual_clear += other.actual_clear;
+        self.false_alarms += other.false_alarms;
+    }
+}
+
+/// Scores congestion detection of an estimate over the given links: a
+/// link is truly congested when `truth[link] ≥ threshold`, detected when
+/// the estimate's probability is ≥ threshold as well.
+pub fn detection_summary(
+    estimate: &TomographyEstimate,
+    truth: &[f64],
+    links: &[LinkId],
+    threshold: f64,
+) -> DetectionSummary {
+    let mut summary = DetectionSummary::empty(threshold);
+    for &link in links {
+        let actually = truth[link.index()] >= threshold;
+        let flagged = estimate.congestion_probability(link) >= threshold;
+        if actually {
+            summary.actual_congested += 1;
+            if flagged {
+                summary.detected += 1;
+            }
+        } else {
+            summary.actual_clear += 1;
+            if flagged {
+                summary.false_alarms += 1;
+            }
+        }
+    }
+    summary
+}
+
 /// The `q`-quantile of an already-sorted sample (nearest-rank convention,
 /// matching "the absolute error that corresponds to a value of y = 90% of
 /// the CDF").
@@ -179,6 +270,35 @@ mod tests {
         let empty = ErrorSummary::from_errors(&[]);
         assert_eq!(empty.count, 0);
         assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn detection_summary_counts_hits_and_false_alarms() {
+        // truth: links 0 and 1 congested at 0.2; 2 and 3 clear.
+        let truth = [0.2, 0.2, 0.0, 0.01];
+        // estimate: detects link 0, misses link 1, falsely flags link 2.
+        let est = estimate(vec![0.3, 0.01, 0.4, 0.0]);
+        let links: Vec<LinkId> = (0..4).map(LinkId).collect();
+        let s = detection_summary(&est, &truth, &links, 0.05);
+        assert_eq!(s.actual_congested, 2);
+        assert_eq!(s.detected, 1);
+        assert_eq!(s.actual_clear, 2);
+        assert_eq!(s.false_alarms, 1);
+        assert_eq!(s.detection_rate(), 0.5);
+        assert_eq!(s.false_alarm_rate(), 0.5);
+
+        // Degenerate cases: nothing congested → rate 1; nothing clear →
+        // false-alarm rate 0.
+        let s = detection_summary(&est, &[0.0; 4], &[], 0.05);
+        assert_eq!(s.detection_rate(), 1.0);
+        assert_eq!(s.false_alarm_rate(), 0.0);
+
+        // Merging pools the counts.
+        let mut acc = DetectionSummary::empty(0.05);
+        acc.merge(&detection_summary(&est, &truth, &links, 0.05));
+        acc.merge(&detection_summary(&est, &truth, &links, 0.05));
+        assert_eq!(acc.actual_congested, 4);
+        assert_eq!(acc.detected, 2);
     }
 
     #[test]

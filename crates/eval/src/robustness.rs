@@ -1,0 +1,829 @@
+//! The robustness harness: model-misspecification degradation curves.
+//!
+//! The inference guarantees of the paper hold under its own generative
+//! model. This module measures what happens when that model is wrong, by
+//! sweeping the perturbation families of [`netcorr_sim::perturb`] (plus
+//! the paper's own worm / mislabeling scenario) over an intensity grid on
+//! several topologies, running the full estimator → equations → inference
+//! pipeline per cell, and scoring accuracy ([`ErrorSummary`]) and
+//! identifiability ([`DetectionSummary`]) degradation.
+//!
+//! The output is a committed `ROBUSTNESS.json` report: per-cell
+//! degradation curves **plus regression thresholds** derived from the
+//! measured values. `bench_gate` (and `netcorr-robustness --check`)
+//! re-runs the same seeded matrix and fails when any cell degrades past
+//! its committed threshold, so a code change that silently hurts
+//! robustness fails CI.
+//!
+//! Everything is deterministic: cell seeds derive from the report's base
+//! seed, the perturbed simulator is bit-reproducible from
+//! `(seed, PerturbationConfig)`, and the scenario / measurement seeds are
+//! shared across families and intensities of one topology — so the
+//! `intensity = 0` column of every family is the *same* unperturbed
+//! baseline and the curves are directly comparable.
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use netcorr_core::{AlgorithmConfig, ContextCache};
+use netcorr_sim::{
+    GilbertElliottConfig, LossDriftConfig, MissingRowsConfig, PerturbationConfig,
+    PerturbedSimulator, RoutingChurnConfig, SimulationConfig, Simulator,
+};
+use netcorr_topology::{toy, TopologyInstance};
+
+use crate::error::EvalError;
+use crate::figures::{base_instance, Scale, TopologyFamily};
+use crate::metrics::{
+    absolute_errors, detection_summary, potentially_congested_links, DetectionSummary, ErrorSummary,
+};
+use crate::persist::atomic_write;
+use crate::runner::{run_trial_observations, sharded_perturbed_observations, ExperimentConfig};
+use crate::scenario::{CorrelationLevel, ScenarioBuilder, ScenarioConfig};
+
+/// The topologies the robustness matrix runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobustnessTopology {
+    /// The paper's Figure 1(a) toy topology (4 links, 3 paths).
+    Fig1a,
+    /// The smoke-scale PlanetLab-style topology.
+    PlanetLabSmoke,
+    /// The smoke-scale BRITE-style topology.
+    BriteSmoke,
+}
+
+impl RobustnessTopology {
+    /// Every topology of the matrix.
+    pub const ALL: [RobustnessTopology; 3] = [
+        RobustnessTopology::Fig1a,
+        RobustnessTopology::PlanetLabSmoke,
+        RobustnessTopology::BriteSmoke,
+    ];
+
+    /// Stable identifier used in cell keys and the JSON report.
+    pub fn key(self) -> &'static str {
+        match self {
+            RobustnessTopology::Fig1a => "fig1a",
+            RobustnessTopology::PlanetLabSmoke => "planetlab-smoke",
+            RobustnessTopology::BriteSmoke => "brite-smoke",
+        }
+    }
+
+    /// Builds the base instance (seeded, deterministic).
+    pub fn instance(self, seed: u64) -> Result<TopologyInstance, EvalError> {
+        match self {
+            RobustnessTopology::Fig1a => Ok(toy::figure_1a()),
+            RobustnessTopology::PlanetLabSmoke => {
+                base_instance(TopologyFamily::PlanetLab, Scale::Smoke, seed)
+            }
+            RobustnessTopology::BriteSmoke => {
+                base_instance(TopologyFamily::Brite, Scale::Smoke, seed)
+            }
+        }
+    }
+
+    /// The base scenario knobs for this topology. The toy topology has
+    /// only 4 links, so it congests half of them; the generated
+    /// topologies use the paper's 10%.
+    pub fn scenario_config(self) -> ScenarioConfig {
+        let congested_fraction = match self {
+            RobustnessTopology::Fig1a => 0.5,
+            _ => 0.10,
+        };
+        ScenarioConfig {
+            congested_fraction,
+            correlation_level: CorrelationLevel::HighlyCorrelated,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The perturbation families of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerturbationFamily {
+    /// Gilbert–Elliott burst chains (temporally correlated congestion).
+    Burst,
+    /// Non-stationary loss-rate drift.
+    Drift,
+    /// Missing `(snapshot, path)` measurements.
+    Missing,
+    /// Mid-trial routing churn.
+    Churn,
+    /// The paper's worm scenario: a fraction of congested links carries
+    /// an unknown correlation pattern (model perturbation, not a
+    /// simulator perturbation).
+    Worm,
+}
+
+impl PerturbationFamily {
+    /// Every family of the matrix.
+    pub const ALL: [PerturbationFamily; 5] = [
+        PerturbationFamily::Burst,
+        PerturbationFamily::Drift,
+        PerturbationFamily::Missing,
+        PerturbationFamily::Churn,
+        PerturbationFamily::Worm,
+    ];
+
+    /// Stable identifier used in cell keys and the JSON report.
+    pub fn key(self) -> &'static str {
+        match self {
+            PerturbationFamily::Burst => "burst",
+            PerturbationFamily::Drift => "drift",
+            PerturbationFamily::Missing => "missing",
+            PerturbationFamily::Churn => "churn",
+            PerturbationFamily::Worm => "worm",
+        }
+    }
+
+    /// The simulator perturbation realising this family at `intensity`.
+    pub fn perturbation(self, intensity: f64) -> PerturbationConfig {
+        let mut config = PerturbationConfig::none();
+        if intensity <= 0.0 {
+            return config;
+        }
+        match self {
+            PerturbationFamily::Burst => {
+                config.gilbert_elliott = Some(GilbertElliottConfig::with_intensity(intensity));
+            }
+            PerturbationFamily::Drift => {
+                config.loss_drift = Some(LossDriftConfig::with_intensity(intensity));
+            }
+            PerturbationFamily::Missing => {
+                // Full row loss leaves nothing to infer from; cap at 60%.
+                config.missing_rows = Some(MissingRowsConfig::with_intensity(intensity * 0.6));
+            }
+            PerturbationFamily::Churn => {
+                config.routing_churn = Some(RoutingChurnConfig::with_intensity(intensity));
+            }
+            PerturbationFamily::Worm => {}
+        }
+        config
+    }
+
+    /// The scenario knobs realising this family at `intensity` (only the
+    /// worm family perturbs the scenario rather than the simulator).
+    pub fn scenario_config(self, base: ScenarioConfig, intensity: f64) -> ScenarioConfig {
+        match self {
+            PerturbationFamily::Worm => ScenarioConfig {
+                mislabeled_fraction: intensity,
+                ..base
+            },
+            _ => base,
+        }
+    }
+}
+
+/// Configuration of a robustness matrix run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessConfig {
+    /// Trials per cell (scenario + measurement seeds shared across the
+    /// families and intensities of one topology).
+    pub trials: usize,
+    /// Snapshots per trial.
+    pub snapshots: usize,
+    /// Base seed of the whole matrix.
+    pub base_seed: u64,
+    /// The intensity grid (must contain `0.0` for the baseline column).
+    pub intensities: Vec<f64>,
+    /// Simulator configuration.
+    pub simulation: SimulationConfig,
+    /// Inference configuration shared by both algorithms.
+    pub algorithm: AlgorithmConfig,
+    /// Probability threshold of the detection metrics.
+    pub detection_threshold: f64,
+    /// Within-trial measurement shards (0 = auto).
+    pub shards: usize,
+}
+
+impl RobustnessConfig {
+    /// The committed smoke matrix: 3 topologies × 5 families × 4
+    /// intensities, 3 trials of 512 snapshots each — small enough for CI,
+    /// large enough that the degradation curves are stable.
+    pub fn smoke() -> Self {
+        RobustnessConfig {
+            trials: 3,
+            snapshots: 512,
+            base_seed: 0xb0b5,
+            intensities: vec![0.0, 0.2, 0.4, 0.8],
+            simulation: SimulationConfig::default(),
+            algorithm: AlgorithmConfig::default(),
+            detection_threshold: 0.05,
+            shards: 1,
+        }
+    }
+}
+
+/// The pooled measurement of one matrix cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Pooled absolute-error summary of the correlation algorithm.
+    pub correlation: ErrorSummary,
+    /// Pooled absolute-error summary of the independence baseline.
+    pub independence: ErrorSummary,
+    /// Pooled detection counts of the correlation algorithm.
+    pub detection: DetectionSummary,
+}
+
+/// One cell of the committed report: measurement plus the regression
+/// thresholds `bench_gate` enforces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessCell {
+    /// Topology identifier ([`RobustnessTopology::key`]).
+    pub topology: String,
+    /// Family identifier ([`PerturbationFamily::key`]).
+    pub family: String,
+    /// Perturbation intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Measured outcome.
+    pub outcome: CellOutcome,
+    /// Ceiling on the correlation algorithm's mean absolute error.
+    pub max_correlation_mean_error: f64,
+    /// Floor on the correlation algorithm's detection rate.
+    pub min_detection_rate: f64,
+}
+
+impl RobustnessCell {
+    /// The unique `topology/family/intensity` key of the cell.
+    pub fn key(&self) -> String {
+        cell_key(&self.topology, &self.family, self.intensity)
+    }
+}
+
+/// Formats the canonical cell key.
+pub fn cell_key(topology: &str, family: &str, intensity: f64) -> String {
+    format!("{topology}/{family}/{intensity:.2}")
+}
+
+/// A full matrix run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// The configuration the matrix ran with.
+    pub config: RobustnessConfig,
+    /// One cell per topology × family × intensity.
+    pub cells: Vec<RobustnessCell>,
+    /// The asserted worm scenario (promoted from `examples/worm_attack`).
+    pub worm: WormOutcome,
+}
+
+/// Runs one cell: `trials` perturbed trials through the full pipeline,
+/// pooling errors and detection counts.
+pub fn run_cell(
+    instance: &TopologyInstance,
+    scenario_config: &ScenarioConfig,
+    perturbation: &PerturbationConfig,
+    config: &RobustnessConfig,
+    topology_seed: u64,
+) -> Result<CellOutcome, EvalError> {
+    let builder = ScenarioBuilder::new(*scenario_config)?;
+    let experiment = ExperimentConfig {
+        snapshots: config.snapshots,
+        trials: config.trials,
+        base_seed: topology_seed,
+        simulation: config.simulation,
+        algorithm: config.algorithm,
+        parallel: false,
+        trial_threads: 1,
+        shards: config.shards,
+    };
+    let contexts = ContextCache::new();
+    let mut correlation_errors = Vec::new();
+    let mut independence_errors = Vec::new();
+    let mut detection = DetectionSummary::empty(config.detection_threshold);
+    for trial in 0..config.trials {
+        // Seeds depend only on (topology, trial): families and
+        // intensities of one topology share scenarios and measurement
+        // streams, so their curves are directly comparable and the
+        // intensity-0 column is the common baseline.
+        let scenario_seed = topology_seed.wrapping_add(trial as u64);
+        let sim_seed = topology_seed.wrapping_add(1000 + trial as u64);
+        let scenario = builder.build(instance, &mut StdRng::seed_from_u64(scenario_seed))?;
+        let simulator = PerturbedSimulator::new(
+            &scenario.instance,
+            &scenario.model,
+            config.simulation,
+            *perturbation,
+        )
+        .map_err(EvalError::Simulation)?;
+        let observations =
+            sharded_perturbed_observations(&simulator, config.snapshots, sim_seed, config.shards);
+        let trial_result =
+            run_trial_observations(&scenario, &experiment, &observations, &contexts)?;
+        correlation_errors.extend_from_slice(&trial_result.correlation_errors);
+        independence_errors.extend_from_slice(&trial_result.independence_errors);
+
+        // Detection is scored for the correlation algorithm over the
+        // same potentially congested links the errors use.
+        let links = potentially_congested_links(&scenario.instance, &observations);
+        let mut correlation_config = config.algorithm;
+        correlation_config.equations.respect_correlation = true;
+        let estimate = contexts
+            .context(&scenario.instance, &correlation_config)
+            .and_then(|context| context.infer(&observations))
+            .map_err(EvalError::Inference)?;
+        detection.merge(&detection_summary(
+            &estimate,
+            &scenario.true_marginals,
+            &links,
+            config.detection_threshold,
+        ));
+    }
+    Ok(CellOutcome {
+        correlation: ErrorSummary::from_errors(&correlation_errors),
+        independence: ErrorSummary::from_errors(&independence_errors),
+        detection,
+    })
+}
+
+/// Rounds `value` up to 4 decimals (threshold ceilings).
+fn ceil4(value: f64) -> f64 {
+    (value * 1e4).ceil() / 1e4
+}
+
+/// Rounds `value` down to 4 decimals (threshold floors), clamped at 0.
+fn floor4(value: f64) -> f64 {
+    ((value * 1e4).floor() / 1e4).max(0.0)
+}
+
+/// Derives the committed regression thresholds from a measured outcome:
+/// a 1.5× + 0.02 margin on the mean error ceiling and a 0.8× − 0.05
+/// margin on the detection-rate floor — wide enough for legitimate
+/// numeric churn, tight enough that a real degradation (a broken
+/// estimator, a mis-selected equation system) trips the gate.
+pub fn derive_thresholds(outcome: &CellOutcome) -> (f64, f64) {
+    let max_mean = ceil4(outcome.correlation.mean * 1.5 + 0.02);
+    let min_detection = floor4(outcome.detection.detection_rate() * 0.8 - 0.05);
+    (max_mean, min_detection)
+}
+
+/// Runs the full matrix: every topology × family × intensity cell, plus
+/// the asserted worm scenario.
+pub fn run_matrix(config: &RobustnessConfig) -> Result<RobustnessReport, EvalError> {
+    if config.trials == 0 || config.snapshots == 0 || config.intensities.is_empty() {
+        return Err(EvalError::InvalidScenario(
+            "a robustness matrix needs trials, snapshots and intensities".to_string(),
+        ));
+    }
+    let mut cells = Vec::new();
+    for (topo_index, &topology) in RobustnessTopology::ALL.iter().enumerate() {
+        let instance = topology.instance(config.base_seed)?;
+        let topology_seed = config
+            .base_seed
+            .wrapping_add(0x1_0000u64.wrapping_mul(topo_index as u64 + 1));
+        let base_scenario = topology.scenario_config();
+        // The unperturbed cell is identical for every family (shared
+        // seeds, no perturbation): compute it once per topology.
+        let mut baseline: Option<CellOutcome> = None;
+        for &family in &PerturbationFamily::ALL {
+            for &intensity in &config.intensities {
+                let outcome = if intensity <= 0.0 {
+                    if baseline.is_none() {
+                        baseline = Some(run_cell(
+                            &instance,
+                            &base_scenario,
+                            &PerturbationConfig::none(),
+                            config,
+                            topology_seed,
+                        )?);
+                    }
+                    baseline.clone().expect("baseline just computed")
+                } else {
+                    let scenario_config = family.scenario_config(base_scenario, intensity);
+                    let perturbation = family.perturbation(intensity);
+                    run_cell(
+                        &instance,
+                        &scenario_config,
+                        &perturbation,
+                        config,
+                        topology_seed,
+                    )?
+                };
+                let (max_mean, min_detection) = derive_thresholds(&outcome);
+                cells.push(RobustnessCell {
+                    topology: topology.key().to_string(),
+                    family: family.key().to_string(),
+                    intensity,
+                    outcome,
+                    max_correlation_mean_error: max_mean,
+                    min_detection_rate: min_detection,
+                });
+            }
+        }
+    }
+    let worm = run_worm_scenario(config.base_seed)?;
+    Ok(RobustnessReport {
+        config: config.clone(),
+        cells,
+        worm,
+    })
+}
+
+/// The measured, asserted worm scenario (the promotion of
+/// `examples/worm_attack` into the matrix): PlanetLab-style topology,
+/// half of the congested links flooded together by a worm the algorithms
+/// are not told about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WormOutcome {
+    /// Number of potentially congested links scored.
+    pub links_scored: usize,
+    /// Number of mislabeled (worm-flooded) links.
+    pub mislabeled_links: usize,
+    /// Error summary of the correlation algorithm over the scored links.
+    pub correlation: ErrorSummary,
+    /// Error summary of the independence baseline over the scored links.
+    pub independence: ErrorSummary,
+    /// Correlation algorithm's mean error over the mislabeled links only.
+    pub correlation_mislabeled_mean: f64,
+    /// Independence baseline's mean error over the mislabeled links only.
+    pub independence_mislabeled_mean: f64,
+}
+
+impl WormOutcome {
+    /// The scenario's assertion — the paper's Figure 5 observation: the
+    /// correlation algorithm ignores only the worm's (unknown) pattern
+    /// while the baseline ignores every correlation set, so it must not
+    /// be less accurate than the baseline.
+    pub fn check(&self) -> Result<(), String> {
+        if self.correlation.mean <= self.independence.mean {
+            Ok(())
+        } else {
+            Err(format!(
+                "worm scenario regressed: correlation mean error {:.4} exceeds the independence \
+                 baseline's {:.4}",
+                self.correlation.mean, self.independence.mean
+            ))
+        }
+    }
+}
+
+/// Trials pooled by [`run_worm_scenario`] — single-trial comparisons of
+/// two estimators on a small topology are seed lotteries; the paper's
+/// Figure 5 claim is about the pooled error.
+pub const WORM_TRIALS: usize = 4;
+
+/// Snapshots per worm trial (the scale of `examples/worm_attack`).
+pub const WORM_SNAPSHOTS: usize = 1500;
+
+/// Runs the worm scenario deterministically from `seed` and scores both
+/// algorithms (the measured form of `examples/worm_attack`): pooled over
+/// [`WORM_TRIALS`] seeded trials of [`WORM_SNAPSHOTS`] snapshots each on
+/// PlanetLab-style topologies with half of the congested links flooded
+/// together by the worm.
+pub fn run_worm_scenario(seed: u64) -> Result<WormOutcome, EvalError> {
+    let scenario_config = ScenarioConfig {
+        congested_fraction: 0.10,
+        correlation_level: CorrelationLevel::HighlyCorrelated,
+        mislabeled_fraction: 0.5,
+        ..ScenarioConfig::default()
+    };
+    let builder = ScenarioBuilder::new(scenario_config)?;
+    let contexts = ContextCache::new();
+    let mut links_scored = 0;
+    let mut mislabeled_links = 0;
+    let mut correlation_errors = Vec::new();
+    let mut independence_errors = Vec::new();
+    let mut correlation_mislabeled = Vec::new();
+    let mut independence_mislabeled = Vec::new();
+    for trial in 0..WORM_TRIALS {
+        let trial_seed = seed ^ 0x3075u64.wrapping_add((trial as u64) << 32);
+        let base = base_instance(TopologyFamily::PlanetLab, Scale::Smoke, trial_seed)?;
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        let scenario = builder.build(&base, &mut rng)?;
+        let simulator = Simulator::new(
+            &scenario.instance,
+            &scenario.model,
+            SimulationConfig::default(),
+        )
+        .map_err(EvalError::Simulation)?;
+        let observations = simulator.run_seeded(WORM_SNAPSHOTS, trial_seed ^ 0x5eed);
+
+        let mut correlation_config = AlgorithmConfig::default();
+        correlation_config.equations.respect_correlation = true;
+        let correlation = contexts
+            .context(&scenario.instance, &correlation_config)
+            .and_then(|context| context.infer(&observations))
+            .map_err(EvalError::Inference)?;
+        let mut independence_config = AlgorithmConfig::default();
+        independence_config.equations.respect_correlation = false;
+        let independence = contexts
+            .context(&scenario.instance, &independence_config)
+            .and_then(|context| context.infer(&observations))
+            .map_err(EvalError::Inference)?;
+
+        let links = potentially_congested_links(&scenario.instance, &observations);
+        links_scored += links.len();
+        mislabeled_links += scenario.mislabeled_links.len();
+        correlation_errors.extend(absolute_errors(
+            &correlation,
+            &scenario.true_marginals,
+            &links,
+        ));
+        independence_errors.extend(absolute_errors(
+            &independence,
+            &scenario.true_marginals,
+            &links,
+        ));
+        correlation_mislabeled.extend(absolute_errors(
+            &correlation,
+            &scenario.true_marginals,
+            &scenario.mislabeled_links,
+        ));
+        independence_mislabeled.extend(absolute_errors(
+            &independence,
+            &scenario.true_marginals,
+            &scenario.mislabeled_links,
+        ));
+    }
+    Ok(WormOutcome {
+        links_scored,
+        mislabeled_links,
+        correlation: ErrorSummary::from_errors(&correlation_errors),
+        independence: ErrorSummary::from_errors(&independence_errors),
+        correlation_mislabeled_mean: ErrorSummary::from_errors(&correlation_mislabeled).mean,
+        independence_mislabeled_mean: ErrorSummary::from_errors(&independence_mislabeled).mean,
+    })
+}
+
+impl RobustnessReport {
+    /// Serialises the report as deterministic, human-diffable JSON. The
+    /// layout is hand-rolled so that `--check` and `bench_gate` can read
+    /// the thresholds back with a plain text scan (the vendored
+    /// `serde_json` shim only serializes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"format\": \"netcorr-robustness v1\",\n");
+        out.push_str(&format!("  \"trials\": {},\n", self.config.trials));
+        out.push_str(&format!("  \"snapshots\": {},\n", self.config.snapshots));
+        out.push_str(&format!("  \"base_seed\": {},\n", self.config.base_seed));
+        out.push_str(&format!(
+            "  \"detection_threshold\": {},\n",
+            self.config.detection_threshold
+        ));
+        let intensities: Vec<String> = self
+            .config
+            .intensities
+            .iter()
+            .map(|i| format!("{i:.2}"))
+            .collect();
+        out.push_str(&format!(
+            "  \"intensities\": [{}],\n",
+            intensities.join(", ")
+        ));
+        out.push_str("  \"worm_scenario\": {\n");
+        out.push_str(&format!(
+            "    \"links_scored\": {},\n    \"mislabeled_links\": {},\n",
+            self.worm.links_scored, self.worm.mislabeled_links
+        ));
+        out.push_str(&format!(
+            "    \"correlation_mean_error\": {:.6},\n    \"independence_mean_error\": {:.6},\n",
+            self.worm.correlation.mean, self.worm.independence.mean
+        ));
+        out.push_str(&format!(
+            "    \"correlation_mislabeled_mean\": {:.6},\n    \
+             \"independence_mislabeled_mean\": {:.6}\n",
+            self.worm.correlation_mislabeled_mean, self.worm.independence_mislabeled_mean
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"cell\": \"{}\",\n", cell.key()));
+            out.push_str(&format!("      \"topology\": \"{}\",\n", cell.topology));
+            out.push_str(&format!("      \"family\": \"{}\",\n", cell.family));
+            out.push_str(&format!("      \"intensity\": {:.2},\n", cell.intensity));
+            out.push_str(&format!(
+                "      \"correlation_mean_error\": {:.6},\n",
+                cell.outcome.correlation.mean
+            ));
+            out.push_str(&format!(
+                "      \"correlation_p90_error\": {:.6},\n",
+                cell.outcome.correlation.p90
+            ));
+            out.push_str(&format!(
+                "      \"correlation_max_error\": {:.6},\n",
+                cell.outcome.correlation.max
+            ));
+            out.push_str(&format!(
+                "      \"independence_mean_error\": {:.6},\n",
+                cell.outcome.independence.mean
+            ));
+            out.push_str(&format!(
+                "      \"detection_rate\": {:.6},\n",
+                cell.outcome.detection.detection_rate()
+            ));
+            out.push_str(&format!(
+                "      \"false_alarm_rate\": {:.6},\n",
+                cell.outcome.detection.false_alarm_rate()
+            ));
+            out.push_str(&format!(
+                "      \"links_scored\": {},\n",
+                cell.outcome.correlation.count
+            ));
+            out.push_str(&format!(
+                "      \"max_correlation_mean_error\": {:.4},\n",
+                cell.max_correlation_mean_error
+            ));
+            out.push_str(&format!(
+                "      \"min_detection_rate\": {:.4}\n",
+                cell.min_detection_rate
+            ));
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Atomically writes the JSON report to `path`.
+    pub fn write(&self, path: &Path) -> Result<(), EvalError> {
+        atomic_write(path, self.to_json().as_bytes())
+    }
+}
+
+/// The comparison of one freshly measured cell against the committed
+/// thresholds of a baseline report.
+#[derive(Debug, Clone)]
+pub struct CellCheck {
+    /// The cell key (`topology/family/intensity`).
+    pub cell: String,
+    /// Freshly measured correlation mean error.
+    pub measured_mean: f64,
+    /// Committed ceiling for the mean error.
+    pub max_mean: f64,
+    /// Freshly measured detection rate.
+    pub measured_detection: f64,
+    /// Committed floor for the detection rate.
+    pub min_detection: f64,
+}
+
+impl CellCheck {
+    /// Whether the fresh measurement respects both committed thresholds.
+    pub fn passes(&self) -> bool {
+        self.measured_mean <= self.max_mean && self.measured_detection >= self.min_detection
+    }
+}
+
+/// Extracts `"<key>": <number>` from `text` starting at `from`, stopping
+/// at `limit` — the same plain text scan `bench_gate` uses (the vendored
+/// `serde_json` shim only serializes).
+fn scan_number(text: &str, from: usize, limit: usize, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let window = &text[from..limit];
+    let start = window.find(&needle)? + needle.len();
+    let rest = window[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a freshly run report against the committed baseline text,
+/// cell by cell. Returns one [`CellCheck`] per fresh cell; a fresh cell
+/// missing from the baseline is an error (the committed report is stale —
+/// regenerate it with `netcorr-robustness`).
+pub fn check_against_baseline(
+    report: &RobustnessReport,
+    baseline: &str,
+) -> Result<Vec<CellCheck>, EvalError> {
+    let mut checks = Vec::new();
+    for cell in &report.cells {
+        let key = cell.key();
+        let marker = format!("\"cell\": \"{key}\"");
+        let start = baseline.find(&marker).ok_or_else(|| {
+            EvalError::InvalidScenario(format!(
+                "cell {key} is missing from the committed baseline — regenerate ROBUSTNESS.json \
+                 with `cargo run --release -p netcorr-eval --bin netcorr-robustness`"
+            ))
+        })? + marker.len();
+        // Thresholds live inside this cell's object: stop the scan at the
+        // next cell marker (or the end of the file for the last cell).
+        let limit = baseline[start..]
+            .find("\"cell\":")
+            .map(|o| start + o)
+            .unwrap_or(baseline.len());
+        let max_mean = scan_number(baseline, start, limit, "max_correlation_mean_error")
+            .ok_or_else(|| {
+                EvalError::InvalidScenario(format!(
+                    "cell {key} has no max_correlation_mean_error in the committed baseline"
+                ))
+            })?;
+        let min_detection =
+            scan_number(baseline, start, limit, "min_detection_rate").ok_or_else(|| {
+                EvalError::InvalidScenario(format!(
+                    "cell {key} has no min_detection_rate in the committed baseline"
+                ))
+            })?;
+        checks.push(CellCheck {
+            cell: key,
+            measured_mean: cell.outcome.correlation.mean,
+            max_mean,
+            measured_detection: cell.outcome.detection.detection_rate(),
+            min_detection,
+        });
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> RobustnessConfig {
+        RobustnessConfig {
+            trials: 1,
+            snapshots: 192,
+            base_seed: 0xb0b5,
+            intensities: vec![0.0, 0.5],
+            ..RobustnessConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic_and_families_share_the_baseline() {
+        let instance = RobustnessTopology::Fig1a.instance(1).unwrap();
+        let config = tiny_config();
+        let scenario = RobustnessTopology::Fig1a.scenario_config();
+        let a = run_cell(
+            &instance,
+            &scenario,
+            &PerturbationConfig::none(),
+            &config,
+            7,
+        )
+        .unwrap();
+        let b = run_cell(
+            &instance,
+            &scenario,
+            &PerturbationConfig::none(),
+            &config,
+            7,
+        )
+        .unwrap();
+        assert_eq!(a.correlation, b.correlation);
+        assert_eq!(a.detection, b.detection);
+        // A perturbed cell differs from the baseline.
+        let burst = run_cell(
+            &instance,
+            &scenario,
+            &PerturbationFamily::Burst.perturbation(0.8),
+            &config,
+            7,
+        )
+        .unwrap();
+        assert_ne!(a.correlation, burst.correlation);
+    }
+
+    #[test]
+    fn matrix_covers_every_cell_and_checks_against_its_own_report() {
+        let mut config = tiny_config();
+        config.snapshots = 128;
+        let report = run_matrix(&config).unwrap();
+        assert_eq!(
+            report.cells.len(),
+            RobustnessTopology::ALL.len() * PerturbationFamily::ALL.len() * 2
+        );
+        // Intensity-0 cells of one topology are the shared baseline.
+        let fig1a_zero: Vec<&RobustnessCell> = report
+            .cells
+            .iter()
+            .filter(|c| c.topology == "fig1a" && c.intensity == 0.0)
+            .collect();
+        assert_eq!(fig1a_zero.len(), PerturbationFamily::ALL.len());
+        for cell in &fig1a_zero {
+            assert_eq!(
+                cell.outcome.correlation, fig1a_zero[0].outcome.correlation,
+                "intensity-0 cells must share the baseline outcome"
+            );
+        }
+        // A report always passes a check against its own thresholds.
+        let json = report.to_json();
+        let checks = check_against_baseline(&report, &json).unwrap();
+        assert_eq!(checks.len(), report.cells.len());
+        assert!(checks.iter().all(CellCheck::passes));
+        // A stale baseline (missing cell) is an error, not a silent pass.
+        assert!(check_against_baseline(&report, "{}").is_err());
+        // A degraded measurement fails its check.
+        let mut degraded = report.clone();
+        degraded.cells[0].outcome.correlation.mean += 1.0;
+        let checks = check_against_baseline(&degraded, &json).unwrap();
+        assert!(!checks[0].passes());
+    }
+
+    #[test]
+    fn worm_scenario_is_asserted_not_just_printed() {
+        let worm = run_worm_scenario(RobustnessConfig::smoke().base_seed).unwrap();
+        assert!(worm.links_scored > 0);
+        assert!(worm.mislabeled_links > 0);
+        // The paper's Figure 5 claim, now a regression assertion: the
+        // correlation algorithm must not lose to the baseline even under
+        // an unknown correlation pattern.
+        worm.check().expect("worm scenario assertion holds");
+    }
+}

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use netcorr_core::{AlgorithmConfig, ContextCache, Diagnostics};
 use netcorr_measure::bitset::WORD_BITS;
 use netcorr_measure::PathObservations;
-use netcorr_sim::{SimulationConfig, Simulator};
+use netcorr_sim::{PerturbationPlan, PerturbedSimulator, SimulationConfig, Simulator};
 use netcorr_topology::TopologyInstance;
 
 use crate::error::EvalError;
@@ -141,6 +141,50 @@ pub fn sharded_observations(
     merged
 }
 
+/// Sharded measurement of a *perturbed* trial, bit-identical to
+/// `perturbed.run_seeded(snapshots, seed)` for any shard count.
+///
+/// The temporally correlated perturbation state (burst chains, churn
+/// routes) is materialised **once** into a [`PerturbationPlan`] that all
+/// shards share; the per-snapshot measurement streams are counter-seeded
+/// exactly as in [`sharded_observations`], so shard boundaries stay
+/// invisible. With [`netcorr_sim::PerturbationConfig::none`] this is
+/// bit-identical to [`sharded_observations`] over the wrapped simulator.
+pub fn sharded_perturbed_observations(
+    perturbed: &PerturbedSimulator<'_>,
+    snapshots: usize,
+    seed: u64,
+    shards: usize,
+) -> PathObservations {
+    let plan: PerturbationPlan = perturbed.plan(snapshots, seed);
+    let shards = effective_shards(shards, snapshots);
+    if shards <= 1 {
+        return perturbed.run_range_planned(0..snapshots, seed, &plan);
+    }
+    let per_shard = snapshots.div_ceil(shards).next_multiple_of(WORD_BITS);
+    let ranges: Vec<std::ops::Range<usize>> = (0..shards)
+        .map(|i| (i * per_shard).min(snapshots)..((i + 1) * per_shard).min(snapshots))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut parts: Vec<Option<PathObservations>> = Vec::new();
+    parts.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, range) in parts.iter_mut().zip(&ranges) {
+            let plan = &plan;
+            scope.spawn(move || {
+                *slot = Some(perturbed.run_range_planned(range.clone(), seed, plan));
+            });
+        }
+    });
+    let mut merged = parts.remove(0).expect("shard 0 was simulated");
+    for part in parts {
+        merged
+            .concat(&part.expect("every shard was simulated"))
+            .expect("shards share the path count");
+    }
+    merged
+}
+
 /// The outcome of one trial.
 #[derive(Debug, Clone)]
 pub struct TrialResult {
@@ -228,20 +272,35 @@ pub fn run_trial_cached(
     let simulator = Simulator::new(&scenario.instance, &scenario.model, config.simulation)
         .map_err(EvalError::Simulation)?;
     let observations = sharded_observations(&simulator, config.snapshots, seed, config.shards);
+    run_trial_observations(scenario, config, &observations, contexts)
+}
 
-    let links = potentially_congested_links(&scenario.instance, &observations);
+/// The inference half of a trial: runs both algorithms over
+/// already-measured observations and scores them against the scenario's
+/// ground truth.
+///
+/// This is the entry point for callers that produce their observations
+/// elsewhere — notably the robustness harness, whose perturbed simulator
+/// feeds the exact same estimator → equations → inference pipeline.
+pub fn run_trial_observations(
+    scenario: &CongestionScenario,
+    config: &ExperimentConfig,
+    observations: &PathObservations,
+    contexts: &ContextCache,
+) -> Result<TrialResult, EvalError> {
+    let links = potentially_congested_links(&scenario.instance, observations);
 
     let mut correlation_config = config.algorithm;
     correlation_config.equations.respect_correlation = true;
     let correlation = contexts
         .context(&scenario.instance, &correlation_config)
-        .and_then(|context| context.infer(&observations))
+        .and_then(|context| context.infer(observations))
         .map_err(EvalError::Inference)?;
     let mut independence_config = config.algorithm;
     independence_config.equations.respect_correlation = false;
     let independence = contexts
         .context(&scenario.instance, &independence_config)
-        .and_then(|context| context.infer(&observations))
+        .and_then(|context| context.infer(observations))
         .map_err(EvalError::Inference)?;
 
     Ok(TrialResult {

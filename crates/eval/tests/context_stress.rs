@@ -1,0 +1,137 @@
+//! Concurrency stress test for the shared [`ContextCache`]: many trial
+//! workers racing on one cache, while perturbed trials keep changing the
+//! equation structure mid-experiment (hidden links alter the visible
+//! instance, churn and bursts alter which paths fire), must produce
+//! results bit-identical to a fresh-cache sequential run.
+
+use netcorr_core::ContextCache;
+use netcorr_eval::runner::{run_trial_observations, sharded_perturbed_observations};
+use netcorr_eval::scenario::{CorrelationLevel, ScenarioBuilder, ScenarioConfig};
+use netcorr_eval::ExperimentConfig;
+use netcorr_sim::{
+    GilbertElliottConfig, MissingRowsConfig, PerturbationConfig, PerturbedSimulator,
+    RoutingChurnConfig, SimulationConfig,
+};
+use netcorr_topology::generators::planetlab::{self, PlanetLabConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SNAPSHOTS: usize = 256;
+
+/// One unit of work: a scenario variant (its own equation structure) plus
+/// a perturbed trial over it.
+struct Task {
+    scenario_config: ScenarioConfig,
+    perturbation: PerturbationConfig,
+    scenario_seed: u64,
+    sim_seed: u64,
+}
+
+fn tasks() -> Vec<Task> {
+    let mut tasks = Vec::new();
+    // Variants with different unidentifiable / mislabeled fractions hide
+    // different links, so their visible instances — and therefore their
+    // cached equation structures — genuinely differ.
+    let variants = [(0.0, 0.0), (0.2, 0.0), (0.0, 0.3), (0.2, 0.3)];
+    let perturbations = [
+        PerturbationConfig::none(),
+        PerturbationConfig {
+            gilbert_elliott: Some(GilbertElliottConfig::with_intensity(0.5)),
+            routing_churn: Some(RoutingChurnConfig::with_intensity(0.4)),
+            ..PerturbationConfig::none()
+        },
+        PerturbationConfig {
+            missing_rows: Some(MissingRowsConfig::with_intensity(0.3)),
+            ..PerturbationConfig::none()
+        },
+    ];
+    for (v, &(unidentifiable, mislabeled)) in variants.iter().enumerate() {
+        for (p, perturbation) in perturbations.iter().enumerate() {
+            for trial in 0..2u64 {
+                tasks.push(Task {
+                    scenario_config: ScenarioConfig {
+                        correlation_level: CorrelationLevel::HighlyCorrelated,
+                        unidentifiable_fraction: unidentifiable,
+                        mislabeled_fraction: mislabeled,
+                        ..ScenarioConfig::default()
+                    },
+                    perturbation: *perturbation,
+                    scenario_seed: 100 + (v as u64) * 10 + trial,
+                    sim_seed: 9000 + (p as u64) * 100 + trial,
+                });
+            }
+        }
+    }
+    tasks
+}
+
+/// Runs one task against the given (shared or private) context cache and
+/// returns both algorithms' error vectors — a bit-level fingerprint of
+/// the inferred probabilities.
+fn run_task(task: &Task, contexts: &ContextCache) -> (Vec<f64>, Vec<f64>) {
+    let base = planetlab::generate(&PlanetLabConfig::small(), &mut StdRng::seed_from_u64(42))
+        .expect("topology generation succeeds");
+    let scenario = ScenarioBuilder::new(task.scenario_config)
+        .expect("valid scenario config")
+        .build(&base, &mut StdRng::seed_from_u64(task.scenario_seed))
+        .expect("scenario build succeeds");
+    let simulator = PerturbedSimulator::new(
+        &scenario.instance,
+        &scenario.model,
+        SimulationConfig::default(),
+        task.perturbation,
+    )
+    .expect("perturbed simulator construction succeeds");
+    let observations = sharded_perturbed_observations(&simulator, SNAPSHOTS, task.sim_seed, 2);
+    let experiment = ExperimentConfig {
+        snapshots: SNAPSHOTS,
+        trials: 1,
+        base_seed: task.sim_seed,
+        ..ExperimentConfig::default()
+    };
+    let result = run_trial_observations(&scenario, &experiment, &observations, contexts)
+        .expect("trial inference succeeds");
+    (result.correlation_errors, result.independence_errors)
+}
+
+#[test]
+fn shared_cache_under_concurrent_structure_churn_is_bit_identical() {
+    let tasks = tasks();
+
+    // Reference: every task with its own fresh cache, sequentially.
+    let reference: Vec<(Vec<f64>, Vec<f64>)> = tasks
+        .iter()
+        .map(|task| run_task(task, &ContextCache::new()))
+        .collect();
+
+    // Stress: all tasks race on one shared cache across scoped threads,
+    // several times so cache hits and misses interleave differently.
+    for round in 0..3 {
+        let shared = ContextCache::new();
+        let mut results: Vec<Option<(Vec<f64>, Vec<f64>)>> = Vec::new();
+        results.resize_with(tasks.len(), || None);
+        std::thread::scope(|scope| {
+            // 4 workers over contiguous chunks of the task list, all
+            // hitting the same cache entries for the repeated
+            // (instance, config) pairs.
+            let per_worker = tasks.len().div_ceil(4);
+            for (worker, chunk) in results.chunks_mut(per_worker).enumerate() {
+                let tasks = &tasks;
+                let shared = &shared;
+                scope.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(run_task(&tasks[worker * per_worker + i], shared));
+                    }
+                });
+            }
+        });
+        for (index, (result, expected)) in results.iter().zip(&reference).enumerate() {
+            let result = result.as_ref().expect("every task ran");
+            assert_eq!(
+                result, expected,
+                "round {round}, task {index}: shared-cache result diverged from the \
+                 fresh-cache sequential reference"
+            );
+        }
+    }
+}

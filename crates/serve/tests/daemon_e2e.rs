@@ -318,6 +318,135 @@ fn corrupt_history_fails_startup_and_corrupt_obs_keeps_the_session() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A raw protocol session: hand-written request lines over the TCP
+/// socket, for hostile inputs the typed [`Client`] cannot produce.
+struct RawSession {
+    writer: std::net::TcpStream,
+    reader: BufReader<std::net::TcpStream>,
+}
+
+impl RawSession {
+    fn connect(addr: &str) -> Self {
+        let writer = std::net::TcpStream::connect(addr).expect("connect to the daemon");
+        let reader = BufReader::new(writer.try_clone().expect("clone the stream"));
+        RawSession { writer, reader }
+    }
+
+    /// Sends raw bytes and reads the single-line reply.
+    fn roundtrip(&mut self, bytes: &[u8]) -> String {
+        use std::io::Write;
+        self.writer.write_all(bytes).expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        reply.trim_end().to_string()
+    }
+
+    fn command(&mut self, line: &str) -> String {
+        self.roundtrip(format!("{line}\n").as_bytes())
+    }
+
+    /// Sends a framed OBS request with an explicit (possibly lying)
+    /// declared length.
+    fn obs(&mut self, declared_len: usize, payload: &[u8]) -> String {
+        let mut framed = format!("OBS {declared_len}\n").into_bytes();
+        framed.extend_from_slice(payload);
+        self.roundtrip(&framed)
+    }
+}
+
+#[test]
+fn hostile_obs_headers_get_err_replies_and_the_session_survives() {
+    let (daemon, addr) = spawn_daemon(&["--listen", "127.0.0.1:0", "--topology", "fig1a"]);
+    let mut session = RawSession::connect(&addr);
+
+    // An OBS length over the allocation cap is rejected at the header —
+    // before any payload is read — and the session keeps answering.
+    let reply = session.command("OBS 300000000");
+    assert!(reply.starts_with("ERR "), "oversized len: got {reply}");
+    assert!(reply.contains("cap"), "oversized len: got {reply}");
+    assert_eq!(session.command("PING"), "OK pong");
+
+    // Zero-length, non-numeric and overflowing lengths likewise.
+    for header in [
+        "OBS 0",
+        "OBS abc",
+        "OBS 99999999999999999999999",
+        "OBS -4",
+        "OBS",
+    ] {
+        let reply = session.command(header);
+        assert!(reply.starts_with("ERR "), "{header}: got {reply}");
+        assert_eq!(session.command("PING"), "OK pong", "after {header}");
+    }
+
+    // The ERR replies left nothing behind: a well-formed session works.
+    let mut obs = PathObservations::new(3);
+    for i in 0..24 {
+        obs.record_snapshot(&[i % 2 == 0, i % 3 == 0, i % 5 == 0])
+            .unwrap();
+    }
+    let block = obs.to_binary();
+    let reply = session.obs(block.len(), &block);
+    assert!(reply.starts_with("OK "), "good block after errors: {reply}");
+    assert!(session.command("INFER").starts_with("OK "));
+
+    session.command("SHUTDOWN");
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+}
+
+#[test]
+fn ragged_blocks_mid_stream_are_rejected_without_corrupting_the_estimator() {
+    let (daemon, addr) = spawn_daemon(&["--listen", "127.0.0.1:0", "--topology", "fig1a"]);
+    let mut session = RawSession::connect(&addr);
+
+    let mut obs = PathObservations::new(3);
+    for i in 0..48 {
+        obs.record_snapshot(&[i % 2 == 0, i % 3 == 0, i % 7 == 0])
+            .unwrap();
+    }
+    let block = obs.to_binary();
+
+    // A good block, inferred: this is the reference state.
+    assert!(session.obs(block.len(), &block).starts_with("OK "));
+    assert!(session.command("INFER").starts_with("OK "));
+    let reference_probs = session.command("PROBS");
+    assert!(reference_probs.starts_with("OK "));
+    let reference_status = session.command("STATUS");
+
+    // A ragged v3 block mid-stream: the declared length matches the bytes
+    // sent, but the block itself is truncated mid-row. The server reads
+    // the full payload, fails to parse it, and answers ERR in-band.
+    let ragged = &block[..block.len() - 5];
+    let reply = session.obs(ragged.len(), ragged);
+    assert!(reply.starts_with("ERR "), "ragged block: got {reply}");
+    assert_eq!(session.command("PING"), "OK pong");
+
+    // A block over the wrong path count is parsed whole, then rejected
+    // before a single snapshot reaches the estimator.
+    let mut wrong = PathObservations::new(5);
+    wrong.record_snapshot(&[true; 5]).unwrap();
+    let wrong_block = wrong.to_binary();
+    let reply = session.obs(wrong_block.len(), &wrong_block);
+    assert!(reply.starts_with("ERR "), "wrong path count: got {reply}");
+
+    // INFER after the rejected blocks: the estimator was not partially
+    // updated — snapshot count and probabilities are bit-identical to the
+    // pre-rejection state.
+    assert_eq!(session.command("STATUS"), reference_status);
+    assert!(session.command("INFER").starts_with("OK "));
+    assert_eq!(session.command("PROBS"), reference_probs);
+
+    // And the stream continues: more good data still ingests and infers.
+    assert!(session.obs(block.len(), &block).starts_with("OK "));
+    assert!(session.command("INFER").starts_with("OK "));
+
+    session.command("SHUTDOWN");
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+}
+
 #[test]
 fn help_exits_zero_and_bad_flags_exit_nonzero() {
     let exe = env!("CARGO_BIN_EXE_netcorr-serve");

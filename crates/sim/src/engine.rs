@@ -51,9 +51,9 @@ pub struct SimulationTrace {
 /// The snapshot simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
-    instance: &'a TopologyInstance,
-    model: &'a CongestionModel,
-    config: SimulationConfig,
+    pub(crate) instance: &'a TopologyInstance,
+    pub(crate) model: &'a CongestionModel,
+    pub(crate) config: SimulationConfig,
 }
 
 impl<'a> Simulator<'a> {
@@ -190,7 +190,7 @@ impl<'a> Simulator<'a> {
 
     /// Measures the loss rate of one path according to the configured
     /// transmission model.
-    fn measure_path_loss(&self, link_losses: &[f64], rng: &mut impl Rng) -> f64 {
+    pub(crate) fn measure_path_loss(&self, link_losses: &[f64], rng: &mut impl Rng) -> f64 {
         let delivery = path_delivery_probability(link_losses);
         match self.config.transmission {
             TransmissionModel::Exact => 1.0 - delivery,

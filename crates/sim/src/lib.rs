@@ -43,8 +43,13 @@ pub mod congestion;
 pub mod engine;
 pub mod error;
 pub mod loss;
+pub mod perturb;
 
 pub use config::{SimulationConfig, TransmissionModel};
 pub use congestion::{CongestionModel, CongestionModelBuilder, ExplicitModel, SubstrateModel};
 pub use engine::{snapshot_seed, SimulationTrace, Simulator};
 pub use error::SimError;
+pub use perturb::{
+    mask_missing_rows, GilbertElliottConfig, LossDriftConfig, MissingRowsConfig,
+    PerturbationConfig, PerturbationPlan, PerturbedSimulator, RoutingChurnConfig,
+};

@@ -6,9 +6,15 @@
 //! "same seed ⇒ bit-identical run, different seed ⇒ different run" must
 //! hold end to end: scenario construction and measurement simulation.
 
+use netcorr::eval::runner::{sharded_observations, sharded_perturbed_observations};
 use netcorr::eval::scenario::ScenarioConfig;
 use netcorr::prelude::*;
+use netcorr::sim::{
+    mask_missing_rows, GilbertElliottConfig, LossDriftConfig, MissingRowsConfig,
+    PerturbationConfig, PerturbedSimulator, RoutingChurnConfig,
+};
 use netcorr::topology::generators::planetlab::{self, PlanetLabConfig};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,5 +86,143 @@ fn different_scenario_seeds_produce_different_ground_truth() {
         scenario_a.congested_links != scenario_b.congested_links
             || scenario_a.true_marginals != scenario_b.true_marginals,
         "different scenario seeds drew identical scenarios"
+    );
+}
+
+/// A perturbation exercising every family at once (all seeded streams in
+/// play), used by the reproducibility properties below.
+fn every_perturbation() -> PerturbationConfig {
+    PerturbationConfig {
+        gilbert_elliott: Some(GilbertElliottConfig::with_intensity(0.4)),
+        loss_drift: Some(LossDriftConfig::with_intensity(0.5)),
+        missing_rows: Some(MissingRowsConfig::with_intensity(0.2)),
+        routing_churn: Some(RoutingChurnConfig::with_intensity(0.3)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential property: wrapping the simulator in a
+    /// `PerturbationConfig::none()` perturbation layer is bit-invisible —
+    /// for any seed and shard count the perturbed pipeline produces
+    /// exactly the observations of the plain simulator.
+    #[test]
+    fn none_perturbation_is_bit_identical_to_the_plain_simulator(
+        seed in 0u64..10_000,
+        shards in 0usize..8,
+        snapshots in 150usize..400,
+    ) {
+        let base = base_instance();
+        let scenario = build_scenario(&base, seed ^ 0xabcd);
+        let simulator = Simulator::new(
+            &scenario.instance,
+            &scenario.model,
+            SimulationConfig::default(),
+        )
+        .expect("simulator construction succeeds");
+        let perturbed = PerturbedSimulator::new(
+            &scenario.instance,
+            &scenario.model,
+            SimulationConfig::default(),
+            PerturbationConfig::none(),
+        )
+        .expect("perturbed simulator construction succeeds");
+
+        let plain = sharded_observations(&simulator, snapshots, seed, shards);
+        let wrapped = sharded_perturbed_observations(&perturbed, snapshots, seed, shards);
+        prop_assert_eq!(&plain, &wrapped);
+        // And both agree with the unsharded reference run.
+        prop_assert_eq!(&plain, &simulator.run_seeded(snapshots, seed));
+    }
+
+    /// Bit-reproducibility of perturbed trials: a trial is a pure function
+    /// of `(seed, PerturbationConfig)` — any shard count reproduces it,
+    /// and a different seed produces a different trial.
+    #[test]
+    fn perturbed_trials_are_reproducible_from_seed_and_config(
+        seed in 0u64..10_000,
+        shards in 2usize..8,
+    ) {
+        let base = base_instance();
+        let scenario = build_scenario(&base, seed ^ 0x7777);
+        let perturbed = PerturbedSimulator::new(
+            &scenario.instance,
+            &scenario.model,
+            SimulationConfig::default(),
+            every_perturbation(),
+        )
+        .expect("perturbed simulator construction succeeds");
+
+        let reference = sharded_perturbed_observations(&perturbed, 300, seed, 1);
+        let sharded = sharded_perturbed_observations(&perturbed, 300, seed, shards);
+        prop_assert_eq!(&reference, &sharded);
+        let other_seed = sharded_perturbed_observations(&perturbed, 300, seed ^ 1, 1);
+        prop_assert_ne!(&reference, &other_seed);
+    }
+}
+
+#[test]
+fn missing_row_masking_commutes_with_sharding() {
+    // Satellite property: dropping rows then sharding equals sharding
+    // then dropping, for the shard counts the runner actually resolves
+    // (0 = auto, 1 = sequential, and genuinely parallel counts).
+    let base = base_instance();
+    let scenario = build_scenario(&base, 11);
+    let config = SimulationConfig::default();
+    let drop_fraction = 0.35;
+    let snapshots = 320;
+    let seed = 4242;
+
+    let clean = PerturbedSimulator::new(
+        &scenario.instance,
+        &scenario.model,
+        config,
+        PerturbationConfig::none(),
+    )
+    .expect("clean simulator construction succeeds");
+    let missing = PerturbedSimulator::new(
+        &scenario.instance,
+        &scenario.model,
+        config,
+        PerturbationConfig {
+            missing_rows: Some(MissingRowsConfig { drop_fraction }),
+            ..PerturbationConfig::none()
+        },
+    )
+    .expect("missing-rows simulator construction succeeds");
+
+    // Mask applied to the full, unsharded run.
+    let full = clean.run_seeded(snapshots, seed);
+    let masked_whole = mask_missing_rows(&full, seed, drop_fraction, 0);
+
+    for shards in [0usize, 1, 2, 7] {
+        // Drop during simulation, shard the measurement.
+        let inline = sharded_perturbed_observations(&missing, snapshots, seed, shards);
+        assert_eq!(
+            inline, masked_whole,
+            "inline dropping with {shards} shards diverged from post-masking the full run"
+        );
+    }
+
+    // Shard first, mask each shard with its global snapshot offset, then
+    // concatenate: the mask is a pure function of the global snapshot
+    // index, so the shard boundary is invisible.
+    let plan = clean.plan(snapshots, seed);
+    let split = 192; // word-aligned: 3 x 64-snapshot words
+    let mut first = clean.run_range_planned(0..split, seed, &plan);
+    let second = clean.run_range_planned(split..snapshots, seed, &plan);
+    let mut masked_parts = mask_missing_rows(&first, seed, drop_fraction, 0);
+    masked_parts
+        .concat(&mask_missing_rows(&second, seed, drop_fraction, split))
+        .expect("shards share the path count");
+    first.concat(&second).expect("shards share the path count");
+    assert_eq!(
+        first, full,
+        "unmasked shard concat diverged from the full run"
+    );
+    assert_eq!(
+        masked_parts, masked_whole,
+        "mask-then-concat diverged from concat-then-mask"
     );
 }
