@@ -31,7 +31,11 @@
 //!   right-hand sides must spend fewer CGLS iterations than the cold
 //!   sweep by `acceptance.warm_reinfer_speedup_floor` (a deterministic
 //!   ratio; the wall-clock sweep times are printed for the record),
-//!   both in `BENCH_serve.json`.
+//!   both in `BENCH_serve.json`. A third serve check bounds crash
+//!   recovery: restarting over a history file torn mid-write (recover
+//!   the rotated `.prev` generation, map and attach it) may cost at
+//!   most `acceptance.recovery_cold_start_ratio_ceiling` (2x) of a
+//!   restart over a clean file.
 //!
 //! Run from the repository root, in release mode:
 //!
@@ -66,6 +70,7 @@ const DEFAULT_LOAD_FLOOR: f64 = 3.0;
 const DEFAULT_INFERENCE_FLOOR: f64 = 2.0;
 const DEFAULT_QUERY_FLOOR: f64 = 50_000.0;
 const DEFAULT_WARM_FLOOR: f64 = 1.08;
+const DEFAULT_RECOVERY_CEILING: f64 = 2.0;
 
 /// Extracts `"<key>": <number>` from the baseline JSON with a plain text
 /// scan (the vendored serde_json shim only serializes).
@@ -417,6 +422,108 @@ fn main() {
         eprintln!(
             "bench_gate: FAIL — warm re-inference iteration speedup {warm_speedup:.2}x is below \
              {warm_floor}x"
+        );
+        std::process::exit(1);
+    }
+
+    // --- Serve recovery gate: crash recovery vs plain cold start. ---
+    // A daemon restarted over a history torn by a crash mid-write
+    // (quarantine the torn bytes, promote the rotated `.prev`
+    // generation, map and attach the survivor) must cost close to a
+    // restart over a clean file — recovery is a rename plus the same
+    // map-and-attach, so it may add at most
+    // `acceptance.recovery_cold_start_ratio_ceiling` (2x). The
+    // filesystem state is re-torn between iterations *outside* the
+    // timed region, since recovery repairs it in place.
+    let recovery_ceiling = match read_floor(&serve_baseline, "recovery_cold_start_ratio_ceiling") {
+        Some(f) => f,
+        None => {
+            eprintln!(
+                "bench_gate: no recovery_cold_start_ratio_ceiling in {serve_baseline}, using \
+                 default {DEFAULT_RECOVERY_CEILING}x"
+            );
+            DEFAULT_RECOVERY_CEILING
+        }
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "netcorr_bench_gate_recovery_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let history = dir.join("history.ncobs3");
+    let prev = dir.join("history.ncobs3.prev");
+    let torn_quarantine = dir.join("history.ncobs3.torn");
+    let split = fx.observations.num_snapshots() / 2;
+    let slice = |range: std::ops::Range<usize>| {
+        let mut block = PathObservations::new(fx.observations.num_paths());
+        for i in range {
+            block
+                .record_snapshot(&fx.observations.snapshot(i))
+                .expect("width matches");
+        }
+        block
+    };
+    {
+        // Seed the two generations: current = gen 2, `.prev` = gen 1.
+        let mut seeder =
+            netcorr_serve::TomographyService::new(instance, &AlgorithmConfig::default())
+                .expect("service builds");
+        seeder.enable_history(&history).expect("history enables");
+        seeder
+            .ingest_observations(&slice(0..split))
+            .expect("first generation ingests");
+        seeder
+            .ingest_observations(&slice(split..fx.observations.num_snapshots()))
+            .expect("second generation ingests");
+    }
+    let clean_bytes = std::fs::read(&history).expect("sealed history");
+    let prev_bytes = std::fs::read(&prev).expect("rotated generation");
+    let torn_bytes = &clean_bytes[..clean_bytes.len() * 3 / 5];
+    let time_start = |torn: bool, iters: usize| -> f64 {
+        let mut total = 0.0;
+        for i in 0..iters + 2 {
+            std::fs::remove_file(&torn_quarantine).ok();
+            std::fs::write(&history, if torn { torn_bytes } else { &clean_bytes }).unwrap();
+            std::fs::write(&prev, &prev_bytes).unwrap();
+            let start = Instant::now();
+            let mut service =
+                netcorr_serve::TomographyService::new(instance, &AlgorithmConfig::default())
+                    .expect("service builds");
+            let reloaded = service.enable_history(&history).expect("startup succeeds");
+            let elapsed = start.elapsed().as_secs_f64();
+            let status = service.status().history.expect("history enabled");
+            if torn {
+                assert!(status.recovered, "torn start must recover");
+                assert_eq!(reloaded, split, "recovery lands on the acked generation");
+            } else {
+                assert!(!status.recovered, "clean start must not recover");
+            }
+            if i >= 2 {
+                total += elapsed; // two warm-up starts discarded
+            }
+        }
+        total / iters as f64
+    };
+    let clean_mean = time_start(false, 20);
+    let recovery_mean = time_start(true, 20);
+    std::fs::remove_dir_all(&dir).ok();
+    let recovery_ratio = recovery_mean / clean_mean;
+    println!(
+        "bench_gate: serve — crash recovery vs clean cold start ({} snapshots, {} history KiB)",
+        fx.observations.num_snapshots(),
+        clean_bytes.len() / 1024
+    );
+    println!("  clean start        {:>9.1} us", clean_mean * 1e6);
+    println!("  recovered start    {:>9.1} us", recovery_mean * 1e6);
+    println!(
+        "  ratio              {recovery_ratio:>9.2}x (ceiling {recovery_ceiling}x from \
+         {serve_baseline})"
+    );
+    if recovery_ratio > recovery_ceiling {
+        eprintln!(
+            "bench_gate: FAIL — recovery makes cold start {recovery_ratio:.2}x slower, ceiling \
+             is {recovery_ceiling}x"
         );
         std::process::exit(1);
     }

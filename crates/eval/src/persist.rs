@@ -30,7 +30,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use netcorr_measure::observation::BINARY_MAGIC;
+use netcorr_measure::observation::{parse_binary_header, BINARY_HEADER_LEN, BINARY_MAGIC};
 use netcorr_measure::{BitMatrix, MappedObservations, PathObservations};
 use netcorr_sim::SimulationTrace;
 
@@ -135,6 +135,13 @@ pub fn read_observations(path: &Path) -> Result<PathObservations, EvalError> {
     };
     let bytes = fs::read(path).map_err(|e| persist(e.to_string()))?;
     if bytes.starts_with(BINARY_MAGIC) {
+        // Crash-safe history files are a v3 payload plus a generation
+        // footer; a validated footer locates the payload, anything else
+        // is treated as a bare v3 block.
+        if let Some(footer) = validate_history_bytes(&bytes) {
+            return PathObservations::from_binary(&bytes[..footer.payload_len])
+                .map_err(|e| persist(format!("invalid binary v3 observations: {e}")));
+        }
         return PathObservations::from_binary(&bytes)
             .map_err(|e| persist(format!("invalid binary v3 observations: {e}")));
     }
@@ -155,6 +162,248 @@ pub fn read_observations(path: &Path) -> Result<PathObservations, EvalError> {
 /// [`EvalError::Persist`] carrying the file path, never a panic.
 pub fn map_observations(path: &Path) -> Result<MappedObservations, EvalError> {
     MappedObservations::open(path).map_err(|e| persist_err(path, e))
+}
+
+/// Like [`map_observations`], but only the first `payload_len` bytes of
+/// the file are treated as the v3 block — the prefix-aware open used for
+/// crash-safe history files, whose trailing
+/// [`HISTORY_FOOTER_LEN`]-byte generation footer must stay invisible to
+/// the lane-word view.
+pub fn map_observations_prefix(
+    path: &Path,
+    payload_len: usize,
+) -> Result<MappedObservations, EvalError> {
+    MappedObservations::open_prefix(path, payload_len).map_err(|e| persist_err(path, e))
+}
+
+/// Magic bytes opening the crash-safe history footer (`netcorr history
+/// generation v1`). The footer trails the v3 payload:
+///
+/// ```text
+/// <v3 observation block>            the payload (header + lane words)
+/// NCHGEN1\n                         footer magic
+/// generation   u64 LE               1-based ingest generation counter
+/// payload_len  u64 LE               byte length of the v3 block above
+/// checksum     u64 LE               history_checksum(payload, generation)
+/// ```
+///
+/// The footer is self-locating from the end of the file, so a reader can
+/// validate a history file without knowing its generation in advance,
+/// and any strict prefix of the file (a torn write) fails validation:
+/// either the trailing magic is gone, or `payload_len` no longer matches
+/// the file length.
+pub const HISTORY_FOOTER_MAGIC: &[u8; 8] = b"NCHGEN1\n";
+
+/// Byte length of the history footer (magic + generation + payload
+/// length + checksum).
+pub const HISTORY_FOOTER_LEN: usize = 32;
+
+/// Checksum sealing a history generation: a 64-bit FNV-1a variant folded
+/// over whole little-endian words (fast enough to stay well under the
+/// mapped-attach cost on large histories), keyed by the generation and
+/// closed over the payload length so truncations and padding collide
+/// with nothing.
+pub fn history_checksum(payload: &[u8], generation: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ generation.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut chunks = payload.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ word).wrapping_mul(PRIME);
+        h ^= h >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(PRIME);
+        h ^= h >> 29;
+    }
+    h = (h ^ payload.len() as u64).wrapping_mul(PRIME);
+    h ^ (h >> 31)
+}
+
+/// Seals a v3 observation payload into the on-disk history layout:
+/// payload followed by the [`HISTORY_FOOTER_MAGIC`] footer for
+/// `generation`.
+pub fn encode_history(payload: &[u8], generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + HISTORY_FOOTER_LEN);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(HISTORY_FOOTER_MAGIC);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&history_checksum(payload, generation).to_le_bytes());
+    out
+}
+
+/// Where the previous fully-acked generation of `path` is rotated to
+/// before each history write (`<path>.prev`).
+pub fn history_prev_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".prev");
+    PathBuf::from(name)
+}
+
+/// Where an unrecoverable torn history file is quarantined
+/// (`<path>.torn`) so recovery can proceed without destroying the
+/// forensic evidence.
+pub fn history_torn_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".torn");
+    PathBuf::from(name)
+}
+
+/// A validated history file: its generation and the byte length of the
+/// v3 payload it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryFooter {
+    /// 1-based ingest generation (0 for legacy footer-less files).
+    pub generation: u64,
+    /// Byte length of the v3 observation payload.
+    pub payload_len: usize,
+    /// Whether the file carried an explicit footer (`false` for legacy
+    /// footer-less v3 files, accepted as generation 0).
+    pub footered: bool,
+}
+
+/// Validates an in-memory history image: either a footered file (magic
+/// in place, `payload_len` consistent with the file length, checksum
+/// matching, payload header parseable) or a legacy footer-less v3 block
+/// (accepted as generation 0 so pre-footer histories keep loading).
+/// Returns `None` for anything torn or corrupt.
+pub fn validate_history_bytes(bytes: &[u8]) -> Option<HistoryFooter> {
+    if bytes.len() >= BINARY_HEADER_LEN + HISTORY_FOOTER_LEN {
+        let foot = &bytes[bytes.len() - HISTORY_FOOTER_LEN..];
+        if &foot[..8] == HISTORY_FOOTER_MAGIC {
+            let generation = u64::from_le_bytes(foot[8..16].try_into().expect("8 bytes"));
+            let payload_len = usize::try_from(u64::from_le_bytes(
+                foot[16..24].try_into().expect("8 bytes"),
+            ))
+            .ok()?;
+            let checksum = u64::from_le_bytes(foot[24..32].try_into().expect("8 bytes"));
+            if payload_len == bytes.len() - HISTORY_FOOTER_LEN
+                && checksum == history_checksum(&bytes[..payload_len], generation)
+                && parse_binary_header(&bytes[..payload_len]).is_ok()
+            {
+                return Some(HistoryFooter {
+                    generation,
+                    payload_len,
+                    footered: true,
+                });
+            }
+            return None;
+        }
+    }
+    if parse_binary_header(bytes).is_ok() {
+        return Some(HistoryFooter {
+            generation: 0,
+            payload_len: bytes.len(),
+            footered: false,
+        });
+    }
+    None
+}
+
+/// The outcome of [`recover_history`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryRecovery {
+    /// Byte length of the valid v3 payload now at the primary path, or
+    /// `None` when no usable history exists (start fresh).
+    pub payload_len: Option<usize>,
+    /// Generation of the recovered history (0 when fresh or legacy).
+    pub generation: u64,
+    /// Whether startup had to fall back — a torn or missing current
+    /// file was replaced by the rotated previous generation (or
+    /// discarded entirely when no previous generation existed).
+    pub recovered: bool,
+}
+
+fn read_if_exists(path: &Path) -> Result<Option<Vec<u8>>, EvalError> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(persist_err(path, e)),
+    }
+}
+
+/// Crash-safe history startup: validates the file at `path` and falls
+/// back to the rotated `<path>.prev` generation when the current file is
+/// torn or missing, so a daemon restarted after a crash mid-write
+/// resumes from the last fully-acked generation instead of refusing to
+/// start.
+///
+/// The single-crash model this recovers from is the write protocol used
+/// by the serving layer: rotate current → `.prev`, then write the new
+/// generation at `path`, then ack. Outcomes:
+///
+/// * current valid → use it (`recovered = false`);
+/// * current torn or missing, `.prev` valid → promote `.prev` back to
+///   `path` (atomically), quarantine the torn bytes at `<path>.torn`,
+///   `recovered = true`;
+/// * current torn, no `.prev` → the very first generation tore:
+///   quarantine and start fresh (`payload_len = None`, `recovered =
+///   true`);
+/// * neither file exists → fresh history, `recovered = false`;
+/// * both files torn → an error: that takes two independent corruptions
+///   and is outside the crash model, so it is surfaced instead of
+///   silently discarding data.
+///
+/// A footer-less current file next to a *footered* `.prev` is treated as
+/// torn (a legacy file can never coexist with a footered rotation — only
+/// a write torn exactly at the payload boundary produces that shape).
+pub fn recover_history(path: &Path) -> Result<HistoryRecovery, EvalError> {
+    let prev_path = history_prev_path(path);
+    let current = read_if_exists(path)?;
+    let previous = read_if_exists(&prev_path)?;
+    let current_footer = current.as_deref().and_then(validate_history_bytes);
+    let prev_footer = previous.as_deref().and_then(validate_history_bytes);
+
+    if let Some(footer) = current_footer {
+        let torn_at_payload_boundary = !footer.footered && prev_footer.is_some_and(|p| p.footered);
+        if !torn_at_payload_boundary {
+            return Ok(HistoryRecovery {
+                payload_len: Some(footer.payload_len),
+                generation: footer.generation,
+                recovered: false,
+            });
+        }
+    }
+
+    let quarantine_current = || {
+        if current.is_some() {
+            let _ = fs::rename(path, history_torn_path(path));
+        }
+    };
+
+    match (prev_footer, previous) {
+        (Some(footer), Some(bytes)) => {
+            quarantine_current();
+            atomic_write(path, &bytes)?;
+            Ok(HistoryRecovery {
+                payload_len: Some(footer.payload_len),
+                generation: footer.generation,
+                recovered: true,
+            })
+        }
+        (None, Some(_)) => Err(persist_err(
+            path,
+            format!(
+                "history file and its rotated previous generation ({}) are both corrupt; \
+                 refusing to guess which bytes to trust",
+                prev_path.display()
+            ),
+        )),
+        (_, None) => {
+            let torn = current.is_some();
+            quarantine_current();
+            Ok(HistoryRecovery {
+                payload_len: None,
+                generation: 0,
+                recovered: torn,
+            })
+        }
+    }
 }
 
 /// Writes a full simulation trace — observations plus ground-truth link
@@ -491,6 +740,156 @@ mod tests {
         let text_file = dir.join("observations.ncobs");
         write_observations(&text_file, &obs).unwrap();
         assert_eq!(read_observations(&text_file).unwrap(), obs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Distinct observation block for history tests: `n` snapshots over
+    /// 3 paths with a `tag`-dependent pattern.
+    fn history_block(tag: usize, n: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3);
+        let mut row = [false; 3];
+        for s in 0..n {
+            for (p, bit) in row.iter_mut().enumerate() {
+                *bit = (s * 7 + p * 5 + tag * 3).is_multiple_of(4);
+            }
+            obs.record_snapshot(&row).unwrap();
+        }
+        obs
+    }
+
+    #[test]
+    fn history_footer_round_trips_and_rejects_corruption() {
+        let payload = history_block(1, 40).to_binary();
+        let sealed = encode_history(&payload, 7);
+        assert_eq!(sealed.len(), payload.len() + HISTORY_FOOTER_LEN);
+        let footer = validate_history_bytes(&sealed).expect("sealed file validates");
+        assert_eq!(footer.generation, 7);
+        assert_eq!(footer.payload_len, payload.len());
+        assert!(footer.footered);
+
+        // A legacy footer-less v3 block is accepted as generation 0.
+        let legacy = validate_history_bytes(&payload).expect("legacy file validates");
+        assert_eq!(legacy.generation, 0);
+        assert!(!legacy.footered);
+
+        // Every strict prefix of the sealed file fails validation as a
+        // footered file; the only prefix that validates at all is the
+        // exact payload boundary (indistinguishable from a legacy file,
+        // handled by recover_history's rotation rule).
+        for cut in 0..sealed.len() {
+            match validate_history_bytes(&sealed[..cut]) {
+                None => {}
+                Some(f) => {
+                    assert!(!f.footered, "torn prefix at {cut} validated as footered");
+                    assert_eq!(cut, payload.len(), "unexpected valid prefix at {cut}");
+                }
+            }
+        }
+
+        // A flipped payload byte breaks the checksum.
+        let mut flipped = sealed.clone();
+        flipped[BINARY_HEADER_LEN + 3] ^= 0x01;
+        assert!(validate_history_bytes(&flipped).is_none());
+        // A flipped generation breaks the checksum too.
+        let mut regen = sealed.clone();
+        regen[payload.len() + 8] ^= 0x01;
+        assert!(validate_history_bytes(&regen).is_none());
+        // Checksums are generation-keyed: same payload, different
+        // generation, different checksum.
+        assert_ne!(history_checksum(&payload, 1), history_checksum(&payload, 2));
+    }
+
+    #[test]
+    fn history_recovery_promotes_the_previous_generation() {
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_recover_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("history.ncobs3");
+        let prev = history_prev_path(&file);
+
+        // No files at all: fresh, not recovered.
+        let fresh = recover_history(&file).unwrap();
+        assert_eq!(fresh.payload_len, None);
+        assert!(!fresh.recovered);
+
+        // A valid current file is used as-is.
+        let gen1 = encode_history(&history_block(1, 30).to_binary(), 1);
+        std::fs::write(&file, &gen1).unwrap();
+        let ok = recover_history(&file).unwrap();
+        assert_eq!(ok.generation, 1);
+        assert_eq!(ok.payload_len, Some(gen1.len() - HISTORY_FOOTER_LEN));
+        assert!(!ok.recovered);
+
+        // Torn current at EVERY byte offset + valid .prev: recovery
+        // always lands on the previous generation, never a partial one.
+        let gen2_payload = {
+            let mut merged = history_block(1, 30);
+            merged.concat(&history_block(2, 25)).unwrap();
+            merged.to_binary()
+        };
+        let gen2 = encode_history(&gen2_payload, 2);
+        for cut in 0..gen2.len() {
+            std::fs::write(&prev, &gen1).unwrap();
+            std::fs::write(&file, &gen2[..cut]).unwrap();
+            let r = recover_history(&file)
+                .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+            assert_eq!(r.generation, 1, "cut {cut}");
+            assert!(r.recovered, "cut {cut}");
+            assert_eq!(std::fs::read(&file).unwrap(), gen1, "cut {cut}");
+        }
+        // The completed write (crash after write, before ack) recovers
+        // forward to generation 2 — the at-least-once boundary.
+        std::fs::write(&prev, &gen1).unwrap();
+        std::fs::write(&file, &gen2).unwrap();
+        let forward = recover_history(&file).unwrap();
+        assert_eq!(forward.generation, 2);
+        assert!(!forward.recovered);
+
+        // Current missing entirely (crash between rotate and write).
+        std::fs::remove_file(&file).unwrap();
+        let promoted = recover_history(&file).unwrap();
+        assert_eq!(promoted.generation, 1);
+        assert!(promoted.recovered);
+        assert_eq!(std::fs::read(&file).unwrap(), gen1);
+
+        // First-generation tear, no .prev: quarantined, fresh start.
+        std::fs::remove_file(&prev).unwrap();
+        std::fs::write(&file, &gen1[..10]).unwrap();
+        let torn = recover_history(&file).unwrap();
+        assert_eq!(torn.payload_len, None);
+        assert!(torn.recovered);
+        assert!(!file.exists());
+        assert!(history_torn_path(&file).exists());
+
+        // Both torn: an error, not silent data loss.
+        std::fs::write(&file, &gen2[..13]).unwrap();
+        std::fs::write(&prev, &gen1[..11]).unwrap();
+        match recover_history(&file) {
+            Err(EvalError::Persist { cause, .. }) => {
+                assert!(cause.contains("both corrupt"), "{cause}");
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn footered_history_files_map_through_the_prefix_open() {
+        let dir = std::env::temp_dir().join("netcorr_eval_persist_prefix_map_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("history.ncobs3");
+        let obs = history_block(3, 64);
+        let payload = obs.to_binary();
+        std::fs::write(&file, encode_history(&payload, 5)).unwrap();
+
+        let footer = validate_history_bytes(&std::fs::read(&file).unwrap()).unwrap();
+        let mapped = map_observations_prefix(&file, footer.payload_len).unwrap();
+        assert_eq!(mapped.num_snapshots(), 64);
+        assert_eq!(mapped.view().to_observations().unwrap(), obs);
+        // The whole-file open rejects the footered layout, so the prefix
+        // form is the only way in.
+        assert!(map_observations(&file).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

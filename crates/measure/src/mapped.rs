@@ -165,6 +165,10 @@ struct Inner {
     num_paths: usize,
     num_snapshots: usize,
     byte_len: usize,
+    /// Lane words belonging to the v3 payload; the mapping may extend
+    /// past them (e.g. a crash-safety footer) and those trailing bytes
+    /// are never served.
+    payload_words: usize,
     region: Region,
 }
 
@@ -193,17 +197,32 @@ impl MappedObservations {
     /// and the per-lane zero-tail invariant; corrupt files surface as
     /// [`MeasureError::Wire`], never a panic.
     pub fn open(path: &Path) -> Result<Self, MeasureError> {
-        Self::open_inner(path, false)
+        Self::open_inner(path, false, None)
+    }
+
+    /// Opens a file whose first `payload_len` bytes are a v3 observation
+    /// block, ignoring anything after them. This is how history files
+    /// that carry a trailing generation/checksum footer are mapped: the
+    /// footer stays on disk (and in the mapping) but is never exposed
+    /// through [`MappedObservations::view`]. `payload_len` must lie
+    /// within the file, cover the 24-byte header, and leave a whole
+    /// number of lane words.
+    pub fn open_prefix(path: &Path, payload_len: usize) -> Result<Self, MeasureError> {
+        Self::open_inner(path, false, Some(payload_len))
     }
 
     /// Opens a file through the copying fallback tier even where a
     /// mapping is available — the control arm for benchmarks and for
     /// diagnosing mapping problems.
     pub fn open_heap(path: &Path) -> Result<Self, MeasureError> {
-        Self::open_inner(path, true)
+        Self::open_inner(path, true, None)
     }
 
-    fn open_inner(path: &Path, force_heap: bool) -> Result<Self, MeasureError> {
+    fn open_inner(
+        path: &Path,
+        force_heap: bool,
+        payload: Option<usize>,
+    ) -> Result<Self, MeasureError> {
         let io_err =
             |what: &str, e: std::io::Error| MeasureError::Wire(format!("cannot {what}: {e}"));
         let mut file = fs::File::open(path).map_err(|e| io_err("open observation file", e))?;
@@ -218,6 +237,22 @@ impl MappedObservations {
                 "binary observations need a {BINARY_HEADER_LEN}-byte header, got {byte_len} bytes"
             )));
         }
+        let payload_len = match payload {
+            Some(n) => {
+                if n > byte_len
+                    || n < BINARY_HEADER_LEN
+                    || !(n - BINARY_HEADER_LEN).is_multiple_of(8)
+                {
+                    return Err(MeasureError::Wire(format!(
+                        "observation payload prefix of {n} bytes is not a whole \
+                         header + lane-word region within the {byte_len}-byte file"
+                    )));
+                }
+                n
+            }
+            None => byte_len,
+        };
+        let payload_words = (payload_len - BINARY_HEADER_LEN) / 8;
 
         #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
         if !force_heap {
@@ -230,19 +265,24 @@ impl MappedObservations {
                         len: byte_len,
                     };
                     // Validate through the mapped header itself: the
-                    // first 24 bytes plus the derived length checks.
+                    // payload prefix plus the derived length checks.
                     // SAFETY: the whole mapping is in-bounds and lives
                     // for this scope (`mapping` owns it).
                     let header: &[u8] =
-                        unsafe { std::slice::from_raw_parts(mapping.addr, byte_len) };
+                        unsafe { std::slice::from_raw_parts(mapping.addr, payload_len) };
                     let (num_paths, num_snapshots) = parse_binary_header(header)?;
                     // Zero-tail check, no copy (errors unmap via Drop).
-                    BitLanesView::try_from_lane_words(num_paths, num_snapshots, mapping.words())?;
+                    BitLanesView::try_from_lane_words(
+                        num_paths,
+                        num_snapshots,
+                        &mapping.words()[..payload_words],
+                    )?;
                     return Ok(MappedObservations {
                         inner: Arc::new(Inner {
                             num_paths,
                             num_snapshots,
                             byte_len,
+                            payload_words,
                             region: Region::Mapped(mapping),
                         }),
                     });
@@ -256,8 +296,8 @@ impl MappedObservations {
         let mut bytes = Vec::with_capacity(byte_len);
         file.read_to_end(&mut bytes)
             .map_err(|e| io_err("read observation file", e))?;
-        let (num_paths, num_snapshots) = parse_binary_header(&bytes)?;
-        let words: Vec<u64> = bytes[BINARY_HEADER_LEN..]
+        let (num_paths, num_snapshots) = parse_binary_header(&bytes[..payload_len])?;
+        let words: Vec<u64> = bytes[BINARY_HEADER_LEN..payload_len]
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
@@ -267,6 +307,7 @@ impl MappedObservations {
                 num_paths,
                 num_snapshots,
                 byte_len: bytes.len(),
+                payload_words,
                 region: Region::Heap(words),
             }),
         })
@@ -293,12 +334,12 @@ impl MappedObservations {
         self.inner.region.backing()
     }
 
-    /// A query-ready view over the file's lane words.
+    /// A query-ready view over the file's payload lane words.
     pub fn view(&self) -> ObservationsView<'_> {
         let lanes = BitLanesView::try_from_lane_words(
             self.inner.num_paths,
             self.inner.num_snapshots,
-            self.inner.region.words(),
+            &self.inner.region.words()[..self.inner.payload_words],
         )
         .expect("lane words were validated when the file was opened");
         ObservationsView::new(lanes)
@@ -387,6 +428,39 @@ mod tests {
         fs::remove_file(&path).unwrap();
         let err = MappedObservations::open(&path).unwrap_err();
         assert!(err.to_string().contains("cannot open"), "got: {err}");
+    }
+
+    #[test]
+    fn prefix_open_ignores_trailing_footer_bytes() {
+        let obs = sample(5, 77);
+        let block = obs.to_binary();
+        let path = temp_path("prefix");
+
+        // A 32-byte trailer (as written by crash-safe history files)
+        // must be invisible through the prefix-aware open.
+        let mut bytes = block.clone();
+        bytes.extend_from_slice(&[0xAB; 32]);
+        fs::write(&path, &bytes).unwrap();
+        let mapped = MappedObservations::open_prefix(&path, block.len()).unwrap();
+        assert_eq!(mapped.num_snapshots(), 77);
+        assert_eq!(mapped.byte_len(), block.len() + 32);
+        assert_eq!(mapped.view().to_observations().unwrap(), obs);
+
+        // Whole-file open of the same bytes fails (length mismatch), so
+        // the prefix form is genuinely load-bearing.
+        assert!(MappedObservations::open(&path).is_err());
+
+        // Degenerate prefixes are rejected: past EOF, shorter than a
+        // header, or splitting a lane word.
+        assert!(MappedObservations::open_prefix(&path, bytes.len() + 8).is_err());
+        assert!(MappedObservations::open_prefix(&path, 8).is_err());
+        assert!(MappedObservations::open_prefix(&path, block.len() + 4).is_err());
+
+        // `open_prefix(len) == open` on a footer-less file.
+        fs::write(&path, &block).unwrap();
+        let exact = MappedObservations::open_prefix(&path, block.len()).unwrap();
+        assert_eq!(exact.view().to_observations().unwrap(), obs);
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! netcorr-chaos — seeded fault-injection harness for `netcorr-serve`.
+//!
+//! Spawns real daemon processes (the `netcorr-serve` binary next to this
+//! one), attacks them with seeded, bit-reproducible fault schedules, and
+//! asserts the fault-tolerance contract:
+//!
+//! * **disconnect-storm** — a daemon running the `flaky-io` profile
+//!   (short reads/writes, mid-request disconnects, brief stalls on every
+//!   session stream) stays up through a storm of ingests and queries,
+//!   and its final answers are bit-identical to an in-process comparator
+//!   fed exactly the blocks the daemon counted;
+//! * **torn-history** — a daemon running the `torn-history` profile
+//!   crashes (aborts) mid-history-write at a seeded ingest and byte
+//!   offset; a clean restart over the torn file must recover to exactly
+//!   the acked ingest prefix and answer bit-identically to a comparator
+//!   that replayed only the acked blocks. Rounds alternate between the
+//!   tcp and unix transports;
+//! * **slow-loris** — stalled request lines are answered with `ERR
+//!   timeout` and bounded by `--request-timeout-ms`, connections over
+//!   `--max-sessions` are shed with `ERR busy`, and after all of it the
+//!   daemon still serves and exits cleanly on `SHUTDOWN` — no hung
+//!   session can leak past the bounded exit wait.
+//!
+//! Everything is derived from `--seed`: the fault schedules (passed to
+//! the daemon as `--fault-seed`), the observation blocks, and the tear
+//! points. The same seed replays the same run bit-for-bit.
+//!
+//! Exit status 0 means every scenario held; any violated assertion
+//! prints a diagnostic and exits 1.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use netcorr_core::AlgorithmConfig;
+use netcorr_measure::PathObservations;
+use netcorr_serve::{Client, ClientConfig, ReconnectingClient, TomographyService};
+use netcorr_topology::toy;
+
+fn usage() -> &'static str {
+    "usage: netcorr-chaos [--seed N] [--rounds N] [--scenario NAME] [--serve-bin PATH]\n\
+     \n\
+     NAME   all | disconnect-storm | torn-history | slow-loris (default: all)\n\
+     N      --seed keys every fault schedule and observation block (default: 1);\n\
+     \x20       --rounds scales the torn-history crash/restart loop (default: 3)\n\
+     PATH   the netcorr-serve binary to attack (default: the sibling of this binary)"
+}
+
+/// SplitMix64 — the same finalizer the fault plans use, so harness-side
+/// randomness is seeded and reproducible too.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic observation block over Figure 1(a)'s three paths.
+fn chaos_block(seed: u64, tag: u64, snapshots: usize) -> PathObservations {
+    let mut block = PathObservations::new(3);
+    for s in 0..snapshots {
+        let word = splitmix64(seed ^ tag.wrapping_mul(0x9e37_79b9).wrapping_add(s as u64));
+        block
+            .record_snapshot(&[word & 1 == 1, word & 2 == 2, word & 4 == 4])
+            .expect("3-path snapshot");
+    }
+    block
+}
+
+/// Timeout-bounded client defaults for talking to a faulty daemon.
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(5),
+        read_timeout: Duration::from_secs(5),
+        retries: 8,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(80),
+    }
+}
+
+/// A spawned daemon process plus the address it reported.
+struct Daemon {
+    child: Child,
+    /// `tcp://host:port` or `unix://path`, as printed by the daemon.
+    listen: String,
+}
+
+impl Daemon {
+    fn spawn(bin: &Path, args: &[String]) -> Result<Daemon, String> {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut reader = BufReader::new(stdout);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let listen = loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                let _ = child.kill();
+                return Err("daemon exited before reporting its address".into());
+            }
+            if let Some(rest) = line.trim_end().split("listening on ").nth(1) {
+                break rest.to_string();
+            }
+            if Instant::now() > deadline {
+                let _ = child.kill();
+                return Err("daemon never reported its address".into());
+            }
+        };
+        // Drain the rest of the pipe so the daemon can never block on a
+        // full stdout buffer.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while reader.read_line(&mut sink).unwrap_or(0) > 0 {
+                sink.clear();
+            }
+        });
+        Ok(Daemon { child, listen })
+    }
+
+    fn tcp_addr(&self) -> Result<String, String> {
+        self.listen
+            .strip_prefix("tcp://")
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected a tcp address, daemon reported {}", self.listen))
+    }
+
+    fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// Waits for the daemon to exit; failing this bound means a hung
+    /// session (or accept loop) leaked past shutdown.
+    fn wait_exit(&mut self, timeout: Duration) -> Result<std::process::ExitStatus, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return Ok(status),
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                Ok(None) => {
+                    let _ = self.child.kill();
+                    return Err(format!(
+                        "daemon did not exit within {timeout:?} — a hung session leaked"
+                    ));
+                }
+                Err(e) => return Err(format!("cannot wait for the daemon: {e}")),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.is_alive() {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// Retries a fallible client operation until it succeeds or the attempt
+/// budget runs out; injected faults make individual exchanges unreliable
+/// but never permanently so.
+fn eventually<T, E: std::fmt::Debug>(
+    what: &str,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, String> {
+    let mut last = None;
+    for _ in 0..60 {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    Err(format!("{what} kept failing: {last:?}"))
+}
+
+/// Bit-exact comparison between the daemon's probabilities and the
+/// comparator's.
+fn assert_bit_identical(got: &[f64], want: &[f64], context: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{context}: {} probabilities served, {} expected",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(format!(
+                "{context}: link {i} diverged: served {g:?} ({:#x}), expected {w:?} ({:#x})",
+                g.to_bits(),
+                w.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Scenario 1: the daemon survives a storm of seeded transport faults
+/// and its answers stay bit-identical to a comparator fed exactly the
+/// blocks the daemon counted.
+fn disconnect_storm(bin: &Path, seed: u64, rounds: u64) -> Result<(), String> {
+    let mut daemon = Daemon::spawn(
+        bin,
+        &[
+            "--listen".into(),
+            "127.0.0.1:0".into(),
+            "--fault-profile".into(),
+            "flaky-io".into(),
+            "--fault-seed".into(),
+            seed.to_string(),
+            "--request-timeout-ms".into(),
+            "3000".into(),
+            "--drain-timeout-ms".into(),
+            "1000".into(),
+        ],
+    )?;
+    let addr = daemon.tcp_addr()?;
+    let mut comparator = TomographyService::new(&toy::figure_1a(), &AlgorithmConfig::default())
+        .map_err(|e| format!("comparator: {e}"))?;
+    let mut client = ReconnectingClient::tcp(&addr, client_config());
+    let mut counted = 0usize;
+    for round in 0..rounds * 6 {
+        let block = chaos_block(seed, round, 6 + (splitmix64(seed ^ round) % 10) as usize);
+        // The ingest itself is single-shot: a lost ack leaves the
+        // outcome unknown, so the daemon's own snapshot counter is the
+        // ground truth for what landed.
+        let _ = client.ingest(&block);
+        let snapshots = eventually("STATUS after ingest", || client.status())?.num_snapshots;
+        match snapshots - counted {
+            0 => {}
+            n if n == block.num_snapshots() => {
+                comparator
+                    .ingest_observations(&block)
+                    .map_err(|e| format!("comparator ingest: {e}"))?;
+            }
+            n => {
+                return Err(format!(
+                    "partial ingest: daemon counted {n} of the block's {} snapshots — \
+                     OBS must be atomic",
+                    block.num_snapshots()
+                ))
+            }
+        }
+        counted = snapshots;
+        if !daemon.is_alive() {
+            return Err(format!(
+                "daemon died during the disconnect storm (round {round})"
+            ));
+        }
+    }
+    if counted == 0 {
+        return Err("the storm acked no blocks at all — the schedule is too hostile".into());
+    }
+    comparator
+        .reinfer()
+        .map_err(|e| format!("comparator: {e}"))?;
+    let infer = eventually("INFER through the storm", || client.infer())?;
+    if infer.stale {
+        return Err("a dense-plan INFER came back stale with no solver trouble".into());
+    }
+    let (stale, probs) = eventually("PROBS through the storm", || client.probabilities_flagged())?;
+    if stale {
+        return Err("PROBS flagged stale after a successful INFER".into());
+    }
+    assert_bit_identical(
+        &probs,
+        comparator
+            .probabilities()
+            .map_err(|e| format!("comparator: {e}"))?,
+        "disconnect-storm",
+    )?;
+    // SHUTDOWN's reply may itself be eaten by an injected disconnect,
+    // but the flag is set before the reply — the daemon exits either
+    // way.
+    let _ = eventually("SHUTDOWN through the storm", || {
+        Client::connect_tcp_with(&addr, &client_config())
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+    });
+    let status = daemon.wait_exit(Duration::from_secs(10))?;
+    if !status.success() {
+        return Err(format!("daemon exited uncleanly after the storm: {status}"));
+    }
+    println!(
+        "netcorr-chaos: disconnect-storm ok ({counted} snapshots acked, answers bit-identical)"
+    );
+    Ok(())
+}
+
+/// One crash/restart round of the torn-history scenario, generic over
+/// the client transport.
+fn torn_round<S: Read + Write>(
+    client: &mut Client<S>,
+    comparator: &mut TomographyService,
+    seed: u64,
+    round: u64,
+) -> Result<usize, String> {
+    let mut acked = 0;
+    for i in 0..10u64 {
+        let block = chaos_block(seed, round * 1000 + i, 5 + (i as usize % 4));
+        match client.ingest(&block) {
+            Ok(_) => {
+                acked += 1;
+                comparator
+                    .ingest_observations(&block)
+                    .map_err(|e| format!("comparator ingest: {e}"))?;
+            }
+            Err(_) => return Ok(acked), // The daemon aborted mid-write.
+        }
+    }
+    Err("the daemon never crashed, but torn-history tears within the first 5 writes".into())
+}
+
+/// Post-restart verification, generic over the client transport: the
+/// recovered daemon must hold exactly the acked snapshots and answer
+/// bit-identically to the comparator.
+fn verify_recovered<S: Read + Write>(
+    client: &mut Client<S>,
+    comparator: &mut TomographyService,
+    expect_recovered: bool,
+    context: &str,
+) -> Result<(), String> {
+    let status = client.status().map_err(|e| format!("{context}: {e}"))?;
+    let history = status
+        .history
+        .ok_or_else(|| format!("{context}: STATUS reports no history"))?;
+    if history.recovered != expect_recovered {
+        return Err(format!(
+            "{context}: STATUS history_recovered={} but {expect_recovered} was expected",
+            history.recovered
+        ));
+    }
+    if status.num_snapshots != comparator.num_snapshots() {
+        return Err(format!(
+            "{context}: recovered {} snapshots, acked prefix holds {} — recovery must be exact",
+            status.num_snapshots,
+            comparator.num_snapshots()
+        ));
+    }
+    if comparator.num_snapshots() == 0 {
+        return Ok(());
+    }
+    client
+        .infer()
+        .map_err(|e| format!("{context}: INFER: {e}"))?;
+    comparator
+        .reinfer()
+        .map_err(|e| format!("{context}: comparator: {e}"))?;
+    let probs = client
+        .probabilities()
+        .map_err(|e| format!("{context}: PROBS: {e}"))?;
+    assert_bit_identical(
+        &probs,
+        comparator
+            .probabilities()
+            .map_err(|e| format!("{context}: comparator: {e}"))?,
+        context,
+    )
+}
+
+/// Scenario 2: torn-write-then-restart loops, alternating tcp and unix
+/// transports. Each round crashes a faulty daemon mid-history-write,
+/// then proves a clean restart recovers to exactly the acked prefix.
+fn torn_history(bin: &Path, dir: &Path, seed: u64, rounds: u64) -> Result<(), String> {
+    let history = dir.join("history.ncobs3");
+    let mut comparator = TomographyService::new(&toy::figure_1a(), &AlgorithmConfig::default())
+        .map_err(|e| format!("comparator: {e}"))?;
+    for round in 0..rounds {
+        let use_unix = cfg!(unix) && round % 2 == 1;
+        let sock = dir.join(format!("chaos-{round}.sock"));
+        let listen = if use_unix {
+            format!("unix:{}", sock.display())
+        } else {
+            "127.0.0.1:0".into()
+        };
+        // Phase 1: a faulty daemon that will abort mid-history-write.
+        let mut faulty = Daemon::spawn(
+            bin,
+            &[
+                "--listen".into(),
+                listen.clone(),
+                "--history".into(),
+                history.display().to_string(),
+                "--fault-profile".into(),
+                "torn-history".into(),
+                "--fault-seed".into(),
+                (seed ^ round.wrapping_mul(0x1234_5678_9abc)).to_string(),
+            ],
+        )?;
+        let config = client_config();
+        let acked = if use_unix {
+            let mut client = Client::connect_unix_with(&sock, &config)
+                .map_err(|e| format!("unix connect: {e}"))?;
+            torn_round(&mut client, &mut comparator, seed, round)?
+        } else {
+            let addr = faulty.tcp_addr()?;
+            let mut client = Client::connect_tcp_with(&addr, &config)
+                .map_err(|e| format!("tcp connect: {e}"))?;
+            torn_round(&mut client, &mut comparator, seed, round)?
+        };
+        let status = faulty.wait_exit(Duration::from_secs(10))?;
+        if status.success() {
+            return Err("the faulty daemon exited cleanly — the torn write must abort".into());
+        }
+        // Phase 2: a clean daemon over the torn file must recover to
+        // the acked prefix and serve bit-identically.
+        let mut clean = Daemon::spawn(
+            bin,
+            &[
+                "--listen".into(),
+                listen,
+                "--history".into(),
+                history.display().to_string(),
+            ],
+        )?;
+        // Only a round whose ingests all landed before the tear (tear
+        // on the never-sent next generation cannot happen: the tear is
+        // within the first 5 writes and we attempt 10) leaves a clean
+        // file; every crash here tears the current file mid-write.
+        if use_unix {
+            let mut client = Client::connect_unix_with(&sock, &config)
+                .map_err(|e| format!("unix reconnect: {e}"))?;
+            verify_recovered(&mut client, &mut comparator, true, "torn-history(unix)")?;
+            client
+                .shutdown()
+                .map_err(|e| format!("clean shutdown: {e}"))?;
+        } else {
+            let addr = clean.tcp_addr()?;
+            let mut client = Client::connect_tcp_with(&addr, &config)
+                .map_err(|e| format!("tcp reconnect: {e}"))?;
+            verify_recovered(&mut client, &mut comparator, true, "torn-history(tcp)")?;
+            client
+                .shutdown()
+                .map_err(|e| format!("clean shutdown: {e}"))?;
+        }
+        let status = clean.wait_exit(Duration::from_secs(10))?;
+        if !status.success() {
+            return Err(format!("recovered daemon exited uncleanly: {status}"));
+        }
+        println!(
+            "netcorr-chaos: torn-history round {round} ok ({} transport, {acked} acked ingests, \
+             recovery exact)",
+            if use_unix { "unix" } else { "tcp" }
+        );
+    }
+    Ok(())
+}
+
+/// Scenario 3: stalled clients are bounded, excess connections are shed,
+/// and neither leaves a hung session behind.
+fn slow_loris(bin: &Path, seed: u64) -> Result<(), String> {
+    let mut daemon = Daemon::spawn(
+        bin,
+        &[
+            "--listen".into(),
+            "127.0.0.1:0".into(),
+            "--request-timeout-ms".into(),
+            "300".into(),
+            "--idle-timeout-ms".into(),
+            "30000".into(),
+            "--drain-timeout-ms".into(),
+            "500".into(),
+            "--max-sessions".into(),
+            "3".into(),
+        ],
+    )?;
+    let addr = daemon.tcp_addr()?;
+
+    // A stalled request line gets an ERR timeout, bounded by the request
+    // deadline, then the session is closed.
+    let mut stalled = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    stalled.write_all(b"STA").map_err(|e| e.to_string())?;
+    stalled.flush().map_err(|e| e.to_string())?;
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    let started = Instant::now();
+    BufReader::new(&stalled)
+        .read_line(&mut reply)
+        .map_err(|e| format!("stalled session read: {e}"))?;
+    if !reply.starts_with("ERR timeout") {
+        return Err(format!(
+            "stalled request got {reply:?}, expected ERR timeout"
+        ));
+    }
+    if started.elapsed() > Duration::from_secs(3) {
+        return Err("the request deadline took too long to fire".into());
+    }
+    drop(stalled);
+
+    // Fill the session cap with idle connections; the next one is shed
+    // with a single ERR busy line.
+    let idle: Vec<TcpStream> = (0..3)
+        .map(|_| TcpStream::connect(&addr))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    std::thread::sleep(Duration::from_millis(200)); // let the accept loop seat them
+    let over = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    over.set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    BufReader::new(&over)
+        .read_line(&mut reply)
+        .map_err(|e| format!("shed session read: {e}"))?;
+    if !reply.starts_with("ERR busy") {
+        return Err(format!(
+            "over-cap connection got {reply:?}, expected ERR busy"
+        ));
+    }
+    drop(over);
+    drop(idle);
+
+    // The daemon still serves normally and exits cleanly — no leaked
+    // session may hold it up.
+    let mut client = eventually("post-loris connect", || {
+        Client::connect_tcp_with(&addr, &client_config())
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.ping().map(|()| c).map_err(|e| e.to_string()))
+    })?;
+    client
+        .ingest(&chaos_block(seed, 0x1015, 24))
+        .map_err(|e| format!("post-loris ingest: {e}"))?;
+    client
+        .infer()
+        .map_err(|e| format!("post-loris infer: {e}"))?;
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    let status = daemon.wait_exit(Duration::from_secs(10))?;
+    if !status.success() {
+        return Err(format!(
+            "daemon exited uncleanly after slow-loris: {status}"
+        ));
+    }
+    println!("netcorr-chaos: slow-loris ok (timeout bounded, busy shed, clean exit)");
+    Ok(())
+}
+
+struct Options {
+    seed: u64,
+    rounds: u64,
+    scenario: String,
+    serve_bin: Option<PathBuf>,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        seed: 1,
+        rounds: 3,
+        scenario: "all".into(),
+        serve_bin: None,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?
+            }
+            "--rounds" => {
+                options.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|_| "invalid --rounds".to_string())?
+            }
+            "--scenario" => options.scenario = value("--scenario")?,
+            "--serve-bin" => options.serve_bin = Some(PathBuf::from(value("--serve-bin")?)),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Some(options))
+}
+
+/// The `netcorr-serve` binary: `--serve-bin`, or the sibling of this
+/// executable.
+fn locate_serve_bin(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(path) = explicit {
+        return Ok(path);
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = me
+        .parent()
+        .ok_or_else(|| "current_exe has no parent directory".to_string())?
+        .join("netcorr-serve");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "netcorr-serve not found at {} — build it first or pass --serve-bin",
+            sibling.display()
+        ))
+    }
+}
+
+fn main() {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{}", usage());
+            return;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let bin = match locate_serve_bin(options.serve_bin.clone()) {
+        Ok(bin) => bin,
+        Err(message) => {
+            eprintln!("netcorr-chaos: {message}");
+            std::process::exit(2);
+        }
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "netcorr-chaos-{}-{}",
+        options.seed,
+        std::process::id()
+    ));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("netcorr-chaos: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    println!(
+        "netcorr-chaos: seed {} rounds {} scenario {} against {}",
+        options.seed,
+        options.rounds,
+        options.scenario,
+        bin.display()
+    );
+    let result = match options.scenario.as_str() {
+        "all" => disconnect_storm(&bin, options.seed, options.rounds)
+            .and_then(|()| torn_history(&bin, &dir, options.seed, options.rounds))
+            .and_then(|()| slow_loris(&bin, options.seed)),
+        "disconnect-storm" => disconnect_storm(&bin, options.seed, options.rounds),
+        "torn-history" => torn_history(&bin, &dir, options.seed, options.rounds),
+        "slow-loris" => slow_loris(&bin, options.seed),
+        other => {
+            eprintln!("netcorr-chaos: unknown scenario '{other}'\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(()) => println!("netcorr-chaos: all assertions held (seed {})", options.seed),
+        Err(message) => {
+            eprintln!("netcorr-chaos: FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+}

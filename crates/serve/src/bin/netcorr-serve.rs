@@ -9,24 +9,37 @@
 //! netcorr-serve --listen unix:/run/netcorr.sock --topology fig1a
 //! ```
 
+use std::time::Duration;
+
 use netcorr_core::AlgorithmConfig;
 use netcorr_eval::figures::{base_instance, Scale, TopologyFamily};
-use netcorr_serve::{ListenAddr, Server, TomographyService};
+use netcorr_serve::{FaultPlan, FaultProfile, ListenAddr, Server, ServerConfig, TomographyService};
 use netcorr_topology::{toy, TopologyInstance};
 
 fn usage() -> &'static str {
     "usage: netcorr-serve [--listen ADDR] [--topology NAME] [--topology-seed N] \
      [--history PATH] [--independence] [--dense-threshold N] [--cgls-iterations N] \
-     [--cgls-tolerance X]\n\
+     [--cgls-tolerance X] [--max-sessions N] [--idle-timeout-ms N] \
+     [--request-timeout-ms N] [--drain-timeout-ms N] [--fault-profile NAME] [--fault-seed N]\n\
      \n\
      ADDR   host:port for TCP (port 0 binds an ephemeral port, reported on stdout),\n\
      \x20       or unix:<path> for a Unix domain socket (default: 127.0.0.1:0)\n\
      NAME   fig1a | planetlab-smoke | brite-smoke (default: fig1a); the smoke\n\
      \x20       fixtures are regenerated deterministically from --topology-seed,\n\
      \x20       so clients can reconstruct the identical instance\n\
-     PATH   persistent observation history: every ingest atomically rewrites this\n\
-     \x20       v3 file, and on restart it is memory-mapped (zero-copy) and attached\n\
-     \x20       to the estimator, so the daemon resumes bit-identically"
+     PATH   persistent observation history: every ingest durably writes the next\n\
+     \x20       checksummed generation (rotating the previous one to <PATH>.prev)\n\
+     \x20       before it is acked; on restart a clean or torn file recovers to the\n\
+     \x20       last acked generation, memory-mapped (zero-copy) and attached to the\n\
+     \x20       estimator, so the daemon resumes bit-identically\n\
+     \n\
+     hardening: --max-sessions caps concurrent sessions (excess connections get one\n\
+     \x20       `ERR busy` line), --idle-timeout-ms / --request-timeout-ms bound idle\n\
+     \x20       sessions and stalled (slow-loris) requests, --drain-timeout-ms bounds\n\
+     \x20       how long in-flight requests may finish after SHUTDOWN\n\
+     chaos:  --fault-profile quiet|flaky-io|torn-history with --fault-seed N injects\n\
+     \x20       seeded, bit-reproducible I/O faults (short reads/writes, disconnects,\n\
+     \x20       stalls, torn history writes) for the netcorr-chaos harness"
 }
 
 struct Options {
@@ -35,6 +48,9 @@ struct Options {
     topology_seed: u64,
     history: Option<std::path::PathBuf>,
     config: AlgorithmConfig,
+    server: ServerConfig,
+    fault_profile: Option<String>,
+    fault_seed: u64,
 }
 
 impl Default for Options {
@@ -45,6 +61,9 @@ impl Default for Options {
             topology_seed: 42,
             history: None,
             config: AlgorithmConfig::default(),
+            server: ServerConfig::default(),
+            fault_profile: None,
+            fault_seed: 0,
         }
     }
 }
@@ -80,6 +99,23 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> 
                 options.config.solver.cgls_tolerance =
                     parse(&value(&mut args, "--cgls-tolerance")?)?
             }
+            "--max-sessions" => {
+                options.server.max_sessions = parse(&value(&mut args, "--max-sessions")?)?
+            }
+            "--idle-timeout-ms" => {
+                options.server.idle_timeout =
+                    Duration::from_millis(parse(&value(&mut args, "--idle-timeout-ms")?)?)
+            }
+            "--request-timeout-ms" => {
+                options.server.request_timeout =
+                    Duration::from_millis(parse(&value(&mut args, "--request-timeout-ms")?)?)
+            }
+            "--drain-timeout-ms" => {
+                options.server.drain_timeout =
+                    Duration::from_millis(parse(&value(&mut args, "--drain-timeout-ms")?)?)
+            }
+            "--fault-profile" => options.fault_profile = Some(value(&mut args, "--fault-profile")?),
+            "--fault-seed" => options.fault_seed = parse(&value(&mut args, "--fault-seed")?)?,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -135,6 +171,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let fault_plan = match &options.fault_profile {
+        Some(name) => match FaultProfile::by_name(name, options.fault_seed) {
+            Ok(profile) => FaultPlan::seeded(options.fault_seed, profile),
+            Err(error) => {
+                eprintln!("netcorr-serve: {error}");
+                std::process::exit(2);
+            }
+        },
+        None => FaultPlan::none(),
+    };
     let mut service = match TomographyService::new(&instance, &options.config) {
         Ok(service) => service,
         Err(error) => {
@@ -142,17 +188,26 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if !fault_plan.is_none() {
+        service.set_fault_plan(&fault_plan);
+        println!(
+            "netcorr-serve: fault injection {:?} (seed {})",
+            fault_plan, options.fault_seed
+        );
+    }
     if let Some(path) = &options.history {
         match service.enable_history(path) {
             Ok(reloaded) => {
                 let status = service.status();
-                let backing = status
-                    .history
-                    .as_ref()
-                    .map_or("heap", |h| h.backing.as_str());
+                let (backing, generation, recovered) =
+                    status.history.as_ref().map_or(("heap", 0, false), |h| {
+                        (h.backing.as_str(), h.generation, h.recovered)
+                    });
                 println!(
-                    "netcorr-serve: history {} ({reloaded} snapshots reloaded, {backing} backed)",
-                    path.display()
+                    "netcorr-serve: history {} ({reloaded} snapshots reloaded, {backing} backed, \
+                     generation {generation}{})",
+                    path.display(),
+                    if recovered { ", recovered" } else { "" }
                 );
             }
             Err(error) => {
@@ -171,7 +226,9 @@ fn main() {
         service.num_links(),
         service.status().solver
     );
-    let server = match Server::bind(service, &options.listen) {
+    let mut server_config = options.server.clone();
+    server_config.faults = fault_plan;
+    let server = match Server::bind_with(service, &options.listen, server_config) {
         Ok(server) => server,
         Err(error) => {
             eprintln!("netcorr-serve: failed to bind {}: {error}", options.listen);

@@ -42,12 +42,14 @@
 
 pub mod client;
 pub mod error;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::{Client, ClientError, InferReply};
+pub use client::{Client, ClientConfig, ClientError, InferReply, ReconnectingClient};
 pub use error::ServeError;
+pub use faults::{FaultPlan, FaultProfile, FaultyHistoryWriter, FaultyStream};
 pub use protocol::{Reply, Request};
-pub use server::{ListenAddr, Server};
+pub use server::{ListenAddr, Server, ServerConfig};
 pub use service::{HistoryStatus, ServiceStatus, TomographyService};

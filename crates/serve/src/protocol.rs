@@ -7,14 +7,21 @@
 //!
 //! ```text
 //! PING                      → OK pong
-//! STATUS                    → OK paths=3 links=4 snapshots=60 equations=6 reinfers=2 solver=DenseExact inferred=true kernel=avx512 history=none
+//! STATUS                    → OK paths=3 links=4 snapshots=60 equations=6 reinfers=2 solver=DenseExact inferred=true stale=false kernel=avx512 history=none
 //! OBS <len>\n<len raw bytes> → OK ingested=25 snapshots=60
-//! INFER                     → OK snapshots=60 solver=DenseExact residual=0.0000000019 iterations=0
+//! INFER                     → OK snapshots=60 solver=DenseExact residual=0.0000000019 iterations=0 stale=false
 //! PROB <link>               → OK 0.24719056413242677
-//! PROBS                     → OK 4 0.247… 0.103… 0.0 0.201…
+//! PROBS                     → OK stale=false 4 0.247… 0.103… 0.0 0.201…
 //! STATE <link> [threshold]  → OK congested=false probability=0.247… threshold=0.5
 //! SHUTDOWN                  → OK bye
 //! ```
+//!
+//! With `--history` enabled, `STATUS` reports the persistence state as
+//! `history=backing:path history_snapshots=… history_bytes=…
+//! history_generation=… history_recovered=…` — the generation counts
+//! acked history writes, and `history_recovered=true` flags that startup
+//! recovered from a torn or missing history file (see
+//! [`netcorr_eval::persist::recover_history`]).
 //!
 //! Every reply is a single line: `OK …` on success, `ERR <message>` on
 //! failure. Errors are **per request** — a malformed line or a failed
@@ -22,6 +29,13 @@
 //! Probabilities travel as Rust's shortest-round-trip `f64` decimal
 //! representation, which parses back to the identical bits: the text
 //! protocol does not cost bit-exactness.
+//!
+//! **Graceful degradation.** When re-inference fails outright, or the
+//! sparse CGLS solve exhausts its iteration budget, the daemon keeps
+//! serving the last good estimate and flags it: `INFER`, `PROBS` and
+//! `STATUS` report `stale=true` until a later `INFER` succeeds within
+//! budget. `PROB` and `STATE` reply shapes are unchanged; consult
+//! `STATUS` for staleness.
 //!
 //! [`execute`] dispatches one request line against a
 //! [`TomographyService`]; the socket server and the in-process
@@ -179,12 +193,18 @@ fn try_execute(
     line: &str,
     body: &mut impl Read,
 ) -> Result<Reply, ServeError> {
+    // Test hook for the session-isolation path: a deliberate panic that
+    // exists only in this crate's own test builds.
+    #[cfg(test)]
+    if line.trim() == "XPANIC" {
+        panic!("injected panic for session-isolation tests");
+    }
     match Request::parse(line)? {
         Request::Ping => Ok(Reply::ok("pong".into())),
         Request::Status => {
             let s = service.status();
             let mut text = format!(
-                "paths={} links={} snapshots={} equations={} reinfers={} solver={:?} inferred={} kernel={}",
+                "paths={} links={} snapshots={} equations={} reinfers={} solver={:?} inferred={} stale={} kernel={}",
                 s.num_paths,
                 s.num_links,
                 s.num_snapshots,
@@ -192,13 +212,14 @@ fn try_execute(
                 s.reinfers,
                 s.solver,
                 s.inferred,
+                s.stale,
                 s.kernel
             );
             match &s.history {
                 Some(h) => {
                     text.push_str(&format!(
-                        " history={}:{} history_snapshots={} history_bytes={}",
-                        h.backing, h.path, h.snapshots, h.bytes
+                        " history={}:{} history_snapshots={} history_bytes={} history_generation={} history_recovered={}",
+                        h.backing, h.path, h.snapshots, h.bytes, h.generation, h.recovered
                     ));
                 }
                 None => text.push_str(" history=none"),
@@ -217,18 +238,20 @@ fn try_execute(
         }
         Request::Infer => {
             let snapshots = service.num_snapshots();
-            let estimate = service.reinfer()?;
+            let diagnostics = service.reinfer()?.diagnostics.clone();
             Ok(Reply::ok(format!(
-                "snapshots={snapshots} solver={:?} residual={} iterations={}",
-                estimate.diagnostics.solver,
-                estimate.diagnostics.residual,
-                estimate.diagnostics.iterations
+                "snapshots={snapshots} solver={:?} residual={} iterations={} stale={}",
+                diagnostics.solver,
+                diagnostics.residual,
+                diagnostics.iterations,
+                service.stale()
             )))
         }
         Request::Prob { link } => Ok(Reply::ok(format!("{}", service.probability(link)?))),
         Request::Probs => {
             let probabilities = service.probabilities()?;
-            let mut text = String::with_capacity(8 + 20 * probabilities.len());
+            let mut text = String::with_capacity(20 + 20 * probabilities.len());
+            text.push_str(&format!("stale={} ", service.stale()));
             text.push_str(&probabilities.len().to_string());
             for p in probabilities {
                 text.push(' ');
@@ -345,6 +368,7 @@ mod tests {
 
         let reply = execute(&mut service, "INFER", &mut empty);
         assert!(reply.text.starts_with("OK snapshots=40 solver=DenseExact"));
+        assert!(reply.text.ends_with("stale=false"), "got {}", reply.text);
 
         // PROB round-trips the exact bits of the service's estimate.
         let p0 = service.probability(0).unwrap();
@@ -354,6 +378,7 @@ mod tests {
 
         let reply = execute(&mut service, "PROBS", &mut empty);
         let mut words = reply.text.strip_prefix("OK ").unwrap().split(' ');
+        assert_eq!(words.next().unwrap(), "stale=false");
         assert_eq!(words.next().unwrap(), "4");
         let probs: Vec<f64> = words.map(|w| w.parse().unwrap()).collect();
         assert_eq!(probs, service.probabilities().unwrap());
@@ -362,6 +387,7 @@ mod tests {
         assert!(reply.text.contains("threshold=0.9"));
         let reply = execute(&mut service, "STATUS", &mut empty);
         assert!(reply.text.contains("snapshots=40") && reply.text.contains("inferred=true"));
+        assert!(reply.text.contains("stale=false"), "got {}", reply.text);
         // The kernel tier is reported, and without --history the history
         // field reads `none`.
         assert!(

@@ -1,5 +1,5 @@
 //! The socket front-end: accept loop, per-connection sessions, graceful
-//! shutdown.
+//! shutdown, and hostile-peer hardening.
 //!
 //! [`Server`] listens on TCP (`host:port`) or, on Unix platforms, a Unix
 //! domain socket (`unix:/path`). Each accepted connection gets its own
@@ -7,23 +7,37 @@
 //! the [`TomographyService`] sits behind one mutex, so concurrent
 //! sessions observe a serializable history of ingests and inferences.
 //!
-//! Shutdown is cooperative: a `SHUTDOWN` request (or the
-//! [`Server::shutdown_handle`] flag flipping, e.g. from a signal
-//! handler) makes the nonblocking accept loop stop, the listener close,
-//! and `run` join every session thread before returning. In-flight
-//! requests finish; per-request failures are `ERR` replies, never
-//! connection drops.
+//! Shutdown is cooperative and **draining**: a `SHUTDOWN` request is
+//! answered without taking the service lock (so it cannot queue behind a
+//! slow ingest), the accept loop stops, and sessions with a request
+//! already in flight get [`ServerConfig::drain_timeout`] to finish it —
+//! an `OBS` block half-transferred when `SHUTDOWN` arrives is still
+//! ingested, persisted and acked before the daemon exits. Idle sessions
+//! close at the next poll tick.
+//!
+//! Hostile peers are bounded on every axis ([`ServerConfig`]): sessions
+//! beyond `max_sessions` are shed with an `ERR busy` line, a request
+//! that stops making progress for `request_timeout` (slow-loris) is
+//! answered with an `ERR` and the session closed, a session idle beyond
+//! `idle_timeout` is dropped, and a panicking request handler is caught
+//! — the session replies `ERR internal` and the daemon keeps serving
+//! (the service mutex is panic-tolerant). Chaos runs construct the
+//! server over a seeded [`FaultPlan`], which wraps every accepted
+//! session stream in a [`crate::faults::FaultyStream`];
+//! [`FaultPlan::none`] (the default) is bit-invisible.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use crate::protocol;
+use crate::faults::FaultPlan;
+use crate::protocol::{self, Reply};
 use crate::service::TomographyService;
 
 /// How long the accept loop sleeps when no connection is pending; bounds
@@ -35,6 +49,47 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// `SHUTDOWN` (or a flipped [`Server::shutdown_handle`]) can join every
 /// session even while other clients sit idle on open connections.
 const SESSION_READ_POLL: Duration = Duration::from_millis(100);
+
+/// Per-session limits and fault injection for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent sessions; further connections are shed with a
+    /// single `ERR busy` line and closed.
+    pub max_sessions: usize,
+    /// A session with no request activity for this long is closed.
+    pub idle_timeout: Duration,
+    /// A request that stops making byte progress for this long — a
+    /// half-sent line or a trickled `OBS` payload (slow-loris) — is
+    /// answered with an `ERR` and the session closed.
+    pub request_timeout: Duration,
+    /// After `SHUTDOWN` is observed, how long an in-flight request may
+    /// keep going before the session is abandoned; bounds how long a
+    /// hostile stalled client can delay daemon exit.
+    pub drain_timeout: Duration,
+    /// Seeded fault injection wrapped around every accepted session
+    /// stream ([`FaultPlan::none`] is bit-invisible).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(300),
+            request_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(2),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// The per-session slice of the config, passed into session threads.
+#[derive(Clone, Copy)]
+struct SessionLimits {
+    idle: Duration,
+    request: Duration,
+    drain: Duration,
+}
 
 /// Where the daemon listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,12 +134,23 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     /// The Unix socket path to unlink once the server stops.
     unix_path: Option<PathBuf>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds the listener and wraps the service for concurrent sessions.
+    /// Binds the listener and wraps the service for concurrent sessions,
+    /// with default [`ServerConfig`] limits and no fault injection.
     /// A stale Unix socket file from a previous run is replaced.
     pub fn bind(service: TomographyService, addr: &ListenAddr) -> std::io::Result<Server> {
+        Self::bind_with(service, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit session limits / fault injection.
+    pub fn bind_with(
+        service: TomographyService,
+        addr: &ListenAddr,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let (listener, unix_path) = match addr {
             ListenAddr::Tcp(tcp) => (Listener::Tcp(TcpListener::bind(tcp.as_str())?), None),
             #[cfg(unix)]
@@ -110,6 +176,7 @@ impl Server {
             service: Arc::new(Mutex::new(service)),
             shutdown: Arc::new(AtomicBool::new(false)),
             unix_path,
+            config,
         })
     }
 
@@ -144,14 +211,38 @@ impl Server {
             #[cfg(unix)]
             Listener::Unix(listener) => listener.set_nonblocking(true)?,
         }
+        let limits = SessionLimits {
+            idle: self.config.idle_timeout,
+            request: self.config.request_timeout,
+            drain: self.config.drain_timeout,
+        };
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Stream ids key each session's deterministic fault schedule.
+        let mut next_stream_id: u64 = 0;
         while !self.shutdown.load(Ordering::SeqCst) {
+            // Reap finished sessions first: the connection cap counts
+            // live sessions, and a long-lived daemon must not
+            // accumulate handles.
+            sessions.retain(|h| !h.is_finished());
+            let at_capacity = sessions.len() >= self.config.max_sessions;
             let accepted = match &self.listener {
                 Listener::Tcp(listener) => match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false)?;
-                        stream.set_read_timeout(Some(SESSION_READ_POLL))?;
-                        Some(spawn_session(stream, &self.service, &self.shutdown))
+                        if at_capacity {
+                            shed_busy(stream, self.config.max_sessions);
+                            None
+                        } else {
+                            stream.set_read_timeout(Some(SESSION_READ_POLL))?;
+                            let id = next_stream_id;
+                            next_stream_id += 1;
+                            Some(spawn_session(
+                                self.config.faults.wrap(stream, id),
+                                &self.service,
+                                &self.shutdown,
+                                limits,
+                            ))
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
                     Err(e) => return Err(e),
@@ -160,20 +251,27 @@ impl Server {
                 Listener::Unix(listener) => match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false)?;
-                        stream.set_read_timeout(Some(SESSION_READ_POLL))?;
-                        Some(spawn_session(stream, &self.service, &self.shutdown))
+                        if at_capacity {
+                            shed_busy(stream, self.config.max_sessions);
+                            None
+                        } else {
+                            stream.set_read_timeout(Some(SESSION_READ_POLL))?;
+                            let id = next_stream_id;
+                            next_stream_id += 1;
+                            Some(spawn_session(
+                                self.config.faults.wrap(stream, id),
+                                &self.service,
+                                &self.shutdown,
+                                limits,
+                            ))
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
                     Err(e) => return Err(e),
                 },
             };
             match accepted {
-                Some(handle) => {
-                    sessions.push(handle);
-                    // Opportunistically reap finished sessions so a
-                    // long-lived daemon does not accumulate handles.
-                    sessions.retain(|h| !h.is_finished());
-                }
+                Some(handle) => sessions.push(handle),
                 None => std::thread::sleep(ACCEPT_POLL),
             }
         }
@@ -187,10 +285,22 @@ impl Server {
     }
 }
 
+/// Writes the single `ERR busy` line to a connection over the session
+/// cap and drops it. Best-effort: a peer that already vanished is
+/// simply dropped.
+fn shed_busy<S: Write>(mut stream: S, cap: usize) {
+    let _ = writeln!(
+        stream,
+        "ERR busy: connection limit {cap} reached, retry later"
+    );
+    let _ = stream.flush();
+}
+
 fn spawn_session<S>(
     stream: S,
     service: &Arc<Mutex<TomographyService>>,
     shutdown: &Arc<AtomicBool>,
+    limits: SessionLimits,
 ) -> std::thread::JoinHandle<()>
 where
     S: std::io::Read + Write + Send + 'static,
@@ -200,7 +310,7 @@ where
     std::thread::spawn(move || {
         // Session errors (a peer vanishing mid-request) just end the
         // session; the daemon itself keeps serving.
-        let _ = run_session(stream, &service, &shutdown);
+        let _ = run_session(stream, &service, &shutdown, limits);
     })
 }
 
@@ -214,46 +324,139 @@ fn is_read_poll(e: &std::io::Error) -> bool {
     )
 }
 
-/// A reader that retries the underlying stream's read-timeout ticks
-/// until shutdown, so a framed `OBS` payload can span several ticks on a
-/// slow client without failing the request.
+/// A reader that retries the underlying stream's read-timeout ticks so a
+/// framed `OBS` payload can span several ticks on a slow client — but
+/// bounded: a body that stops making byte progress for the request
+/// deadline fails with `TimedOut` (slow-loris), and once shutdown is
+/// observed the remaining transfer gets only the drain window.
 struct PolledReader<'a, R> {
     inner: &'a mut R,
     shutdown: &'a AtomicBool,
+    /// Per-request stall bound; the deadline resets on every chunk of
+    /// byte progress, so a slow-but-moving transfer is never aborted.
+    request: Duration,
+    deadline: Instant,
+    /// How much longer a request already in flight may keep going after
+    /// shutdown is observed.
+    drain: Duration,
+    drain_deadline: Option<Instant>,
+    /// Set when a read failed on a deadline: the session should close
+    /// after replying instead of trusting the stalled peer further.
+    timed_out: bool,
+}
+
+impl<'a, R> PolledReader<'a, R> {
+    fn new(inner: &'a mut R, shutdown: &'a AtomicBool, limits: SessionLimits) -> Self {
+        PolledReader {
+            inner,
+            shutdown,
+            request: limits.request,
+            deadline: Instant::now() + limits.request,
+            drain: limits.drain,
+            drain_deadline: None,
+            timed_out: false,
+        }
+    }
 }
 
 impl<R: std::io::Read> std::io::Read for PolledReader<'_, R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         loop {
             match self.inner.read(buf) {
-                Err(e) if is_read_poll(&e) && !self.shutdown.load(Ordering::SeqCst) => continue,
-                result => return result,
+                Ok(n) => {
+                    if n > 0 {
+                        self.deadline = Instant::now() + self.request;
+                    }
+                    return Ok(n);
+                }
+                Err(e) if is_read_poll(&e) => {
+                    let now = Instant::now();
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        let deadline = *self.drain_deadline.get_or_insert(now + self.drain);
+                        if now >= deadline {
+                            self.timed_out = true;
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "drain window elapsed with the request body still unsent",
+                            ));
+                        }
+                    } else if now >= self.deadline {
+                        self.timed_out = true;
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "request body stalled past the request deadline",
+                        ));
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
             }
         }
     }
 }
 
+/// Writes one reply line (text + `\n`) and flushes.
+fn reply_line<W: Write>(stream: &mut W, text: &str) -> std::io::Result<()> {
+    stream.write_all(text.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
 /// Serves one connection: read a request line, dispatch it against the
 /// shared service (holding the lock across the OBS payload read, so a
-/// block ingests atomically), write the single-line reply. Returns on
-/// EOF, on a socket error, on shutdown (while idle between requests),
-/// or after replying to `SHUTDOWN`.
+/// block ingests atomically), write the single-line reply.
+///
+/// Exits on EOF, on a socket error, when idle past the idle deadline,
+/// when a request line stalls past the request deadline (after an `ERR
+/// timeout` reply), on shutdown (immediately while idle; after at most
+/// the drain window for a request in flight, which still gets its
+/// reply), or after replying to `SHUTDOWN`. A panicking request handler
+/// is caught: the session replies `ERR internal` and the daemon keeps
+/// serving.
 fn run_session<S: std::io::Read + Write>(
     stream: S,
     service: &Mutex<TomographyService>,
     shutdown: &AtomicBool,
+    limits: SessionLimits,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut idle_since = Instant::now();
+    let mut line_progress = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
     loop {
         // A timed-out read keeps any partial line accumulated so far and
-        // polls the shutdown flag; a request already in flight is still
-        // completed before the session exits.
+        // polls the deadlines; a request already in flight still gets
+        // its reply before the session exits.
+        let len_before = line.len();
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF: client closed the connection.
             Ok(_) => {}
             Err(e) if is_read_poll(&e) => {
+                let now = Instant::now();
+                if line.len() > len_before {
+                    line_progress = now;
+                }
                 if shutdown.load(Ordering::SeqCst) {
+                    if line.is_empty() {
+                        return Ok(()); // Idle between requests: close now.
+                    }
+                    // A request line is mid-transfer: drain it, bounded.
+                    let deadline = *drain_deadline.get_or_insert(now + limits.drain);
+                    if now >= deadline {
+                        return Ok(());
+                    }
+                } else if line.is_empty() {
+                    if now.duration_since(idle_since) >= limits.idle {
+                        return Ok(()); // Idle session: drop it.
+                    }
+                } else if now.duration_since(line_progress) >= limits.request {
+                    // Slow-loris: a half-sent request line that stopped
+                    // making progress. Tell the peer and hang up.
+                    let _ = reply_line(
+                        reader.get_mut(),
+                        "ERR timeout: request line stalled past the request deadline",
+                    );
                     return Ok(());
                 }
                 continue;
@@ -261,24 +464,46 @@ fn run_session<S: std::io::Read + Write>(
             Err(e) => return Err(e),
         }
         let request = line.trim_end_matches(['\r', '\n']);
-        let reply = if request.trim().is_empty() {
+        if request.trim().is_empty() {
             line.clear();
+            idle_since = Instant::now();
+            line_progress = idle_since;
             continue;
-        } else {
-            let mut service = service.lock().expect("service mutex poisoned");
-            let mut body = PolledReader {
-                inner: &mut reader,
-                shutdown,
-            };
-            protocol::execute(&mut service, request, &mut body)
+        }
+        if request.trim() == "SHUTDOWN" {
+            // Fast-path: answered without the service lock, so SHUTDOWN
+            // cannot queue behind another session's slow ingest.
+            shutdown.store(true, Ordering::SeqCst);
+            return reply_line(reader.get_mut(), "OK bye");
+        }
+        let (reply, body_timed_out) = {
+            // A panic in an earlier request poisons the mutex without
+            // corrupting the service (a request either completes its
+            // mutation or errors out first), so recover the guard
+            // instead of propagating the poison to every later session.
+            let mut service = service.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut body = PolledReader::new(&mut reader, shutdown, limits);
+            let reply = catch_unwind(AssertUnwindSafe(|| {
+                protocol::execute(&mut service, request, &mut body)
+            }))
+            .unwrap_or_else(|_| Reply {
+                text: "ERR internal: request handler panicked (session isolated)".into(),
+                shutdown: false,
+            });
+            (reply, body.timed_out)
         };
         line.clear();
-        let stream = reader.get_mut();
-        stream.write_all(reply.text.as_bytes())?;
-        stream.write_all(b"\n")?;
-        stream.flush()?;
+        idle_since = Instant::now();
+        line_progress = idle_since;
+        reply_line(reader.get_mut(), &reply.text)?;
         if reply.shutdown {
             shutdown.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+        if body_timed_out || shutdown.load(Ordering::SeqCst) {
+            // Don't trust a stalled peer with another request; and once
+            // shutdown is observed, the request just answered was this
+            // session's last.
             return Ok(());
         }
     }
@@ -299,6 +524,8 @@ fn _assert_session_streams() {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use std::io::Read;
+
     use netcorr_core::AlgorithmConfig;
     use netcorr_measure::PathObservations;
     use netcorr_topology::toy;
@@ -397,6 +624,128 @@ mod tests {
         let flag = server.shutdown_handle();
         let handle = std::thread::spawn(move || server.run());
         std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+    }
+
+    /// Binds a server with the given config and returns
+    /// `(tcp address, shutdown flag, join handle)`.
+    fn spawn_tcp(
+        config: ServerConfig,
+    ) -> (
+        String,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        let server =
+            Server::bind_with(service(), &ListenAddr::Tcp("127.0.0.1:0".into()), config).unwrap();
+        let description = server.local_description();
+        let addr = description.strip_prefix("tcp://").unwrap().to_string();
+        let flag = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, flag, handle)
+    }
+
+    #[test]
+    fn connections_over_the_cap_are_shed_with_err_busy() {
+        let config = ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        };
+        let (addr, flag, handle) = spawn_tcp(config);
+
+        let mut first = Client::connect_tcp(&addr).unwrap();
+        first.ping().unwrap();
+        // The second connection is over the cap: one ERR busy line, then
+        // the server hangs up.
+        let second = TcpStream::connect(&addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(&second).read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR busy"), "got {line:?}");
+        drop(second);
+        // The session inside the cap is unaffected by the shed one.
+        first.ping().unwrap();
+        drop(first);
+        // Closing it frees the slot (after the accept loop reaps the
+        // finished session thread).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut retry = Client::connect_tcp(&addr).unwrap();
+            if retry.ping().is_ok() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shed slot never freed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        flag.store(true, Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn a_panicking_request_is_isolated_to_its_session() {
+        let (addr, _flag, handle) = spawn_tcp(ServerConfig::default());
+
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(b"XPANIC\n").unwrap();
+        raw.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&raw).read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("ERR internal: request handler panicked"),
+            "got {line:?}"
+        );
+        drop(raw);
+
+        // The daemon keeps serving, and the service state survived.
+        let mut client = Client::connect_tcp(&addr).unwrap();
+        client.ping().unwrap();
+        client.ingest(&observations(12)).unwrap();
+        assert_eq!(client.infer().unwrap().snapshots, 12);
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_an_obs_ingest_already_in_flight() {
+        let (addr, _flag, handle) = spawn_tcp(ServerConfig::default());
+
+        // Start an OBS upload but hold back the final bytes.
+        let mut ingest = TcpStream::connect(&addr).unwrap();
+        let framed = protocol::frame_observations(&observations(20));
+        let split = framed.len() - 7;
+        ingest.write_all(&framed[..split]).unwrap();
+        ingest.flush().unwrap();
+        // Give the session time to enter the body read, then shut the
+        // daemon down from a second session.
+        std::thread::sleep(Duration::from_millis(150));
+        let mut other = Client::connect_tcp(&addr).unwrap();
+        other.shutdown().unwrap();
+        // The in-flight ingest still completes, is acked, and only then
+        // does the daemon exit.
+        std::thread::sleep(Duration::from_millis(50));
+        ingest.write_all(&framed[split..]).unwrap();
+        ingest.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&ingest).read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "OK ingested=20 snapshots=20");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_sessions_are_dropped_at_the_idle_deadline() {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let (addr, flag, handle) = spawn_tcp(config);
+
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // The server closes the idle session: the client reads EOF.
+        let mut buf = [0u8; 1];
+        assert_eq!(stream.read(&mut buf).unwrap(), 0);
         flag.store(true, Ordering::SeqCst);
         handle.join().unwrap().unwrap();
     }

@@ -23,12 +23,21 @@
 //! different estimator.
 //!
 //! With [`TomographyService::enable_history`] the service additionally
-//! persists its observation stream: after every successful ingest the
-//! full history is atomically rewritten to a v3 file, and on startup an
-//! existing file is memory-mapped (zero-copy, see
-//! [`netcorr_measure::MappedObservations`]) and attached to the
-//! streaming estimator as its base segment — a restarted daemon resumes
-//! with bit-identical accumulators without re-ingesting its stream.
+//! persists its observation stream **crash-safely**: each ingest is
+//! transactional (rotate → write payload + generation/checksum footer →
+//! only then mutate memory and ack), and startup recovers a file torn
+//! by a crash mid-write back to the last fully-acked generation from
+//! the rotated `.prev` copy. The surviving payload is memory-mapped
+//! (zero-copy, see [`netcorr_measure::MappedObservations`]) and
+//! attached to the streaming estimator as its base segment — a
+//! restarted daemon resumes with accumulators bit-identical to a run
+//! that replayed exactly the acked ingests.
+//!
+//! Solver trouble degrades gracefully instead of erroring: when a
+//! re-inference fails or the sparse plan exhausts its CGLS iteration
+//! budget, the last good estimate keeps being served and
+//! [`TomographyService::stale`] (surfaced as `stale=` in the protocol)
+//! flags it until a refresh succeeds.
 
 use std::path::{Path, PathBuf};
 
@@ -42,6 +51,7 @@ use netcorr_measure::{PathObservations, StreamingEstimator};
 use netcorr_topology::TopologyInstance;
 
 use crate::error::ServeError;
+use crate::faults::{FaultPlan, FaultyHistoryWriter};
 
 /// The persisted-observation-history portion of a [`ServiceStatus`]:
 /// present only when the service was started with a history file.
@@ -55,8 +65,15 @@ pub struct HistoryStatus {
     pub backing: String,
     /// Snapshots covered by the persisted file.
     pub snapshots: usize,
-    /// Size of the persisted file in bytes.
+    /// Size of the persisted file in bytes (payload + footer).
     pub bytes: usize,
+    /// Generation counter of the persisted file: incremented by every
+    /// durable ingest, 0 for a fresh or legacy (footer-less) file.
+    pub generation: u64,
+    /// Whether startup had to *recover* the history — a torn or missing
+    /// current file was replaced by the rotated previous generation (or
+    /// discarded when no previous generation existed).
+    pub recovered: bool,
 }
 
 /// A point-in-time summary of the service, the payload of the protocol's
@@ -77,6 +94,10 @@ pub struct ServiceStatus {
     pub solver: SolverKind,
     /// Whether an estimate is available for queries.
     pub inferred: bool,
+    /// Whether the current estimate is **stale**: the last re-inference
+    /// attempt failed (or hit the CGLS iteration cap) and queries are
+    /// served from the last good estimate instead of erroring.
+    pub stale: bool,
     /// The active SIMD kernel tier (`avx512`, `avx2` or `portable`).
     pub kernel: String,
     /// Observation-history persistence, when enabled.
@@ -92,6 +113,11 @@ struct HistoryFile {
     bytes: usize,
     /// Snapshots in the file as of the last persist.
     snapshots: usize,
+    /// Generation of the last durable write (0 = fresh/legacy).
+    generation: u64,
+    /// Whether startup recovered from a torn write (see
+    /// [`netcorr_eval::persist::recover_history`]).
+    recovered: bool,
 }
 
 /// The online tomography engine: ingest snapshots, re-infer on demand,
@@ -114,6 +140,20 @@ pub struct TomographyService {
     /// Set by [`TomographyService::enable_history`]: the on-disk history
     /// file rewritten (atomically) after every successful ingest.
     history: Option<HistoryFile>,
+    /// How history bytes reach the disk. Defaults to the atomic
+    /// stage-and-rename writer; chaos runs install a seeded
+    /// fault-injecting writer through
+    /// [`TomographyService::set_fault_plan`].
+    history_writer: FaultyHistoryWriter,
+    /// Whether the served estimate is stale (see [`ServiceStatus::stale`]).
+    stale: bool,
+    /// The sparse solver's iteration cap: a sparse re-inference that
+    /// spends this many iterations did not converge and is served as
+    /// stale rather than trusted fresh.
+    cgls_cap: usize,
+    /// Test hook: fail the next re-inference attempt with this message,
+    /// exercising the degraded-serving path deterministically.
+    reinfer_poison: Option<String>,
 }
 
 impl TomographyService {
@@ -135,18 +175,44 @@ impl TomographyService {
             reinfers: 0,
             num_paths: instance.num_paths(),
             history: None,
+            history_writer: FaultPlan::none().history_writer(),
+            stale: false,
+            cgls_cap: config.solver.cgls_iterations,
+            reinfer_poison: None,
         })
     }
 
-    /// Enables persistent observation history at `path`. If the file
-    /// exists it is reloaded through the zero-copy tier: the v3 block is
-    /// memory-mapped, validated, and attached to the streaming estimator
-    /// as its immutable base segment — the accumulators are seeded from
-    /// the mapped lanes, so the restarted daemon answers every query
-    /// bit-identically to one that never stopped, without re-ingesting a
-    /// single snapshot. If the file does not exist yet it is created on
-    /// the first ingest. Either way, every subsequent successful ingest
-    /// atomically rewrites the file with the full history (base + delta).
+    /// Routes history persistence through `plan`'s fault-injecting
+    /// writer. [`FaultPlan::none`] (the construction default) is
+    /// bit-invisible: it *is* the atomic stage-and-rename writer.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.history_writer = plan.history_writer();
+    }
+
+    /// Test hook: makes the next re-inference attempt fail with
+    /// `message`, so the degraded (stale-serving) path can be exercised
+    /// without constructing a genuinely unsolvable system.
+    #[cfg(test)]
+    pub(crate) fn poison_next_reinfer(&mut self, message: &str) {
+        self.reinfer_poison = Some(message.to_string());
+    }
+
+    /// Enables persistent observation history at `path`, with crash-safe
+    /// recovery. Startup runs
+    /// [`netcorr_eval::persist::recover_history`]: a valid file (sealed
+    /// with a generation + checksum footer, or a legacy footer-less v3
+    /// block) is used as-is; a file torn by a crash mid-write is
+    /// replaced by the rotated `<path>.prev` generation — i.e. the last
+    /// fully-acked ingest — and the service reports `recovered=true` in
+    /// its status. The surviving payload is memory-mapped through the
+    /// zero-copy tier and attached to the streaming estimator as its
+    /// immutable base segment, so the restarted daemon answers every
+    /// query bit-identically to one that replayed exactly the acked
+    /// ingests.
+    ///
+    /// Every subsequent successful ingest rotates the current file to
+    /// `<path>.prev` and durably writes the next generation (payload +
+    /// footer) before the ingest is acknowledged.
     ///
     /// Must be called before any snapshot is ingested. Returns the
     /// number of history snapshots reloaded (0 for a fresh file).
@@ -162,8 +228,9 @@ impl TomographyService {
                 self.estimator.num_snapshots()
             )));
         }
-        if path.exists() {
-            let mapped = persist::map_observations(path)?;
+        let recovery = persist::recover_history(path)?;
+        if let Some(payload_len) = recovery.payload_len {
+            let mapped = persist::map_observations_prefix(path, payload_len)?;
             if mapped.num_paths() != self.num_paths {
                 return Err(ServeError::PathMismatch {
                     block: mapped.num_paths(),
@@ -178,6 +245,8 @@ impl TomographyService {
                 backing,
                 bytes,
                 snapshots,
+                generation: recovery.generation,
+                recovered: recovery.recovered,
             });
             Ok(snapshots)
         } else {
@@ -186,24 +255,66 @@ impl TomographyService {
                 backing: "heap",
                 bytes: 0,
                 snapshots: 0,
+                generation: 0,
+                recovered: recovery.recovered,
             });
             Ok(0)
         }
     }
 
-    /// Rewrites the history file with the full accumulated history
-    /// (attached base segment + owned delta), atomically: a reader — or
-    /// a concurrently restarting daemon — only ever sees a complete v3
-    /// block. The previously mapped file is rename-replaced, never
-    /// truncated, so the live mapping stays valid.
-    fn persist_history(&mut self) -> Result<(), ServeError> {
-        if let Some(history) = &mut self.history {
-            let bytes = self.estimator.history_binary();
-            persist::atomic_write(&history.path, &bytes)?;
-            history.bytes = bytes.len();
-            history.snapshots = self.estimator.num_snapshots();
+    /// Durably persists the history *as it will be after* `block` is
+    /// appended, before the in-memory estimator is touched: the
+    /// prospective payload (attached base + owned delta + block) is
+    /// sealed with the next generation's footer, the current file is
+    /// rotated to `.prev`, and the new generation is written. Only a
+    /// successful write lets the ingest proceed — on failure the
+    /// rotation is undone and the service (memory *and* disk) still
+    /// reflects exactly the previously acked generation.
+    fn persist_with_block(&mut self, block: &PathObservations) -> Result<(), ServeError> {
+        let Some(history) = &mut self.history else {
+            return Ok(());
+        };
+        let payload = {
+            let mut delta = self.estimator.observations().clone();
+            delta
+                .concat(block)
+                .map_err(|e| ServeError::Persist(format!("cannot append block: {e}")))?;
+            match self.estimator.base() {
+                Some(base) => base
+                    .view()
+                    .merged_binary(&delta)
+                    .map_err(|e| ServeError::Persist(format!("cannot merge history: {e}")))?,
+                None => delta.to_binary(),
+            }
+        };
+        let generation = history.generation + 1;
+        let sealed = persist::encode_history(&payload, generation);
+        let prev = persist::history_prev_path(&history.path);
+        let rotated = history.path.exists();
+        if rotated {
+            std::fs::rename(&history.path, &prev).map_err(|e| {
+                ServeError::Persist(format!("cannot rotate history to {}: {e}", prev.display()))
+            })?;
         }
-        Ok(())
+        match self.history_writer.write(&history.path, &sealed) {
+            Ok(()) => {
+                history.generation = generation;
+                history.bytes = sealed.len();
+                history.snapshots = self.estimator.num_snapshots() + block.num_snapshots();
+                Ok(())
+            }
+            Err(e) => {
+                // Put the last acked generation back at the primary path
+                // so a *continuing* daemon stays consistent; a crash
+                // here instead is what recover_history handles.
+                if rotated {
+                    let _ = std::fs::rename(&prev, &history.path);
+                }
+                Err(ServeError::Persist(format!(
+                    "history write failed (generation {generation} not acked): {e}"
+                )))
+            }
+        }
     }
 
     /// Number of measurement paths in the topology.
@@ -236,7 +347,14 @@ impl TomographyService {
         self.ingest_observations(&block)
     }
 
-    /// Ingests already-decoded observations snapshot by snapshot.
+    /// Ingests already-decoded observations. The ingest is
+    /// **transactional**: with history enabled, the prospective history
+    /// (including this block) is durably persisted as the next
+    /// generation *first*, and only a successful write mutates the
+    /// in-memory estimator. A failed persist leaves the service —
+    /// memory and disk — exactly at the previously acked generation, so
+    /// an `OK` reply to an `OBS` request really means "this block
+    /// survives a crash".
     pub fn ingest_observations(&mut self, block: &PathObservations) -> Result<usize, ServeError> {
         if block.num_paths() != self.num_paths {
             return Err(ServeError::PathMismatch {
@@ -244,17 +362,21 @@ impl TomographyService {
                 instance: self.num_paths,
             });
         }
+        self.persist_with_block(block)?;
         for snapshot in block.snapshots() {
-            self.estimator.push_snapshot(&snapshot)?;
+            self.estimator
+                .push_snapshot(&snapshot)
+                .expect("snapshot width was validated against the instance");
         }
-        self.persist_history()?;
         Ok(block.num_snapshots())
     }
 
-    /// Pushes a single snapshot (one congested flag per path).
+    /// Pushes a single snapshot (one congested flag per path), with the
+    /// same transactional persistence as [`Self::ingest_observations`].
     pub fn push_snapshot(&mut self, congested: &[bool]) -> Result<(), ServeError> {
-        self.estimator.push_snapshot(congested)?;
-        self.persist_history()?;
+        let mut block = PathObservations::new(self.num_paths);
+        block.record_snapshot(congested)?;
+        self.ingest_observations(&block)?;
         Ok(())
     }
 
@@ -264,6 +386,15 @@ impl TomographyService {
     /// the cached plan, seeding CGLS with the previous solution. If no
     /// snapshot arrived since the last re-inference the cached estimate
     /// is returned unchanged.
+    ///
+    /// **Graceful degradation:** solver trouble is an expected state,
+    /// not an error. If the solve fails — or the sparse plan burns its
+    /// whole CGLS iteration budget without converging — and a previous
+    /// good estimate exists, that estimate keeps being served, flagged
+    /// stale (see [`Self::stale`]); the next re-inference attempt tries
+    /// again. Only with no prior estimate at all does a solve failure
+    /// surface as an error (a capped-but-computed first estimate is
+    /// served, flagged stale).
     ///
     /// On the dense plans the result is bit-identical to the offline
     /// [`InferenceContext::infer`] over the same accumulated
@@ -275,14 +406,52 @@ impl TomographyService {
             ));
         }
         if self.inferred_at != Some(self.estimator.num_snapshots()) {
-            let rhs = self.builder.rhs(&self.estimator)?;
-            let (estimate, x) = self.context.reinfer(&rhs, self.last_solution.as_deref())?;
-            self.last_solution = Some(x);
-            self.estimate = Some(estimate);
-            self.inferred_at = Some(self.estimator.num_snapshots());
-            self.reinfers += 1;
+            let attempt = match self.reinfer_poison.take() {
+                Some(message) => Err(ServeError::Io(message)),
+                None => {
+                    let rhs = self.builder.rhs(&self.estimator)?;
+                    self.context
+                        .reinfer(&rhs, self.last_solution.as_deref())
+                        .map_err(ServeError::from)
+                }
+            };
+            match attempt {
+                Ok((estimate, x)) => {
+                    let capped = estimate.diagnostics.solver == SolverKind::SparseIterative
+                        && self.cgls_cap > 0
+                        && estimate.diagnostics.iterations >= self.cgls_cap;
+                    if capped && self.estimate.is_some() {
+                        // Non-converged refresh over a good prior: keep
+                        // serving the prior, don't poison the warm seed.
+                        self.stale = true;
+                    } else {
+                        self.last_solution = Some(x);
+                        self.estimate = Some(estimate);
+                        self.inferred_at = Some(self.estimator.num_snapshots());
+                        self.stale = capped;
+                        self.reinfers += 1;
+                    }
+                }
+                Err(e) => {
+                    if self.estimate.is_none() {
+                        return Err(e);
+                    }
+                    // Keep the last good estimate; `inferred_at` stays
+                    // behind the stream so the next INFER retries.
+                    self.stale = true;
+                }
+            }
         }
-        Ok(self.estimate.as_ref().expect("estimate was just stored"))
+        Ok(self
+            .estimate
+            .as_ref()
+            .expect("an estimate exists on every Ok path"))
+    }
+
+    /// Whether queries are currently served from a stale estimate (the
+    /// last re-inference attempt failed or did not converge).
+    pub fn stale(&self) -> bool {
+        self.stale
     }
 
     /// The latest estimate, if any re-inference has run.
@@ -328,12 +497,15 @@ impl TomographyService {
             reinfers: self.reinfers,
             solver: self.context.solver_kind(),
             inferred: self.estimate.is_some(),
+            stale: self.stale,
             kernel: simd::active_tier().as_str().to_string(),
             history: self.history.as_ref().map(|h| HistoryStatus {
                 path: h.path.display().to_string(),
                 backing: h.backing.to_string(),
                 snapshots: h.snapshots,
                 bytes: h.bytes,
+                generation: h.generation,
+                recovered: h.recovered,
             }),
         }
     }
@@ -563,20 +735,21 @@ mod tests {
             Err(ServeError::Persist(_))
         ));
 
-        // A corrupt history file fails the startup reload with a Persist
-        // error naming the file — never a panic.
+        // A corrupt history file no longer refuses startup: with no
+        // rotated previous generation it is quarantined and the service
+        // starts fresh, reporting recovered=true.
         service.push_snapshot(&[true, false, false]).unwrap();
         let mut bytes = std::fs::read(&file).unwrap();
         let last = bytes.len() - 1;
-        bytes[last] |= 0x80; // dirty tail beyond the snapshot count
+        bytes[last] ^= 0x80; // breaks the footer checksum
         std::fs::write(&file, &bytes).unwrap();
+        std::fs::remove_file(persist::history_prev_path(&file)).ok();
         let mut reloaded = TomographyService::new(&instance, &config).unwrap();
-        match reloaded.enable_history(&file) {
-            Err(ServeError::Persist(msg)) => {
-                assert!(msg.contains("beyond slot"), "{msg}");
-            }
-            other => panic!("expected a Persist error, got {other:?}"),
-        }
+        assert_eq!(reloaded.enable_history(&file).unwrap(), 0);
+        let status = reloaded.status().history.unwrap();
+        assert!(status.recovered);
+        assert_eq!(status.generation, 0);
+        assert!(persist::history_torn_path(&file).exists());
 
         // A history file over the wrong path count is rejected up front.
         let mut wrong = PathObservations::new(7);
@@ -591,5 +764,152 @@ mod tests {
             })
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_history_write_is_unacked_and_recovery_is_exact() {
+        use crate::faults::{FaultPlan, FaultProfile};
+
+        let instance = toy::figure_1a();
+        let config = AlgorithmConfig::default();
+        let dir = std::env::temp_dir().join(format!(
+            "netcorr_serve_torn_write_test_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let file = dir.join("history.ncobs3");
+        let obs = fig1a_observations(90);
+        let block = |range: std::ops::Range<usize>| {
+            let mut b = PathObservations::new(3);
+            for i in range {
+                b.record_snapshot(&obs.snapshot(i)).unwrap();
+            }
+            b
+        };
+
+        // Writer tears the third history write (reported, not aborted).
+        let mut profile = FaultProfile::torn_history(77);
+        profile.torn_write_aborts = false;
+        profile.tear_history_write = 3;
+        let mut service = TomographyService::new(&instance, &config).unwrap();
+        service.enable_history(&file).unwrap();
+        service.set_fault_plan(&FaultPlan::seeded(77, profile));
+
+        assert_eq!(service.ingest_observations(&block(0..20)).unwrap(), 20);
+        assert_eq!(service.ingest_observations(&block(20..45)).unwrap(), 25);
+        // The torn write: the ingest is rejected and the service rolls
+        // back to the acked generation, in memory and on disk.
+        let err = service.ingest_observations(&block(45..70)).unwrap_err();
+        assert!(matches!(err, ServeError::Persist(_)), "{err:?}");
+        assert_eq!(service.num_snapshots(), 45, "unacked block must not land");
+        let status = service.status().history.unwrap();
+        assert_eq!(status.generation, 2);
+        assert_eq!(status.snapshots, 45);
+        // Later ingests keep working (the schedule tears exactly once).
+        assert_eq!(service.ingest_observations(&block(45..70)).unwrap(), 25);
+        assert_eq!(service.status().history.unwrap().generation, 3);
+        service.reinfer().unwrap();
+        drop(service);
+
+        // A restart over the survived file resumes at the acked prefix,
+        // bit-identical to a clean service over the same ingests.
+        let mut restarted = TomographyService::new(&instance, &config).unwrap();
+        assert_eq!(restarted.enable_history(&file).unwrap(), 70);
+        let status = restarted.status().history.unwrap();
+        assert_eq!(status.generation, 3);
+        assert!(!status.recovered, "the file itself was never torn");
+        restarted.reinfer().unwrap();
+        let mut clean = TomographyService::new(&instance, &config).unwrap();
+        clean.ingest_observations(&block(0..70)).unwrap();
+        clean.reinfer().unwrap();
+        assert_eq!(
+            restarted.probabilities().unwrap(),
+            clean.probabilities().unwrap()
+        );
+
+        // Now simulate the crash flavour: tear the file on disk (as an
+        // aborting writer would leave it) and restart — recovery falls
+        // back to the rotated previous generation.
+        let sealed = std::fs::read(&file).unwrap();
+        std::fs::write(&file, &sealed[..sealed.len() / 2]).unwrap();
+        let mut recovered = TomographyService::new(&instance, &config).unwrap();
+        // .prev holds generation 2 (snapshots 0..45).
+        assert_eq!(recovered.enable_history(&file).unwrap(), 45);
+        let status = recovered.status().history.unwrap();
+        assert!(status.recovered);
+        assert_eq!(status.generation, 2);
+        recovered.reinfer().unwrap();
+        let mut acked = TomographyService::new(&instance, &config).unwrap();
+        acked.ingest_observations(&block(0..45)).unwrap();
+        acked.reinfer().unwrap();
+        assert_eq!(
+            recovered.probabilities().unwrap(),
+            acked.probabilities().unwrap(),
+            "recovered answers must be bit-identical to replaying only acked ingests"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_reinference_serves_the_last_good_estimate_as_stale() {
+        let instance = toy::figure_1a();
+        let mut service = TomographyService::new(&instance, &AlgorithmConfig::default()).unwrap();
+        service
+            .ingest_observations(&fig1a_observations(30))
+            .unwrap();
+        service.reinfer().unwrap();
+        assert!(!service.stale());
+        let good: Vec<f64> = service.probabilities().unwrap().to_vec();
+
+        // New data arrives, but the refresh fails: the last good
+        // estimate keeps being served, flagged stale.
+        service.push_snapshot(&[true, true, false]).unwrap();
+        service.poison_next_reinfer("injected solver failure");
+        service.reinfer().unwrap();
+        assert!(service.stale());
+        assert_eq!(service.probabilities().unwrap(), good.as_slice());
+        assert!(service.status().stale);
+
+        // The next attempt succeeds and clears the flag.
+        service.reinfer().unwrap();
+        assert!(!service.stale());
+        assert!(!service.status().stale);
+        assert_ne!(service.probabilities().unwrap(), good.as_slice());
+
+        // With no prior estimate at all, failure is still an error.
+        let mut fresh = TomographyService::new(&instance, &AlgorithmConfig::default()).unwrap();
+        fresh.ingest_observations(&fig1a_observations(10)).unwrap();
+        fresh.poison_next_reinfer("injected solver failure");
+        assert!(fresh.reinfer().is_err());
+        assert!(fresh.reinfer().is_ok(), "poison clears after one attempt");
+    }
+
+    #[test]
+    fn capped_cgls_runs_are_flagged_stale() {
+        let instance = toy::figure_1a();
+        // Force the sparse plan (dense_threshold below the link count)
+        // and an absurd 1-iteration CGLS budget: the very first solve
+        // hits the cap and is served flagged stale.
+        let mut config = AlgorithmConfig::default();
+        config.solver.dense_threshold = 0;
+        config.solver.cgls_iterations = 1;
+        config.solver.cgls_tolerance = 1e-300;
+        let mut service = TomographyService::new(&instance, &config).unwrap();
+        service
+            .ingest_observations(&fig1a_observations(40))
+            .unwrap();
+        let estimate = service.reinfer().unwrap();
+        assert_eq!(estimate.diagnostics.solver, SolverKind::SparseIterative);
+        assert!(service.stale(), "a capped first solve must be stale");
+
+        // A generous budget converges and clears the flag.
+        let mut generous = AlgorithmConfig::default();
+        generous.solver.dense_threshold = 0;
+        let mut service = TomographyService::new(&instance, &generous).unwrap();
+        service
+            .ingest_observations(&fig1a_observations(40))
+            .unwrap();
+        service.reinfer().unwrap();
+        assert!(!service.stale());
     }
 }

@@ -448,6 +448,104 @@ fn ragged_blocks_mid_stream_are_rejected_without_corrupting_the_estimator() {
 }
 
 #[test]
+fn shutdown_drains_a_mid_flight_ingest_and_persists_it() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("netcorr_daemon_drain_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let history = dir.join("history.ncobs3");
+    let history_arg = history.display().to_string();
+    let (daemon, addr) = spawn_daemon(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--topology",
+        "fig1a",
+        "--history",
+        history_arg.as_str(),
+        "--drain-timeout-ms",
+        "2000",
+    ]);
+
+    // Session A: an OBS request whose body is only partially sent — the
+    // ingest is mid-flight when the shutdown arrives.
+    let mut obs = PathObservations::new(3);
+    for i in 0..30 {
+        obs.record_snapshot(&[i % 2 == 0, i % 3 == 0, i % 5 == 0])
+            .unwrap();
+    }
+    let block = obs.to_binary();
+    let mut framed = format!("OBS {}\n", block.len()).into_bytes();
+    framed.extend_from_slice(&block);
+    let mut slow = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    slow.write_all(&framed[..framed.len() - 9]).unwrap();
+    slow.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Session B: SHUTDOWN while A's body is still unsent.
+    let mut control = Client::connect_tcp(addr.as_str()).unwrap();
+    control.shutdown().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // A's ingest must still complete — acked and durably persisted —
+    // inside the drain window, and only then may the daemon exit.
+    slow.write_all(&framed[framed.len() - 9..]).unwrap();
+    slow.flush().unwrap();
+    let mut reply = String::new();
+    BufReader::new(&slow).read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "OK ingested=30 snapshots=30");
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+
+    // The drained ingest survived the restart.
+    let (daemon, addr) = spawn_daemon(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--topology",
+        "fig1a",
+        "--history",
+        history_arg.as_str(),
+    ]);
+    let mut client = Client::connect_tcp(addr.as_str()).unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.num_snapshots, 30, "drained ingest was persisted");
+    assert!(
+        !status.history.unwrap().recovered,
+        "clean file, no recovery"
+    );
+    client.shutdown().unwrap();
+    let mut daemon = daemon;
+    assert!(daemon.0.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_harness_holds_on_a_fresh_seed() {
+    // One short chaos round as a regression gate: the full schedule
+    // (seeds 1..3, all scenarios) runs in the named `chaos` CI job.
+    let out = Command::new(env!("CARGO_BIN_EXE_netcorr-chaos"))
+        .args([
+            "--seed",
+            "9",
+            "--rounds",
+            "1",
+            "--scenario",
+            "torn-history",
+            "--serve-bin",
+            env!("CARGO_BIN_EXE_netcorr-serve"),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos harness failed:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("all assertions held"), "got: {stdout}");
+}
+
+#[test]
 fn help_exits_zero_and_bad_flags_exit_nonzero() {
     let exe = env!("CARGO_BIN_EXE_netcorr-serve");
     let help = Command::new(exe).arg("--help").output().unwrap();
